@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 11: differencing runs of the real workflows at
+//! increasing sizes (unit cost model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfdiff_core::{UnitCost, WorkflowDiff};
+use wfdiff_workloads::real::real_workflows;
+use wfdiff_workloads::runs::generate_run_with_target_edges;
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_real_workflows");
+    group.sample_size(10);
+    for wf in real_workflows() {
+        let spec = wf.specification();
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        for &total in &[200usize, 600, 1000] {
+            let r1 = generate_run_with_target_edges(&spec, total / 2, 0xB16);
+            let r2 = generate_run_with_target_edges(&spec, total / 2, 0xB17);
+            let actual = r1.edge_count() + r2.edge_count();
+            group.bench_with_input(
+                BenchmarkId::new(wf.name, format!("target{total}_actual{actual}")),
+                &(&r1, &r2),
+                |b, (r1, r2)| b.iter(|| engine.distance(r1, r2).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for Figure 12: series-heavy vs parallel-heavy
+//! specifications of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wfdiff_core::{UnitCost, WorkflowDiff};
+use wfdiff_workloads::generator::{random_specification, SpecGenConfig};
+use wfdiff_workloads::runs::{generate_run, RunGenConfig};
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_series_parallel");
+    group.sample_size(10);
+    for &(label, ratio) in &[("series_r3", 3.0), ("balanced_r1", 1.0), ("parallel_r03", 1.0 / 3.0)]
+    {
+        for &edges in &[100usize, 300, 500] {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xC0FFEE ^ edges as u64);
+            let spec = random_specification(
+                &format!("bench-{label}-{edges}"),
+                &SpecGenConfig {
+                    target_edges: edges,
+                    series_parallel_ratio: ratio,
+                    forks: 0,
+                    loops: 0,
+                },
+                &mut rng,
+            );
+            let cfg = RunGenConfig { prob_p: 0.95, ..Default::default() };
+            let r1 = generate_run(&spec, &cfg, &mut rng);
+            let r2 = generate_run(&spec, &cfg, &mut rng);
+            let engine = WorkflowDiff::new(&spec, &UnitCost);
+            group.bench_with_input(
+                BenchmarkId::new(label, edges),
+                &(&r1, &r2),
+                |b, (r1, r2)| b.iter(|| engine.distance(r1, r2).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 14: fork-heavy vs loop-heavy runs of the same
+//! annotated specification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wfdiff_core::{UnitCost, WorkflowDiff};
+use wfdiff_workloads::generator::{random_specification, SpecGenConfig};
+use wfdiff_workloads::runs::{generate_run, RunGenConfig};
+
+fn bench_fig14(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_fork_loop");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF14);
+    let spec = random_specification(
+        "bench-fig14",
+        &SpecGenConfig {
+            target_edges: 100,
+            series_parallel_ratio: 0.5,
+            forks: 5,
+            loops: 5,
+        },
+        &mut rng,
+    );
+    let engine = WorkflowDiff::new(&spec, &UnitCost);
+    let fork_cfg = |p: f64| RunGenConfig { prob_p: 1.0, max_f: 8, prob_f: p, max_l: 1, prob_l: 0.0 };
+    let loop_cfg = |p: f64| RunGenConfig { prob_p: 1.0, max_f: 1, prob_f: 0.0, max_l: 8, prob_l: p };
+    for &prob in &[0.3f64, 0.7] {
+        let fork_run_a = generate_run(&spec, &fork_cfg(prob), &mut rng);
+        let fork_run_b = generate_run(&spec, &fork_cfg(prob), &mut rng);
+        let loop_run_a = generate_run(&spec, &loop_cfg(prob), &mut rng);
+        let loop_run_b = generate_run(&spec, &loop_cfg(prob), &mut rng);
+        for (curve, a, b) in [
+            ("fork_vs_fork", &fork_run_a, &fork_run_b),
+            ("fork_vs_loop", &fork_run_a, &loop_run_b),
+            ("loop_vs_loop", &loop_run_a, &loop_run_b),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(curve, format!("p{prob}")),
+                &(a, b),
+                |bencher, (a, b)| bencher.iter(|| engine.distance(a, b).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig14);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 16: producing minimum-cost edit scripts of the
+//! Figure 17(b) workload under different cost models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wfdiff_core::script::diff_with_script;
+use wfdiff_core::{CostModel, LengthCost, PowerCost, UnitCost, WorkflowDiff};
+use wfdiff_workloads::figures::fig17_specification;
+use wfdiff_workloads::runs::{generate_run, RunGenConfig};
+
+fn bench_fig16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_cost_models");
+    group.sample_size(10);
+    let spec = fig17_specification();
+    let mut rng = ChaCha8Rng::seed_from_u64(0xF16);
+    let cfg = RunGenConfig { prob_p: 0.5, max_f: 5, prob_f: 1.0, max_l: 1, prob_l: 1.0 };
+    let r1 = generate_run(&spec, &cfg, &mut rng);
+    let r2 = generate_run(&spec, &cfg, &mut rng);
+    let models: Vec<(&str, Box<dyn CostModel>)> = vec![
+        ("unit", Box::new(UnitCost)),
+        ("power05", Box::new(PowerCost::new(0.5))),
+        ("length", Box::new(LengthCost)),
+    ];
+    for (name, model) in &models {
+        let engine = WorkflowDiff::new(&spec, model.as_ref());
+        group.bench_with_input(BenchmarkId::new("script", name), &(&r1, &r2), |b, (r1, r2)| {
+            b.iter(|| diff_with_script(&engine, r1, r2).unwrap().1.total_cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig16);
+criterion_main!(benches);

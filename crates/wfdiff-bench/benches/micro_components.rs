@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the individual components: run replay (Algorithm 2/5),
+//! subtree deletion (Algorithm 3) and the two matching substrates (Hungarian
+//! vs greedy ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wfdiff_core::{DeletionTables, UnitCost};
+use wfdiff_matching::{assignment_with_unmatched, greedy_assignment_with_unmatched};
+use wfdiff_sptree::Run;
+use wfdiff_workloads::real::pa;
+use wfdiff_workloads::runs::generate_run_with_target_edges;
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_components");
+    group.sample_size(10);
+
+    // Algorithm 2/5 replay + canonical decomposition on a mid-sized run.
+    let spec = pa().specification();
+    let run = generate_run_with_target_edges(&spec, 400, 0xABC);
+    group.bench_function("replay_run_400_edges", |b| {
+        b.iter(|| Run::from_graph(&spec, run.graph().clone()).unwrap().edge_count())
+    });
+
+    // Algorithm 3 on the same run.
+    group.bench_function("deletion_tables_400_edges", |b| {
+        b.iter(|| DeletionTables::compute(run.tree(), &UnitCost).x(run.tree().root()))
+    });
+
+    // Hungarian vs greedy matching ablation.
+    let mut rng = ChaCha8Rng::seed_from_u64(0xDEF);
+    for &n in &[16usize, 48] {
+        let pair: Vec<Vec<Option<f64>>> = (0..n)
+            .map(|_| (0..n).map(|_| Some(rng.gen_range(0.0..10.0))).collect())
+            .collect();
+        let del: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let ins: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
+        group.bench_with_input(BenchmarkId::new("hungarian", n), &n, |b, _| {
+            b.iter(|| assignment_with_unmatched(&pair, &del, &ins).cost)
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_ablation", n), &n, |b, _| {
+            b.iter(|| greedy_assignment_with_unmatched(&pair, &del, &ins).cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

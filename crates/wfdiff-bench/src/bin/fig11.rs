@@ -1,0 +1,37 @@
+//! Regenerates Figure 11: differencing time on the six real workflows as the
+//! total run size grows.  Writes `fig11.csv`.
+//!
+//! Usage: `fig11 [samples] [max_total_edges]`
+//! (defaults: 3 samples, totals 200..2000; the paper uses 100 samples).
+
+use wfdiff_bench::csvout::{fmt, write_csv};
+use wfdiff_bench::fig11::{run, Fig11Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let max_total: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let totals: Vec<usize> = (1..=10).map(|i| i * max_total / 10).collect();
+    let config = Fig11Config { totals, samples, seed: 0xF16_11 };
+    let points = run(&config);
+    print!("{}", wfdiff_bench::fig11::render(&points));
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workflow.clone(),
+                p.target_total_edges.to_string(),
+                fmt(p.actual_total_edges),
+                fmt(p.avg_time_ms),
+                fmt(p.avg_distance),
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig11.csv",
+        &["workflow", "target_total_edges", "actual_total_edges", "avg_time_ms", "avg_distance"],
+        &rows,
+    )
+    .expect("write fig11.csv");
+    eprintln!("wrote fig11.csv");
+}

@@ -1,0 +1,38 @@
+//! Regenerates Figures 12 and 13: the effect of the series/parallel ratio on
+//! differencing time and edit distance.  Writes `fig12_13.csv`.
+//!
+//! Usage: `fig12_13 [samples] [max_spec_edges]`
+//! (defaults: 3 samples, specs of 100..1000 edges; the paper uses 200 samples).
+
+use wfdiff_bench::csvout::{fmt, write_csv};
+use wfdiff_bench::fig12::{run, Fig12Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let max_edges: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let spec_edges: Vec<usize> = (1..=10).map(|i| i * max_edges / 10).collect();
+    let config = Fig12Config {
+        spec_edges,
+        ratios: vec![3.0, 1.0, 1.0 / 3.0],
+        prob_p: 0.95,
+        samples,
+        seed: 0xF16_12,
+    };
+    let points = run(&config);
+    print!("{}", wfdiff_bench::fig12::render(&points));
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                fmt(p.ratio),
+                p.spec_edges.to_string(),
+                fmt(p.avg_time_ms),
+                fmt(p.avg_distance),
+            ]
+        })
+        .collect();
+    write_csv("fig12_13.csv", &["ratio", "spec_edges", "avg_time_ms", "avg_distance"], &rows)
+        .expect("write fig12_13.csv");
+    eprintln!("wrote fig12_13.csv");
+}

@@ -1,0 +1,35 @@
+//! Regenerates Figures 14 and 15: forks vs loops.  Writes `fig14_15.csv`.
+//!
+//! Usage: `fig14_15 [samples] [max_replication]`
+//! (defaults: 2 samples, maxF = maxL = 8; the paper uses 200 samples and 20).
+
+use wfdiff_bench::csvout::{fmt, write_csv};
+use wfdiff_bench::fig14::{run, Fig14Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let max_rep: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let config = Fig14Config { samples, max_rep, ..Default::default() };
+    let points = run(&config);
+    print!("{}", wfdiff_bench::fig14::render(&points));
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.curve.to_string(),
+                fmt(p.probability),
+                fmt(p.avg_time_ms),
+                fmt(p.avg_distance),
+                fmt(p.avg_total_edges),
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig14_15.csv",
+        &["curve", "probability", "avg_time_ms", "avg_distance", "avg_total_edges"],
+        &rows,
+    )
+    .expect("write fig14_15.csv");
+    eprintln!("wrote fig14_15.csv");
+}

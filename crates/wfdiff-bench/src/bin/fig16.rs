@@ -1,0 +1,37 @@
+//! Regenerates Figure 16: the influence of the cost model on edit scripts.
+//! Writes `fig16.csv`.
+//!
+//! Usage: `fig16 [samples] [paths]`
+//! (defaults: 20 sample pairs and the paper's 10 parallel paths; the paper
+//! uses 100 sample pairs).
+
+use wfdiff_bench::csvout::{fmt, write_csv};
+use wfdiff_bench::fig16::{run, Fig16Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let samples: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let paths: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let config = Fig16Config { samples, paths, ..Default::default() };
+    let points = run(&config);
+    print!("{}", wfdiff_bench::fig16::render(&points));
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                fmt(p.epsilon),
+                fmt(p.avg_error_unit),
+                fmt(p.worst_error_unit),
+                fmt(p.avg_error_length),
+                fmt(p.worst_error_length),
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig16.csv",
+        &["epsilon", "avg_err_unit", "worst_err_unit", "avg_err_length", "worst_err_length"],
+        &rows,
+    )
+    .expect("write fig16.csv");
+    eprintln!("wrote fig16.csv");
+}

@@ -1,0 +1,39 @@
+//! Runs every experiment of the evaluation section with small default sample
+//! counts and prints the resulting tables; intended as a one-shot smoke run of
+//! the full harness (`cargo run --release -p wfdiff-bench --bin run_all`).
+
+use wfdiff_bench::{fig11, fig12, fig14, fig16, table1};
+
+fn main() {
+    println!("==== Table I ====");
+    print!("{}", table1::render(&table1::compute()));
+
+    println!("\n==== Figure 11 (reduced sweep) ====");
+    let cfg = fig11::Fig11Config {
+        totals: vec![200, 400, 600, 800],
+        samples: 2,
+        seed: 0xA11,
+    };
+    print!("{}", fig11::render(&fig11::run(&cfg)));
+
+    println!("\n==== Figures 12/13 (reduced sweep) ====");
+    let cfg = fig12::Fig12Config {
+        spec_edges: vec![100, 200, 300, 400],
+        samples: 2,
+        ..Default::default()
+    };
+    print!("{}", fig12::render(&fig12::run(&cfg)));
+
+    println!("\n==== Figures 14/15 (reduced sweep) ====");
+    let cfg = fig14::Fig14Config {
+        probabilities: vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0],
+        samples: 1,
+        max_rep: 6,
+        ..Default::default()
+    };
+    print!("{}", fig14::render(&fig14::run(&cfg)));
+
+    println!("\n==== Figure 16 (reduced sweep) ====");
+    let cfg = fig16::Fig16Config { samples: 10, ..Default::default() };
+    print!("{}", fig16::render(&fig16::run(&cfg)));
+}

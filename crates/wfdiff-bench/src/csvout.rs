@@ -1,0 +1,42 @@
+//! Minimal CSV output helper for the experiment binaries.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes rows of strings as a CSV file with the given header.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(file, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// Formats a floating point number with three decimal places for table output.
+pub fn fmt(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("wfdiff-bench-test.csv");
+        write_csv(&dir, &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let content = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        std::fs::remove_file(dir).ok();
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456), "1.235");
+    }
+}

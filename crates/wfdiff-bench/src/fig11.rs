@@ -1,0 +1,106 @@
+//! Figure 11: differencing time on the six real workflows as the total size
+//! of the two runs grows from 200 to 2000 edges (unit cost model).
+
+use crate::time_ms;
+use wfdiff_core::{UnitCost, WorkflowDiff};
+use wfdiff_workloads::real::real_workflows;
+use wfdiff_workloads::runs::generate_run_with_target_edges;
+
+/// Configuration of the Figure 11 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig11Config {
+    /// Total-edge targets for the pair of runs (the paper sweeps 200..2000).
+    pub totals: Vec<usize>,
+    /// Sample pairs per point (the paper averages 100; the default here is 3).
+    pub samples: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig11Config {
+    fn default() -> Self {
+        Fig11Config { totals: (1..=10).map(|i| i * 200).collect(), samples: 3, seed: 0xF16_11 }
+    }
+}
+
+/// One measured point of Figure 11.
+#[derive(Debug, Clone)]
+pub struct Fig11Point {
+    /// Workflow name.
+    pub workflow: String,
+    /// Requested total number of edges across the two runs.
+    pub target_total_edges: usize,
+    /// Actual average total edges of the generated pairs.
+    pub actual_total_edges: f64,
+    /// Average execution time of the differencing algorithm (milliseconds).
+    pub avg_time_ms: f64,
+    /// Average edit distance (unit cost), reported for context.
+    pub avg_distance: f64,
+}
+
+/// Runs the Figure 11 experiment.
+pub fn run(config: &Fig11Config) -> Vec<Fig11Point> {
+    let mut out = Vec::new();
+    for wf in real_workflows() {
+        let spec = wf.specification();
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        for &total in &config.totals {
+            let per_run = total / 2;
+            let mut time_acc = 0.0;
+            let mut dist_acc = 0.0;
+            let mut size_acc = 0.0;
+            for s in 0..config.samples {
+                let seed = config.seed
+                    ^ (s as u64)
+                    ^ ((total as u64) << 16)
+                    ^ (wf.name.len() as u64) << 40;
+                let r1 = generate_run_with_target_edges(&spec, per_run, seed);
+                let r2 = generate_run_with_target_edges(&spec, per_run, seed.wrapping_add(1));
+                size_acc += (r1.edge_count() + r2.edge_count()) as f64;
+                let (d, ms) = time_ms(|| engine.distance(&r1, &r2).expect("valid runs"));
+                time_acc += ms;
+                dist_acc += d;
+            }
+            let n = config.samples as f64;
+            out.push(Fig11Point {
+                workflow: wf.name.to_string(),
+                target_total_edges: total,
+                actual_total_edges: size_acc / n,
+                avg_time_ms: time_acc / n,
+                avg_distance: dist_acc / n,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the result as per-workflow series (x = total edges, y = time).
+pub fn render(points: &[Fig11Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 11 — execution time (ms) vs total edges in the two runs\n");
+    out.push_str("workflow   target  actual_edges  avg_time_ms  avg_distance\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:<10} {:>6} {:>13.1} {:>12.3} {:>13.1}\n",
+            p.workflow, p.target_total_edges, p.actual_total_edges, p.avg_time_ms, p.avg_distance
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fig11_sweep_produces_points_for_every_workflow() {
+        let config = Fig11Config { totals: vec![60, 120], samples: 1, seed: 7 };
+        let points = run(&config);
+        assert_eq!(points.len(), 6 * 2);
+        assert!(points.iter().all(|p| p.avg_time_ms >= 0.0));
+        assert!(points.iter().all(|p| p.actual_total_edges > 0.0));
+        let text = render(&points);
+        assert!(text.contains("PA"));
+        assert!(text.contains("BAIDD"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Figures 12 and 13: series-heavy vs parallel-heavy specifications — how the
+//! series/parallel ratio of the specification affects differencing time
+//! (Fig. 12) and edit distance (Fig. 13).
+
+use crate::time_ms;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wfdiff_core::{UnitCost, WorkflowDiff};
+use wfdiff_workloads::generator::{random_specification, SpecGenConfig};
+use wfdiff_workloads::runs::{generate_run, RunGenConfig};
+
+/// Configuration of the Figure 12/13 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig12Config {
+    /// Specification sizes in edges (the paper sweeps 100..1000).
+    pub spec_edges: Vec<usize>,
+    /// Series/parallel ratios (the paper uses 3, 1 and 1/3).
+    pub ratios: Vec<f64>,
+    /// Probability that a parallel branch is executed (the paper uses 0.95).
+    pub prob_p: f64,
+    /// Sample specifications per point (the paper averages 200).
+    pub samples: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig12Config {
+    fn default() -> Self {
+        Fig12Config {
+            spec_edges: (1..=10).map(|i| i * 100).collect(),
+            ratios: vec![3.0, 1.0, 1.0 / 3.0],
+            prob_p: 0.95,
+            samples: 3,
+            seed: 0xF16_12,
+        }
+    }
+}
+
+/// One measured point of Figures 12/13.
+#[derive(Debug, Clone)]
+pub struct Fig12Point {
+    /// Series/parallel ratio of the specification generator.
+    pub ratio: f64,
+    /// Specification size in edges.
+    pub spec_edges: usize,
+    /// Average differencing time (milliseconds) — Figure 12's y-axis.
+    pub avg_time_ms: f64,
+    /// Average edit distance under the unit cost model — Figure 13's y-axis.
+    pub avg_distance: f64,
+}
+
+/// Runs the Figure 12/13 experiment.
+pub fn run(config: &Fig12Config) -> Vec<Fig12Point> {
+    let mut out = Vec::new();
+    for &ratio in &config.ratios {
+        for &edges in &config.spec_edges {
+            let mut time_acc = 0.0;
+            let mut dist_acc = 0.0;
+            for s in 0..config.samples {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    config.seed ^ (s as u64) ^ ((edges as u64) << 20) ^ (ratio.to_bits() >> 3),
+                );
+                let spec = random_specification(
+                    &format!("fig12-r{ratio}-e{edges}-s{s}"),
+                    &SpecGenConfig {
+                        target_edges: edges,
+                        series_parallel_ratio: ratio,
+                        forks: 0,
+                        loops: 0,
+                    },
+                    &mut rng,
+                );
+                let run_cfg = RunGenConfig {
+                    prob_p: config.prob_p,
+                    max_f: 1,
+                    prob_f: 1.0,
+                    max_l: 1,
+                    prob_l: 1.0,
+                };
+                let r1 = generate_run(&spec, &run_cfg, &mut rng);
+                let r2 = generate_run(&spec, &run_cfg, &mut rng);
+                let engine = WorkflowDiff::new(&spec, &UnitCost);
+                let (d, ms) = time_ms(|| engine.distance(&r1, &r2).expect("valid runs"));
+                time_acc += ms;
+                dist_acc += d;
+            }
+            let n = config.samples as f64;
+            out.push(Fig12Point {
+                ratio,
+                spec_edges: edges,
+                avg_time_ms: time_acc / n,
+                avg_distance: dist_acc / n,
+            });
+        }
+    }
+    out
+}
+
+/// Renders both figures' series.
+pub fn render(points: &[Fig12Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Figures 12/13 — series vs parallel specifications\n");
+    out.push_str("ratio   spec_edges  avg_time_ms (Fig.12)  avg_distance (Fig.13)\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:<7.3} {:>10} {:>20.3} {:>21.1}\n",
+            p.ratio, p.spec_edges, p.avg_time_ms, p.avg_distance
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_produces_all_series() {
+        let config = Fig12Config {
+            spec_edges: vec![30, 60],
+            ratios: vec![3.0, 1.0 / 3.0],
+            prob_p: 0.95,
+            samples: 1,
+            seed: 1,
+        };
+        let points = run(&config);
+        assert_eq!(points.len(), 4);
+        // Parallel-heavy specifications produce larger edit distances than
+        // series-heavy ones of the same size (Fig. 13's qualitative shape):
+        // more optional branches means more room for the runs to differ.
+        let series_heavy: f64 = points
+            .iter()
+            .filter(|p| p.ratio > 1.0)
+            .map(|p| p.avg_distance)
+            .sum();
+        let parallel_heavy: f64 = points
+            .iter()
+            .filter(|p| p.ratio < 1.0)
+            .map(|p| p.avg_distance)
+            .sum();
+        assert!(parallel_heavy >= series_heavy);
+        assert!(render(&points).contains("Figures 12/13"));
+    }
+}

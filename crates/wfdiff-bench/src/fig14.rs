@@ -1,0 +1,194 @@
+//! Figures 14 and 15: forks vs loops — differencing time (Fig. 14) and edit
+//! distance (Fig. 15) as the fork/loop replication probability grows.
+//!
+//! The paper fixes a 100-edge specification with series/parallel ratio 0.5,
+//! annotated with 5 forks and 5 loops, sets `probP = 1`,
+//! `maxF = maxL = 20`, and sweeps the fork/loop probability from 0 to 1,
+//! comparing three combinations of runs: fork-heavy vs fork-heavy, fork-heavy
+//! vs loop-heavy, and loop-heavy vs loop-heavy.
+
+use crate::time_ms;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wfdiff_core::{UnitCost, WorkflowDiff};
+use wfdiff_sptree::Specification;
+use wfdiff_workloads::generator::{random_specification, SpecGenConfig};
+use wfdiff_workloads::runs::{generate_run, RunGenConfig};
+
+/// Which kind of run each side of the comparison uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunFlavor {
+    /// Many fork copies, single loop iterations.
+    ForkHeavy,
+    /// Many loop iterations, single fork copies.
+    LoopHeavy,
+}
+
+/// The three curves of Figures 14/15.
+pub const CURVES: [(&str, RunFlavor, RunFlavor); 3] = [
+    ("fork-vs-fork", RunFlavor::ForkHeavy, RunFlavor::ForkHeavy),
+    ("fork-vs-loop", RunFlavor::ForkHeavy, RunFlavor::LoopHeavy),
+    ("loop-vs-loop", RunFlavor::LoopHeavy, RunFlavor::LoopHeavy),
+];
+
+/// Configuration of the Figure 14/15 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig14Config {
+    /// Specification size in edges (the paper uses 100).
+    pub spec_edges: usize,
+    /// Series/parallel ratio of the specification (the paper uses 0.5).
+    pub ratio: f64,
+    /// Number of fork and loop annotations (the paper uses 5 + 5).
+    pub forks: usize,
+    /// Number of loop annotations.
+    pub loops: usize,
+    /// Maximum replication (the paper uses `maxF = maxL = 20`).
+    pub max_rep: usize,
+    /// The swept fork/loop probabilities.
+    pub probabilities: Vec<f64>,
+    /// Sample pairs per point (the paper averages 200).
+    pub samples: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig14Config {
+    fn default() -> Self {
+        Fig14Config {
+            spec_edges: 100,
+            ratio: 0.5,
+            forks: 5,
+            loops: 5,
+            max_rep: 8,
+            probabilities: (0..=10).map(|i| i as f64 / 10.0).collect(),
+            samples: 2,
+            seed: 0xF16_14,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Fig14Point {
+    /// Curve name (`fork-vs-fork`, `fork-vs-loop`, `loop-vs-loop`).
+    pub curve: &'static str,
+    /// The fork/loop probability on the x axis.
+    pub probability: f64,
+    /// Average differencing time (milliseconds) — Figure 14.
+    pub avg_time_ms: f64,
+    /// Average edit distance (unit cost) — Figure 15.
+    pub avg_distance: f64,
+    /// Average total edges of the two runs (context).
+    pub avg_total_edges: f64,
+}
+
+fn run_config(flavor: RunFlavor, prob: f64, max_rep: usize) -> RunGenConfig {
+    match flavor {
+        RunFlavor::ForkHeavy => RunGenConfig {
+            prob_p: 1.0,
+            max_f: max_rep,
+            prob_f: prob,
+            max_l: 1,
+            prob_l: 0.0,
+        },
+        RunFlavor::LoopHeavy => RunGenConfig {
+            prob_p: 1.0,
+            max_f: 1,
+            prob_f: 0.0,
+            max_l: max_rep,
+            prob_l: prob,
+        },
+    }
+}
+
+/// Runs the Figure 14/15 experiment.
+pub fn run(config: &Fig14Config) -> Vec<Fig14Point> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let spec: Specification = random_specification(
+        "fig14",
+        &SpecGenConfig {
+            target_edges: config.spec_edges,
+            series_parallel_ratio: config.ratio,
+            forks: config.forks,
+            loops: config.loops,
+        },
+        &mut rng,
+    );
+    let engine = WorkflowDiff::new(&spec, &UnitCost);
+    let mut out = Vec::new();
+    for (curve, left, right) in CURVES {
+        for &prob in &config.probabilities {
+            let mut time_acc = 0.0;
+            let mut dist_acc = 0.0;
+            let mut edges_acc = 0.0;
+            for s in 0..config.samples {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    config.seed ^ ((s as u64) << 8) ^ (prob.to_bits() >> 5) ^ curve.len() as u64,
+                );
+                let r1 = generate_run(&spec, &run_config(left, prob, config.max_rep), &mut rng);
+                let r2 = generate_run(&spec, &run_config(right, prob, config.max_rep), &mut rng);
+                edges_acc += (r1.edge_count() + r2.edge_count()) as f64;
+                let (d, ms) = time_ms(|| engine.distance(&r1, &r2).expect("valid runs"));
+                time_acc += ms;
+                dist_acc += d;
+            }
+            let n = config.samples as f64;
+            out.push(Fig14Point {
+                curve,
+                probability: prob,
+                avg_time_ms: time_acc / n,
+                avg_distance: dist_acc / n,
+                avg_total_edges: edges_acc / n,
+            });
+        }
+    }
+    out
+}
+
+/// Renders both figures' series.
+pub fn render(points: &[Fig14Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Figures 14/15 — forks vs loops\n");
+    out.push_str("curve          prob  avg_time_ms (Fig.14)  avg_distance (Fig.15)  avg_edges\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:<14} {:>4.1} {:>20.3} {:>21.1} {:>10.1}\n",
+            p.curve, p.probability, p.avg_time_ms, p.avg_distance, p.avg_total_edges
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_produces_three_curves() {
+        let config = Fig14Config {
+            spec_edges: 40,
+            max_rep: 3,
+            probabilities: vec![0.0, 0.5, 1.0],
+            samples: 1,
+            ..Default::default()
+        };
+        let points = run(&config);
+        assert_eq!(points.len(), 9);
+        for curve in ["fork-vs-fork", "fork-vs-loop", "loop-vs-loop"] {
+            assert!(points.iter().any(|p| p.curve == curve));
+        }
+        // Higher probability means more replication and therefore larger runs.
+        let low: f64 = points
+            .iter()
+            .filter(|p| p.probability == 0.0)
+            .map(|p| p.avg_total_edges)
+            .sum();
+        let high: f64 = points
+            .iter()
+            .filter(|p| p.probability == 1.0)
+            .map(|p| p.avg_total_edges)
+            .sum();
+        assert!(high > low);
+        assert!(render(&points).contains("fork-vs-loop"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Figure 16: the influence of the cost model on the produced edit scripts.
+//!
+//! The specification of Figure 17(b) — ten parallel paths of length `i²`
+//! between two nodes, wrapped in a fork — is executed twice with `maxF = 5`,
+//! `probF = 1`, `probP = 0.5`.  For each exponent `ε ∈ [0, 1]` the
+//! minimum-cost edit script under the power cost `γ(l) = l^ε` is produced and
+//! then re-evaluated under the unit (`ε = 0`) and length (`ε = 1`) cost
+//! models; the percent error of that re-evaluated cost against the true
+//! minimum under the respective model is reported (average and worst case
+//! over the sample pairs).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use wfdiff_core::script::diff_with_script;
+use wfdiff_core::{CostModel, EditScript, LengthCost, PowerCost, UnitCost, WorkflowDiff};
+use wfdiff_sptree::Run;
+use wfdiff_workloads::figures::fig17_specification_with_paths;
+use wfdiff_workloads::runs::{generate_run, RunGenConfig};
+
+/// Configuration of the Figure 16 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig16Config {
+    /// Number of parallel paths in the Figure 17(b) fan (the paper uses 10).
+    pub paths: usize,
+    /// The ε values to sweep.
+    pub epsilons: Vec<f64>,
+    /// Number of random run pairs (the paper uses 100).
+    pub samples: usize,
+    /// Maximum fork copies (the paper uses 5 with `probF = 1`).
+    pub max_f: usize,
+    /// Probability of each parallel path being taken (the paper uses 0.5).
+    pub prob_p: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig16Config {
+    fn default() -> Self {
+        Fig16Config {
+            paths: 10,
+            epsilons: (0..=10).map(|i| i as f64 / 10.0).collect(),
+            samples: 20,
+            max_f: 5,
+            prob_p: 0.5,
+            seed: 0xF16_16,
+        }
+    }
+}
+
+/// One measured point of Figure 16.
+#[derive(Debug, Clone)]
+pub struct Fig16Point {
+    /// The exponent ε of the cost model that produced the script.
+    pub epsilon: f64,
+    /// Average percent error of that script under the unit cost model.
+    pub avg_error_unit: f64,
+    /// Worst-case percent error under the unit cost model.
+    pub worst_error_unit: f64,
+    /// Average percent error under the length cost model.
+    pub avg_error_length: f64,
+    /// Worst-case percent error under the length cost model.
+    pub worst_error_length: f64,
+}
+
+/// Evaluates the cost of a script under an arbitrary cost model.
+pub fn script_cost_under(script: &EditScript, cost: &dyn CostModel) -> f64 {
+    script
+        .ops
+        .iter()
+        .map(|op| cost.op_cost(op.length, op.start_label(), op.end_label()))
+        .sum()
+}
+
+/// Runs the Figure 16 experiment.
+pub fn run(config: &Fig16Config) -> Vec<Fig16Point> {
+    let spec = fig17_specification_with_paths(config.paths);
+    // Pre-generate the sample run pairs so every ε sees the same pairs.
+    let mut pairs: Vec<(Run, Run)> = Vec::with_capacity(config.samples);
+    for s in 0..config.samples {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ (s as u64));
+        let cfg = RunGenConfig {
+            prob_p: config.prob_p,
+            max_f: config.max_f,
+            prob_f: 1.0,
+            max_l: 1,
+            prob_l: 1.0,
+        };
+        let r1 = generate_run(&spec, &cfg, &mut rng);
+        let r2 = generate_run(&spec, &cfg, &mut rng);
+        pairs.push((r1, r2));
+    }
+    // The true minima under the two reference models.
+    let unit_engine = WorkflowDiff::new(&spec, &UnitCost);
+    let length_engine = WorkflowDiff::new(&spec, &LengthCost);
+    let reference: Vec<(f64, f64)> = pairs
+        .iter()
+        .map(|(r1, r2)| {
+            (
+                unit_engine.distance(r1, r2).expect("valid runs"),
+                length_engine.distance(r1, r2).expect("valid runs"),
+            )
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for &eps in &config.epsilons {
+        let cost = PowerCost::new(eps);
+        let engine = WorkflowDiff::new(&spec, &cost);
+        let mut unit_errors = Vec::with_capacity(pairs.len());
+        let mut length_errors = Vec::with_capacity(pairs.len());
+        for ((r1, r2), &(unit_opt, length_opt)) in pairs.iter().zip(reference.iter()) {
+            let (_, script) = diff_with_script(&engine, r1, r2).expect("valid runs");
+            let unit_cost = script_cost_under(&script, &UnitCost);
+            let length_cost = script_cost_under(&script, &LengthCost);
+            unit_errors.push(percent_error(unit_cost, unit_opt));
+            length_errors.push(percent_error(length_cost, length_opt));
+        }
+        out.push(Fig16Point {
+            epsilon: eps,
+            avg_error_unit: mean(&unit_errors),
+            worst_error_unit: max(&unit_errors),
+            avg_error_length: mean(&length_errors),
+            worst_error_length: max(&length_errors),
+        });
+    }
+    out
+}
+
+fn percent_error(value: f64, optimum: f64) -> f64 {
+    if optimum == 0.0 {
+        if value == 0.0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 * (value - optimum) / optimum
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// Renders the four series of Figure 16.
+pub fn render(points: &[Fig16Point]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 16 — percent error of scripts optimised under γ(l)=l^ε\n");
+    out.push_str("eps   avg_err_unit  worst_err_unit  avg_err_length  worst_err_length\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:<5.1} {:>12.1} {:>15.1} {:>15.1} {:>17.1}\n",
+            p.epsilon, p.avg_error_unit, p.worst_error_unit, p.avg_error_length, p.worst_error_length
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_vanish_at_the_matching_extremes() {
+        let config = Fig16Config {
+            paths: 5,
+            epsilons: vec![0.0, 0.5, 1.0],
+            samples: 4,
+            max_f: 3,
+            prob_p: 0.5,
+            seed: 3,
+        };
+        let points = run(&config);
+        assert_eq!(points.len(), 3);
+        // A script optimised under ε = 0 is optimal for the unit cost model.
+        let at_zero = &points[0];
+        assert!(at_zero.avg_error_unit.abs() < 1e-9);
+        // A script optimised under ε = 1 is optimal for the length cost model.
+        let at_one = &points[2];
+        assert!(at_one.avg_error_length.abs() < 1e-9);
+        // Errors are never negative (the re-evaluated script can never beat the
+        // optimum of the reference model).
+        for p in &points {
+            assert!(p.avg_error_unit >= -1e-9);
+            assert!(p.avg_error_length >= -1e-9);
+            assert!(p.worst_error_unit + 1e-9 >= p.avg_error_unit);
+        }
+        assert!(render(&points).contains("Figure 16"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Shared experiment implementations for the benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation section (Section VIII) has
+//! a corresponding module here; the `src/bin` binaries print the same
+//! rows/series the paper reports (and write CSV files), and the Criterion
+//! benches in `benches/` time representative configurations.
+//!
+//! The defaults use fewer samples and smaller replication bounds than the
+//! paper so that the full harness completes in minutes on a laptop; every
+//! binary accepts arguments to scale the workload up to the paper's settings.
+
+pub mod csvout;
+pub mod fig11;
+pub mod fig12;
+pub mod fig14;
+pub mod fig16;
+pub mod table1;
+
+/// Measures the wall-clock time of a closure in milliseconds.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}

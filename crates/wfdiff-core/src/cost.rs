@@ -1,0 +1,305 @@
+//! Cost models for path edit operations (Section III-C.2).
+//!
+//! The cost of inserting or deleting an elementary path `p` depends only on
+//! the path's length and the labels of its two terminals:
+//! `γ(Λ→p) = γ(|p|, Label(s(p)), Label(t(p)))`.
+//! The function must be a distance metric with respect to elementary path
+//! insertions and deletions:
+//!
+//! 1. non-negativity,
+//! 2. identity (`γ = 0` iff the path is empty),
+//! 3. symmetry (insertion and deletion cost the same), and
+//! 4. the quadrangle inequality, which guarantees that deleting a subtree by a
+//!    sequence of elementary deletions is never beaten by a script that also
+//!    inserts (Lemma 5.7).
+//!
+//! The paper's example family is `γ(l) = l^ε` for `ε ≤ 1`, with `ε = 0` the
+//! *unit* cost model and `ε = 1` the *length* cost model; both are provided,
+//! together with a label-sensitive wrapper for application-specific costs.
+
+use wfdiff_graph::Label;
+
+/// A cost model for elementary-path edit operations.
+///
+/// Implementations must satisfy the metric axioms listed in the module
+/// documentation; [`check_metric_axioms`] provides a sampled validation.
+pub trait CostModel: Send + Sync {
+    /// Cost of inserting (equivalently, deleting) an elementary path with
+    /// `len` edges from a node labeled `from` to a node labeled `to`.
+    fn op_cost(&self, len: usize, from: &Label, to: &Label) -> f64;
+
+    /// A short human-readable name used in reports and benchmark output.
+    fn name(&self) -> String;
+}
+
+/// The unit cost model: every edit operation costs 1 (`ε = 0`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitCost;
+
+impl CostModel for UnitCost {
+    fn op_cost(&self, len: usize, _from: &Label, _to: &Label) -> f64 {
+        if len == 0 {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    fn name(&self) -> String {
+        "unit".to_string()
+    }
+}
+
+/// The length cost model: an operation costs the number of edges on the path
+/// (`ε = 1`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LengthCost;
+
+impl CostModel for LengthCost {
+    fn op_cost(&self, len: usize, _from: &Label, _to: &Label) -> f64 {
+        len as f64
+    }
+
+    fn name(&self) -> String {
+        "length".to_string()
+    }
+}
+
+/// The sub-linear power cost model `γ(l) = l^ε` with `0 ≤ ε ≤ 1`
+/// (Section VIII-D).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCost {
+    /// The exponent `ε`.
+    pub epsilon: f64,
+}
+
+impl PowerCost {
+    /// Creates a power cost model, clamping `ε` into `[0, 1]` (values outside
+    /// that range violate the quadrangle inequality in general).
+    pub fn new(epsilon: f64) -> Self {
+        PowerCost { epsilon: epsilon.clamp(0.0, 1.0) }
+    }
+}
+
+impl CostModel for PowerCost {
+    fn op_cost(&self, len: usize, _from: &Label, _to: &Label) -> f64 {
+        if len == 0 {
+            0.0
+        } else {
+            (len as f64).powf(self.epsilon)
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("power(ε={})", self.epsilon)
+    }
+}
+
+/// A label-sensitive wrapper: multiplies a base cost model by a per-terminal
+/// weight, so that edits around "important" modules (e.g. the BLAST steps of
+/// the protein-annotation workflow) can be made more expensive.
+///
+/// The weight applied to an operation is the mean of the two terminal weights;
+/// weights must be positive for the metric axioms to survive, and because the
+/// weights depend only on the labels the quadrangle inequality is preserved
+/// whenever the base model satisfies it with the stronger "pointwise" form
+/// used by sub-linear models.
+pub struct LabelWeightedCost<C: CostModel> {
+    base: C,
+    weights: std::collections::HashMap<Label, f64>,
+    default_weight: f64,
+}
+
+impl<C: CostModel> LabelWeightedCost<C> {
+    /// Creates a label-weighted cost model over `base`.
+    pub fn new(base: C, default_weight: f64) -> Self {
+        assert!(default_weight > 0.0, "weights must be positive");
+        LabelWeightedCost { base, weights: Default::default(), default_weight }
+    }
+
+    /// Sets the weight of a label.
+    pub fn set_weight(&mut self, label: impl Into<Label>, weight: f64) -> &mut Self {
+        assert!(weight > 0.0, "weights must be positive");
+        self.weights.insert(label.into(), weight);
+        self
+    }
+
+    fn weight(&self, label: &Label) -> f64 {
+        self.weights.get(label).copied().unwrap_or(self.default_weight)
+    }
+}
+
+impl<C: CostModel> CostModel for LabelWeightedCost<C> {
+    fn op_cost(&self, len: usize, from: &Label, to: &Label) -> f64 {
+        let w = 0.5 * (self.weight(from) + self.weight(to));
+        w * self.base.op_cost(len, from, to)
+    }
+
+    fn name(&self) -> String {
+        format!("label-weighted({})", self.base.name())
+    }
+}
+
+/// Outcome of a sampled metric-axiom check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxiomReport {
+    /// Violations of non-negativity found, as human-readable messages.
+    pub violations: Vec<String>,
+}
+
+impl AxiomReport {
+    /// `true` when no violation was found.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks the metric axioms of a cost model on a sampled grid of path lengths
+/// and a set of labels.  The quadrangle inequality is checked in its
+/// label-free form `γ(l1+l2+l3, A, D) ≤ γ(l1+l2'+l3, A, D) + γ(l2, B, C) +
+/// γ(l2', B, C)` for all sampled length combinations.
+pub fn check_metric_axioms(
+    cost: &dyn CostModel,
+    labels: &[Label],
+    max_len: usize,
+) -> AxiomReport {
+    let mut violations = Vec::new();
+    let default_a = Label::new("s");
+    let default_b = Label::new("t");
+    let sample_labels: Vec<&Label> = if labels.is_empty() {
+        vec![&default_a, &default_b]
+    } else {
+        labels.iter().collect()
+    };
+    let first = sample_labels[0];
+    let last = sample_labels[sample_labels.len() - 1];
+
+    for &a in &sample_labels {
+        for &b in &sample_labels {
+            for len in 0..=max_len {
+                let c = cost.op_cost(len, a, b);
+                if c < 0.0 {
+                    violations.push(format!("negative cost γ({len}, {a}, {b}) = {c}"));
+                }
+                if len > 0 && c == 0.0 {
+                    violations
+                        .push(format!("identity violated: γ({len}, {a}, {b}) = 0 for a non-empty path"));
+                }
+            }
+        }
+    }
+    // Quadrangle inequality on sampled lengths.
+    let limit = max_len.min(8);
+    for l1 in 0..=limit {
+        for l2 in 1..=limit {
+            for l2p in 1..=limit {
+                for l3 in 0..=limit {
+                    let lhs = cost.op_cost(l1 + l2 + l3, first, last);
+                    let rhs = cost.op_cost(l1 + l2p + l3, first, last)
+                        + cost.op_cost(l2, first, last)
+                        + cost.op_cost(l2p, first, last);
+                    if lhs > rhs + 1e-9 {
+                        violations.push(format!(
+                            "quadrangle inequality violated for lengths ({l1}, {l2}, {l2p}, {l3}): \
+                             {lhs} > {rhs}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    AxiomReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn unit_cost_is_one_for_any_nonempty_path() {
+        assert_eq!(UnitCost.op_cost(1, &l("a"), &l("b")), 1.0);
+        assert_eq!(UnitCost.op_cost(57, &l("a"), &l("b")), 1.0);
+        assert_eq!(UnitCost.op_cost(0, &l("a"), &l("a")), 0.0);
+    }
+
+    #[test]
+    fn length_cost_equals_length() {
+        assert_eq!(LengthCost.op_cost(7, &l("a"), &l("b")), 7.0);
+        assert_eq!(LengthCost.op_cost(0, &l("a"), &l("a")), 0.0);
+    }
+
+    #[test]
+    fn power_cost_interpolates_between_unit_and_length() {
+        let half = PowerCost::new(0.5);
+        assert!((half.op_cost(4, &l("a"), &l("b")) - 2.0).abs() < 1e-12);
+        let zero = PowerCost::new(0.0);
+        assert_eq!(zero.op_cost(9, &l("a"), &l("b")), 1.0);
+        let one = PowerCost::new(1.0);
+        assert_eq!(one.op_cost(9, &l("a"), &l("b")), 9.0);
+    }
+
+    #[test]
+    fn power_cost_clamps_epsilon() {
+        assert_eq!(PowerCost::new(7.0).epsilon, 1.0);
+        assert_eq!(PowerCost::new(-1.0).epsilon, 0.0);
+    }
+
+    #[test]
+    fn label_weighted_cost_scales_by_terminal_weights() {
+        let mut cost = LabelWeightedCost::new(LengthCost, 1.0);
+        cost.set_weight("blast", 10.0);
+        assert_eq!(cost.op_cost(2, &l("x"), &l("y")), 2.0);
+        assert_eq!(cost.op_cost(2, &l("blast"), &l("y")), 11.0);
+        assert_eq!(cost.op_cost(2, &l("blast"), &l("blast")), 20.0);
+        assert!(cost.name().contains("length"));
+    }
+
+    #[test]
+    fn standard_models_satisfy_axioms() {
+        let labels = vec![l("a"), l("b"), l("c")];
+        for model in [
+            Box::new(UnitCost) as Box<dyn CostModel>,
+            Box::new(LengthCost),
+            Box::new(PowerCost::new(0.3)),
+            Box::new(PowerCost::new(0.8)),
+        ] {
+            let report = check_metric_axioms(model.as_ref(), &labels, 10);
+            assert!(report.ok(), "{} violates axioms: {:?}", model.name(), report.violations);
+        }
+    }
+
+    #[test]
+    fn superlinear_cost_fails_quadrangle_inequality() {
+        struct Quadratic;
+        impl CostModel for Quadratic {
+            fn op_cost(&self, len: usize, _f: &Label, _t: &Label) -> f64 {
+                (len * len) as f64
+            }
+            fn name(&self) -> String {
+                "quadratic".into()
+            }
+        }
+        let report = check_metric_axioms(&Quadratic, &[l("a"), l("b")], 8);
+        assert!(!report.ok());
+        assert!(report.violations.iter().any(|v| v.contains("quadrangle")));
+    }
+
+    #[test]
+    fn degenerate_zero_cost_model_fails_identity() {
+        struct Zero;
+        impl CostModel for Zero {
+            fn op_cost(&self, _len: usize, _f: &Label, _t: &Label) -> f64 {
+                0.0
+            }
+            fn name(&self) -> String {
+                "zero".into()
+            }
+        }
+        let report = check_metric_axioms(&Zero, &[], 4);
+        assert!(report.violations.iter().any(|v| v.contains("identity")));
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the differencing algorithms.
+
+use std::fmt;
+use wfdiff_graph::GraphError;
+use wfdiff_sptree::SpTreeError;
+
+/// Errors raised while computing edit distances or edit scripts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// An underlying graph-level error.
+    Graph(GraphError),
+    /// An underlying SP-tree error.
+    SpTree(SpTreeError),
+    /// The two runs being differenced do not belong to the same specification.
+    SpecMismatch {
+        /// Specification name of the first run.
+        first: String,
+        /// Specification name of the second run.
+        second: String,
+    },
+    /// The supplied cost function violates one of the required axioms
+    /// (non-negativity, identity, symmetry or the quadrangle inequality).
+    InvalidCostModel(String),
+    /// An internal invariant of the differencing machinery was violated.
+    Invariant(String),
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::Graph(e) => write!(f, "graph error: {e}"),
+            DiffError::SpTree(e) => write!(f, "SP-tree error: {e}"),
+            DiffError::SpecMismatch { first, second } => write!(
+                f,
+                "runs belong to different specifications ({first:?} vs {second:?}); the edit \
+                 distance is only defined for runs of the same specification"
+            ),
+            DiffError::InvalidCostModel(msg) => write!(f, "invalid cost model: {msg}"),
+            DiffError::Invariant(msg) => write!(f, "internal invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiffError::Graph(e) => Some(e),
+            DiffError::SpTree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for DiffError {
+    fn from(value: GraphError) -> Self {
+        DiffError::Graph(value)
+    }
+}
+
+impl From<SpTreeError> for DiffError {
+    fn from(value: SpTreeError) -> Self {
+        DiffError::SpTree(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: DiffError = GraphError::CyclicGraph.into();
+        assert!(e.to_string().contains("cycle"));
+        let e: DiffError = SpTreeError::Invariant("boom".into()).into();
+        assert!(e.to_string().contains("boom"));
+        let e = DiffError::SpecMismatch { first: "a".into(), second: "b".into() };
+        assert!(e.to_string().contains("different specifications"));
+    }
+}

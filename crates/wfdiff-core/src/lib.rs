@@ -1,0 +1,50 @@
+//! Edit distance and minimum-cost edit scripts between runs of an SP-workflow
+//! specification.
+//!
+//! This crate is the algorithmic core of the PDiffView reproduction of
+//! *Differencing Provenance in Scientific Workflows* (Bao et al., ICDE 2009):
+//!
+//! * [`cost`] — the cost model `γ(l, A, B)` (unit, length, power `l^ε`,
+//!   label-weighted) and its metric axioms,
+//! * [`deletion`] — **Algorithm 3**: minimum-cost subtree deletion/insertion,
+//! * [`surcharge`] — the `W_TG` unstable-pair surcharge and witness paths,
+//! * [`mapping`] — well-formed mappings (Definition 5.1) with an independent
+//!   cost evaluator,
+//! * [`distance`] — **Algorithms 4 and 6**: the edit distance via minimum-cost
+//!   well-formed mappings (Hungarian matching at `F` nodes, non-crossing
+//!   matching at `L` nodes),
+//! * [`script`] — materialising minimum-cost edit scripts (sequences of
+//!   elementary-path insertions and deletions, Lemma 5.1),
+//! * [`naive`] — the naive node/edge set-difference baseline that works for
+//!   plain dataflows but breaks down once modules repeat,
+//! * [`exhaustive`] — an exponential-time reference implementation
+//!   (enumerates well-formed mappings, Theorem 3) used as a test oracle,
+//! * [`hardness`] — the Theorem 1 reduction from *balanced bipartite clique*
+//!   showing the general problem is NP-hard.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cost;
+pub mod deletion;
+pub mod distance;
+pub mod error;
+pub mod exhaustive;
+pub mod hardness;
+pub mod mapping;
+pub mod naive;
+pub mod ops;
+pub mod script;
+pub mod surcharge;
+
+pub use cost::{check_metric_axioms, CostModel, LengthCost, PowerCost, UnitCost};
+pub use deletion::DeletionTables;
+pub use distance::{Decision, DiffResult, WorkflowDiff};
+pub use error::DiffError;
+pub use mapping::{Mapping, MappingSummary};
+pub use ops::{OpDirection, OpProvenance, PathOperation};
+pub use script::{EditScript, ScriptBuilder};
+pub use surcharge::SpecContext;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DiffError>;

@@ -1,0 +1,185 @@
+//! The naive dataflow differencing baseline.
+//!
+//! The introduction of the paper recalls that for plain dataflows — where
+//! every module executes at most once — the provenance difference of two runs
+//! is simply the set difference of their nodes and edges, and that this is
+//! what most Provenance Challenge systems implemented.  Once forks and loops
+//! replicate modules the naive approach breaks down: node names repeat, there
+//! are many possible pairings, and the symmetric difference no longer reflects
+//! the minimal transformation.
+//!
+//! This module implements the baseline (on label multisets, the best a
+//! structure-oblivious differ can do) so the evaluation can quantify how far
+//! it drifts from the true edit distance.
+
+use std::collections::BTreeMap;
+use wfdiff_graph::Label;
+use wfdiff_sptree::Run;
+
+/// The result of the naive set-difference diff.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveDiff {
+    /// Node labels (with multiplicities) present in the first run only.
+    pub nodes_only_in_first: BTreeMap<Label, usize>,
+    /// Node labels (with multiplicities) present in the second run only.
+    pub nodes_only_in_second: BTreeMap<Label, usize>,
+    /// Edge label pairs (with multiplicities) present in the first run only.
+    pub edges_only_in_first: BTreeMap<(Label, Label), usize>,
+    /// Edge label pairs (with multiplicities) present in the second run only.
+    pub edges_only_in_second: BTreeMap<(Label, Label), usize>,
+}
+
+impl NaiveDiff {
+    /// Computes the naive multiset difference of two runs.
+    pub fn compute(r1: &Run, r2: &Run) -> NaiveDiff {
+        let nodes1 = node_multiset(r1);
+        let nodes2 = node_multiset(r2);
+        let edges1 = r1.graph().edge_label_multiset();
+        let edges2 = r2.graph().edge_label_multiset();
+        NaiveDiff {
+            nodes_only_in_first: multiset_minus(&nodes1, &nodes2),
+            nodes_only_in_second: multiset_minus(&nodes2, &nodes1),
+            edges_only_in_first: multiset_minus(&edges1, &edges2),
+            edges_only_in_second: multiset_minus(&edges2, &edges1),
+        }
+    }
+
+    /// Total number of differing edges (the symmetric difference size), which
+    /// is what a naive tool would report as "the difference".
+    pub fn edge_difference(&self) -> usize {
+        self.edges_only_in_first.values().sum::<usize>()
+            + self.edges_only_in_second.values().sum::<usize>()
+    }
+
+    /// Total number of differing nodes.
+    pub fn node_difference(&self) -> usize {
+        self.nodes_only_in_first.values().sum::<usize>()
+            + self.nodes_only_in_second.values().sum::<usize>()
+    }
+
+    /// `true` when the naive diff sees the runs as identical.
+    pub fn is_identical(&self) -> bool {
+        self.edge_difference() == 0 && self.node_difference() == 0
+    }
+}
+
+fn node_multiset(run: &Run) -> BTreeMap<Label, usize> {
+    let mut map = BTreeMap::new();
+    for (_, n) in run.graph().nodes() {
+        *map.entry(n.label.clone()).or_insert(0) += 1;
+    }
+    map
+}
+
+fn multiset_minus<K: Ord + Clone>(
+    a: &BTreeMap<K, usize>,
+    b: &BTreeMap<K, usize>,
+) -> BTreeMap<K, usize> {
+    let mut out = BTreeMap::new();
+    for (k, &ca) in a {
+        let cb = b.get(k).copied().unwrap_or(0);
+        if ca > cb {
+            out.insert(k.clone(), ca - cb);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UnitCost;
+    use crate::distance::WorkflowDiff;
+    use wfdiff_graph::LabeledDigraph;
+    use wfdiff_sptree::{Run, SpecificationBuilder};
+
+    fn dataflow_spec() -> wfdiff_sptree::Specification {
+        let mut b = SpecificationBuilder::new("dataflow");
+        b.edge("in", "blast").edge("blast", "filter").edge("in", "align").edge("align", "filter");
+        b.edge("filter", "out");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn naive_diff_works_for_plain_dataflows() {
+        // Two dataflow runs: one executes both branches, one only blast.
+        let spec = dataflow_spec();
+        let mut g1 = LabeledDigraph::new();
+        let i = g1.add_node("in");
+        let bl = g1.add_node("blast");
+        let al = g1.add_node("align");
+        let f = g1.add_node("filter");
+        let o = g1.add_node("out");
+        g1.add_edge(i, bl);
+        g1.add_edge(i, al);
+        g1.add_edge(bl, f);
+        g1.add_edge(al, f);
+        g1.add_edge(f, o);
+        let mut g2 = LabeledDigraph::new();
+        let i = g2.add_node("in");
+        let bl = g2.add_node("blast");
+        let f = g2.add_node("filter");
+        let o = g2.add_node("out");
+        g2.add_edge(i, bl);
+        g2.add_edge(bl, f);
+        g2.add_edge(f, o);
+        let r1 = Run::from_graph(&spec, g1).unwrap();
+        let r2 = Run::from_graph(&spec, g2).unwrap();
+        let naive = NaiveDiff::compute(&r1, &r2);
+        assert_eq!(naive.node_difference(), 1); // align
+        assert_eq!(naive.edge_difference(), 2); // in->align, align->filter
+        assert!(!naive.is_identical());
+        // For dataflows the naive edge difference relates directly to the edit
+        // script: here one elementary path (in -> align -> filter) is deleted.
+        let diff = WorkflowDiff::new(&spec, &UnitCost);
+        assert_eq!(diff.distance(&r1, &r2).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn naive_diff_cannot_tell_forked_copies_apart() {
+        // With a fork, two runs that both make two copies of the same branch
+        // but differ in *which* copies look alike are indistinguishable to the
+        // naive multiset diff, while structurally identical runs are reported
+        // as equal by the edit distance as well — the interesting case is that
+        // the naive diff reports zero difference even when the pairing matters.
+        let mut b = SpecificationBuilder::new("forked");
+        b.edge("1", "2").path(&["2", "3", "6"]).path(&["2", "4", "6"]).edge("6", "7");
+        b.fork_path(&["2", "3", "6"]);
+        b.fork_path(&["2", "4", "6"]);
+        let spec = b.build().unwrap();
+        // Run A: two copies of branch 3, one of branch 4.
+        let mk = |threes: usize, fours: usize| {
+            let mut g = LabeledDigraph::new();
+            let n1 = g.add_node("1");
+            let n2 = g.add_node("2");
+            let n6 = g.add_node("6");
+            let n7 = g.add_node("7");
+            g.add_edge(n1, n2);
+            for _ in 0..threes {
+                let n3 = g.add_node("3");
+                g.add_edge(n2, n3);
+                g.add_edge(n3, n6);
+            }
+            for _ in 0..fours {
+                let n4 = g.add_node("4");
+                g.add_edge(n2, n4);
+                g.add_edge(n4, n6);
+            }
+            g.add_edge(n6, n7);
+            Run::from_graph(&spec, g).unwrap()
+        };
+        let a = mk(2, 1);
+        let b_run = mk(2, 1);
+        let c = mk(1, 2);
+        let naive_ab = NaiveDiff::compute(&a, &b_run);
+        assert!(naive_ab.is_identical());
+        // The naive diff sees A and C as "two edges each way"...
+        let naive_ac = NaiveDiff::compute(&a, &c);
+        assert_eq!(naive_ac.edge_difference(), 4);
+        // ...while the edit distance correctly reports 2 operations (delete one
+        // copy of branch 3, insert one copy of branch 4).
+        let diff = WorkflowDiff::new(&spec, &UnitCost);
+        assert_eq!(diff.distance(&a, &c).unwrap(), 2.0);
+        assert_eq!(diff.distance(&a, &b_run).unwrap(), 0.0);
+    }
+}

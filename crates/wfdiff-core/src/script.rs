@@ -1,0 +1,623 @@
+//! Minimum-cost edit scripts (Lemma 5.1).
+//!
+//! Given the minimum-cost well-formed mapping computed by
+//! [`crate::distance::WorkflowDiff::diff`], this module materialises a
+//! concrete edit script: a sequence of elementary-path insertions and
+//! deletions whose total cost equals the edit distance and which transforms
+//! the first run into the second.  The construction follows the proof of
+//! Lemma 5.1:
+//!
+//! * unmapped children of mapped `P` pairs are deleted before the new
+//!   children are inserted (the node keeps a mapped child throughout, so it
+//!   stays a *true* `P` node and no two homologous children coexist);
+//! * unmapped children of mapped `F`/`L` pairs are inserted first and deleted
+//!   afterwards (the node always keeps at least one child);
+//! * *unstably matched* `P` pairs insert a temporary elementary path derived
+//!   from another branch of the specification, swap the old subtree for the
+//!   new one, and remove the temporary path again — paying the `2·W_TG`
+//!   surcharge.
+
+use crate::deletion::DeletionTables;
+use crate::distance::{Decision, DiffResult, WorkflowDiff};
+use crate::error::DiffError;
+use crate::ops::{OpDirection, OpProvenance, PathOperation};
+use std::collections::HashSet;
+use wfdiff_sptree::{NodeType, Run, TreeId};
+
+/// A minimum-cost edit script from one run to another.
+#[derive(Debug, Clone)]
+pub struct EditScript {
+    /// The operations in application order.
+    pub ops: Vec<PathOperation>,
+    /// Total cost (equals the edit distance of the runs).
+    pub total_cost: f64,
+}
+
+impl EditScript {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the runs were already equivalent.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of insertions.
+    pub fn insertions(&self) -> usize {
+        self.ops.iter().filter(|o| o.direction == OpDirection::Insert).count()
+    }
+
+    /// Number of deletions.
+    pub fn deletions(&self) -> usize {
+        self.ops.iter().filter(|o| o.direction == OpDirection::Delete).count()
+    }
+
+    /// Multi-line human-readable rendering of the whole script.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            out.push_str(&format!("{:>3}. {}\n", i + 1, op.describe()));
+        }
+        out.push_str(&format!("total cost: {}\n", self.total_cost));
+        out
+    }
+
+    /// Structural validation of a script against the mapping that produced it:
+    ///
+    /// 1. the summed operation cost equals the reported edit distance,
+    /// 2. every unmapped `T1` leaf is deleted exactly once and no mapped leaf
+    ///    is ever deleted,
+    /// 3. every unmapped `T2` leaf is inserted exactly once and no mapped leaf
+    ///    is ever inserted,
+    /// 4. synthesised (temporary) paths are inserted and deleted in equal
+    ///    numbers.
+    pub fn validate(
+        &self,
+        result: &DiffResult,
+        r1: &Run,
+        r2: &Run,
+    ) -> Result<(), DiffError> {
+        let total: f64 = self.ops.iter().map(|o| o.cost).sum();
+        if (total - result.distance).abs() > 1e-6 {
+            return Err(DiffError::Invariant(format!(
+                "script cost {total} does not equal the edit distance {}",
+                result.distance
+            )));
+        }
+        let t1 = r1.tree();
+        let t2 = r2.tree();
+        let mut deleted: HashSet<TreeId> = HashSet::new();
+        let mut inserted: HashSet<TreeId> = HashSet::new();
+        let mut synth_balance = 0i64;
+        for op in &self.ops {
+            match (op.provenance, op.direction) {
+                (OpProvenance::SourceRun, OpDirection::Delete) => {
+                    for &l in &op.leaves {
+                        if !deleted.insert(l) {
+                            return Err(DiffError::Invariant(format!(
+                                "T1 leaf {l} deleted more than once"
+                            )));
+                        }
+                    }
+                }
+                (OpProvenance::TargetRun, OpDirection::Insert) => {
+                    for &l in &op.leaves {
+                        if !inserted.insert(l) {
+                            return Err(DiffError::Invariant(format!(
+                                "T2 leaf {l} inserted more than once"
+                            )));
+                        }
+                    }
+                }
+                (OpProvenance::Synthesized, OpDirection::Insert) => synth_balance += 1,
+                (OpProvenance::Synthesized, OpDirection::Delete) => synth_balance -= 1,
+                (p, d) => {
+                    return Err(DiffError::Invariant(format!(
+                        "unexpected operation {d:?} on {p:?} material"
+                    )))
+                }
+            }
+        }
+        if synth_balance != 0 {
+            return Err(DiffError::Invariant(
+                "synthesised temporary paths are not balanced".to_string(),
+            ));
+        }
+        let expected_deleted: HashSet<TreeId> =
+            result.mapping.unmapped_left_leaves(t1).into_iter().collect();
+        let expected_inserted: HashSet<TreeId> =
+            result.mapping.unmapped_right_leaves(t2).into_iter().collect();
+        if deleted != expected_deleted {
+            return Err(DiffError::Invariant(format!(
+                "deleted leaves {:?} do not match the unmapped T1 leaves {:?}",
+                deleted, expected_deleted
+            )));
+        }
+        if inserted != expected_inserted {
+            return Err(DiffError::Invariant(format!(
+                "inserted leaves {:?} do not match the unmapped T2 leaves {:?}",
+                inserted, expected_inserted
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builds edit scripts from diff results.
+pub struct ScriptBuilder<'a, 'b> {
+    engine: &'a WorkflowDiff<'b>,
+}
+
+impl<'a, 'b> ScriptBuilder<'a, 'b> {
+    /// Creates a script builder for the given differencing engine.
+    pub fn new(engine: &'a WorkflowDiff<'b>) -> Self {
+        ScriptBuilder { engine }
+    }
+
+    /// Materialises a minimum-cost edit script for `result` (which must have
+    /// been produced by the same engine for the same pair of runs).
+    pub fn build(
+        &self,
+        r1: &Run,
+        r2: &Run,
+        result: &DiffResult,
+    ) -> Result<EditScript, DiffError> {
+        let t1 = r1.tree();
+        let t2 = r2.tree();
+        let cost = self.engine.cost_model();
+        let x1 = DeletionTables::compute(t1, cost);
+        let x2 = DeletionTables::compute(t2, cost);
+        let mut ops: Vec<PathOperation> = Vec::new();
+
+        // Walk the mapped pairs top-down (pre-order over the mapping).
+        let mut stack = vec![(t1.root(), t2.root())];
+        while let Some((v1, v2)) = stack.pop() {
+            let decision = result
+                .decisions
+                .get(&(v1, v2))
+                .ok_or_else(|| DiffError::Invariant(format!("no decision for pair ({v1}, {v2})")))?;
+            match decision {
+                Decision::Leaf => {}
+                Decision::Series(pairs) => {
+                    for &p in pairs {
+                        stack.push(p);
+                    }
+                }
+                Decision::Matched(pairs) => {
+                    let mapped_left: HashSet<TreeId> = pairs.iter().map(|(a, _)| *a).collect();
+                    let mapped_right: HashSet<TreeId> = pairs.iter().map(|(_, b)| *b).collect();
+                    let unmapped_left: Vec<TreeId> = t1
+                        .children(v1)
+                        .iter()
+                        .copied()
+                        .filter(|c| !mapped_left.contains(c))
+                        .collect();
+                    let unmapped_right: Vec<TreeId> = t2
+                        .children(v2)
+                        .iter()
+                        .copied()
+                        .filter(|c| !mapped_right.contains(c))
+                        .collect();
+                    self.emit_matched(
+                        t1.ty(v1),
+                        &unmapped_left,
+                        &unmapped_right,
+                        !pairs.is_empty(),
+                        r1,
+                        r2,
+                        &x1,
+                        &x2,
+                        &mut ops,
+                    );
+                    for &p in pairs {
+                        stack.push(p);
+                    }
+                }
+                Decision::Unstable => {
+                    self.emit_unstable(v1, v2, r1, r2, &x1, &x2, &mut ops)?;
+                }
+            }
+        }
+        let total_cost: f64 = ops.iter().map(|o| o.cost).sum();
+        Ok(EditScript { ops, total_cost })
+    }
+
+    /// Emits the operations for a stably matched pair: delete the unmapped
+    /// `T1` children and insert the unmapped `T2` children, in an order that
+    /// keeps every intermediate run valid.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_matched(
+        &self,
+        ty: NodeType,
+        unmapped_left: &[TreeId],
+        unmapped_right: &[TreeId],
+        has_mapped_pair: bool,
+        r1: &Run,
+        r2: &Run,
+        x1: &DeletionTables,
+        x2: &DeletionTables,
+        ops: &mut Vec<PathOperation>,
+    ) {
+        let cost = self.engine.cost_model();
+        let t1 = r1.tree();
+        let t2 = r2.tree();
+        let mut deletions: Vec<PathOperation> = Vec::new();
+        for &c in unmapped_left {
+            deletions.extend(x1.subtree_ops(
+                t1,
+                cost,
+                c,
+                OpDirection::Delete,
+                OpProvenance::SourceRun,
+            ));
+        }
+        let mut insertions: Vec<PathOperation> = Vec::new();
+        for &c in unmapped_right {
+            insertions.extend(x2.subtree_ops(
+                t2,
+                cost,
+                c,
+                OpDirection::Insert,
+                OpProvenance::TargetRun,
+            ));
+        }
+        match ty {
+            NodeType::P if has_mapped_pair => {
+                // Delete first, then insert: the mapped child keeps the node true
+                // and no two homologous children ever coexist.
+                ops.extend(deletions);
+                ops.extend(insertions);
+            }
+            NodeType::P => {
+                // No mapped pair: interleave so the node never empties and never
+                // holds two homologous children (proof of Lemma 5.1, subcase 2).
+                // Find an insertion target that is non-homologous with some
+                // remaining left child, insert it first, then delete everything
+                // old, then insert the rest.
+                let left_origins: HashSet<Option<TreeId>> =
+                    unmapped_left.iter().map(|&c| t1.node(c).origin).collect();
+                let pick = unmapped_right
+                    .iter()
+                    .copied()
+                    .position(|c| !left_origins.contains(&t2.node(c).origin));
+                match pick {
+                    Some(idx) => {
+                        let chosen = unmapped_right[idx];
+                        // Delete the left child homologous with the chosen right
+                        // child first (there is none by construction), then
+                        // insert the chosen child, delete the remaining left
+                        // children, and insert the rest.
+                        let chosen_ops = x2.subtree_ops(
+                            t2,
+                            cost,
+                            chosen,
+                            OpDirection::Insert,
+                            OpProvenance::TargetRun,
+                        );
+                        ops.extend(chosen_ops);
+                        ops.extend(deletions);
+                        for (i, &c) in unmapped_right.iter().enumerate() {
+                            if i != idx {
+                                ops.extend(x2.subtree_ops(
+                                    t2,
+                                    cost,
+                                    c,
+                                    OpDirection::Insert,
+                                    OpProvenance::TargetRun,
+                                ));
+                            }
+                        }
+                    }
+                    None => {
+                        // Every right child is homologous with some left child;
+                        // deleting one left child first frees its origin, then the
+                        // corresponding right child can be inserted, and so on.
+                        ops.extend(deletions);
+                        ops.extend(insertions);
+                    }
+                }
+            }
+            // F and L nodes: insert first (the node may have a single, unmapped
+            // child and must never become empty), then delete.
+            _ => {
+                ops.extend(insertions);
+                ops.extend(deletions);
+            }
+        }
+    }
+
+    /// Emits the four-phase transformation for an unstably matched pair.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_unstable(
+        &self,
+        v1: TreeId,
+        v2: TreeId,
+        r1: &Run,
+        r2: &Run,
+        x1: &DeletionTables,
+        x2: &DeletionTables,
+        ops: &mut Vec<PathOperation>,
+    ) -> Result<(), DiffError> {
+        let cost = self.engine.cost_model();
+        let ctx = self.engine.context();
+        let t1 = r1.tree();
+        let t2 = r2.tree();
+        let c1 = t1.children(v1)[0];
+        let c2 = t2.children(v2)[0];
+        let spec_p = t1.node(v1).origin.ok_or_else(|| {
+            DiffError::Invariant(format!("run node {v1} carries no specification origin"))
+        })?;
+        let spec_child = t1.node(c1).origin.ok_or_else(|| {
+            DiffError::Invariant(format!("run node {c1} carries no specification origin"))
+        })?;
+        let (witness_child, witness_len) = ctx
+            .w_witness(cost, spec_p, spec_child)
+            .ok_or_else(|| DiffError::Invariant("no alternative branch for unstable pair".into()))?;
+        let labels = ctx.witness_path(witness_child, witness_len).ok_or_else(|| {
+            DiffError::Invariant("witness length is not achievable for the chosen branch".into())
+        })?;
+        let temp_cost = cost.op_cost(witness_len, &labels[0], &labels[labels.len() - 1]);
+        let temp_insert = PathOperation {
+            direction: OpDirection::Insert,
+            labels: labels.clone(),
+            leaves: Vec::new(),
+            length: witness_len,
+            cost: temp_cost,
+            provenance: OpProvenance::Synthesized,
+        };
+        let temp_delete = PathOperation {
+            direction: OpDirection::Delete,
+            labels,
+            leaves: Vec::new(),
+            length: witness_len,
+            cost: temp_cost,
+            provenance: OpProvenance::Synthesized,
+        };
+        ops.push(temp_insert);
+        ops.extend(x1.subtree_ops(t1, cost, c1, OpDirection::Delete, OpProvenance::SourceRun));
+        ops.extend(x2.subtree_ops(t2, cost, c2, OpDirection::Insert, OpProvenance::TargetRun));
+        ops.push(temp_delete);
+        Ok(())
+    }
+}
+
+/// Convenience: computes the diff and its script in one call.
+pub fn diff_with_script(
+    engine: &WorkflowDiff<'_>,
+    r1: &Run,
+    r2: &Run,
+) -> Result<(DiffResult, EditScript), DiffError> {
+    let result = engine.diff(r1, r2)?;
+    let script = ScriptBuilder::new(engine).build(r1, r2, &result)?;
+    Ok((result, script))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{LengthCost, PowerCost, UnitCost};
+    use crate::CostModel;
+    use wfdiff_graph::LabeledDigraph;
+    use wfdiff_sptree::{Run, Specification, SpecificationBuilder};
+
+    fn fig2_specification() -> Specification {
+        let mut b = SpecificationBuilder::new("fig2");
+        b.edge("1", "2")
+            .path(&["2", "3", "6"])
+            .path(&["2", "4", "6"])
+            .path(&["2", "5", "6"])
+            .edge("6", "7")
+            .fork_path(&["2", "3", "6"])
+            .fork_path(&["2", "4", "6"])
+            .fork_path(&["2", "5", "6"])
+            .fork_between("1", "7")
+            .loop_between("2", "6");
+        b.build().unwrap()
+    }
+
+    fn run_from_edges(spec: &Specification, edges: &[(&str, usize, &str, usize)]) -> Run {
+        // Each node is identified by (label, copy index).
+        let mut g = LabeledDigraph::new();
+        let mut ids = std::collections::HashMap::new();
+        for &(a, ai, b, bi) in edges {
+            let na = *ids
+                .entry((a.to_string(), ai))
+                .or_insert_with(|| g.add_node(a));
+            let nb = *ids
+                .entry((b.to_string(), bi))
+                .or_insert_with(|| g.add_node(b));
+            g.add_edge(na, nb);
+        }
+        Run::from_graph(spec, g).unwrap()
+    }
+
+    fn fig2_run1(spec: &Specification) -> Run {
+        run_from_edges(
+            spec,
+            &[
+                ("1", 0, "2", 0),
+                ("2", 0, "3", 0),
+                ("2", 0, "3", 1),
+                ("2", 0, "4", 0),
+                ("3", 0, "6", 0),
+                ("3", 1, "6", 0),
+                ("4", 0, "6", 0),
+                ("6", 0, "7", 0),
+            ],
+        )
+    }
+
+    fn fig2_run2(spec: &Specification) -> Run {
+        run_from_edges(
+            spec,
+            &[
+                ("1", 0, "2", 0),
+                ("2", 0, "3", 0),
+                ("2", 0, "4", 0),
+                ("2", 0, "4", 1),
+                ("3", 0, "6", 0),
+                ("4", 0, "6", 0),
+                ("4", 1, "6", 0),
+                ("6", 0, "7", 0),
+                ("1", 0, "2", 1),
+                ("2", 1, "4", 2),
+                ("2", 1, "5", 0),
+                ("4", 2, "6", 1),
+                ("5", 0, "6", 1),
+                ("6", 1, "7", 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn paper_example_script_has_four_unit_operations() {
+        // Figure 7: the minimum-cost subtree edit script between T1 and T2 has
+        // four operations under the unit cost model.
+        let spec = fig2_specification();
+        let r1 = fig2_run1(&spec);
+        let r2 = fig2_run2(&spec);
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        let (result, script) = diff_with_script(&engine, &r1, &r2).unwrap();
+        assert_eq!(result.distance, 4.0);
+        assert_eq!(script.len(), 4);
+        assert_eq!(script.total_cost, 4.0);
+        script.validate(&result, &r1, &r2).unwrap();
+        // One deletion (the extra copy of branch 3) and three insertions (the
+        // extra copy of branch 4 and the second outer fork copy grown in two
+        // steps... exactly as in Fig. 7: one deletion, three insertions).
+        assert_eq!(script.deletions(), 1);
+        assert_eq!(script.insertions(), 3);
+    }
+
+    #[test]
+    fn scripts_validate_across_cost_models() {
+        let spec = fig2_specification();
+        let r1 = fig2_run1(&spec);
+        let r2 = fig2_run2(&spec);
+        for cost in [&UnitCost as &dyn CostModel, &LengthCost, &PowerCost::new(0.5)] {
+            let engine = WorkflowDiff::new(&spec, cost);
+            let (result, script) = diff_with_script(&engine, &r1, &r2).unwrap();
+            script.validate(&result, &r1, &r2).unwrap();
+            assert!((script.total_cost - result.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn identical_runs_produce_empty_scripts() {
+        let spec = fig2_specification();
+        let r1 = fig2_run1(&spec);
+        let r1_again = fig2_run1(&spec);
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        let (result, script) = diff_with_script(&engine, &r1, &r1_again).unwrap();
+        assert_eq!(result.distance, 0.0);
+        assert!(script.is_empty());
+        script.validate(&result, &r1, &r1_again).unwrap();
+    }
+
+    #[test]
+    fn script_description_is_readable() {
+        let spec = fig2_specification();
+        let r1 = fig2_run1(&spec);
+        let r2 = fig2_run2(&spec);
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        let (_, script) = diff_with_script(&engine, &r1, &r2).unwrap();
+        let text = script.describe();
+        assert!(text.contains("total cost: 4"));
+        assert!(text.lines().count() >= 5);
+        assert!(text.contains("insert") || text.contains("delete"));
+    }
+
+    #[test]
+    fn unstable_pair_script_uses_temporary_path() {
+        // Specification: between u and v there are two branches — branch A, a
+        // three-section chain where every section offers a short and a long
+        // alternative, and branch B, a direct edge.  Two runs that both take
+        // branch A but pick opposite alternatives in every section are
+        // expensive to reconcile by mapping (cost 6 under unit cost), while
+        // deleting one, inserting the other and bridging the gap with a
+        // temporary copy of branch B costs 1 + 1 + 2·W = 4: the unstable
+        // transformation must be chosen and the script must contain the two
+        // synthesised operations.
+        let mut b = SpecificationBuilder::new("unstable-script");
+        b.edge("s", "u");
+        // Branch A: u -> m1 -> m2 -> v, each hop with a 1-edge or 2-edge option.
+        b.edge("u", "m1").path(&["u", "alt1", "m1"]);
+        b.edge("m1", "m2").path(&["m1", "alt2", "m2"]);
+        b.edge("m2", "v").path(&["m2", "alt3", "v"]);
+        // Branch B: the direct edge.
+        b.edge("u", "v");
+        b.edge("v", "t");
+        let spec = b.build().unwrap();
+        let mk = |long: bool| {
+            let mut g = LabeledDigraph::new();
+            let s = g.add_node("s");
+            let u = g.add_node("u");
+            let m1 = g.add_node("m1");
+            let m2 = g.add_node("m2");
+            let v = g.add_node("v");
+            let t = g.add_node("t");
+            g.add_edge(s, u);
+            for (from, to, alt) in [(u, m1, "alt1"), (m1, m2, "alt2"), (m2, v, "alt3")] {
+                if long {
+                    let a = g.add_node(alt);
+                    g.add_edge(from, a);
+                    g.add_edge(a, to);
+                } else {
+                    g.add_edge(from, to);
+                }
+            }
+            g.add_edge(v, t);
+            Run::from_graph(&spec, g).unwrap()
+        };
+        let r1 = mk(false);
+        let r2 = mk(true);
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        let (result, script) = diff_with_script(&engine, &r1, &r2).unwrap();
+        assert_eq!(result.distance, 4.0, "unstable transformation should win (1 + 1 + 2·1)");
+        script.validate(&result, &r1, &r2).unwrap();
+        // The script contains the synthesised temporary path (inserted and
+        // deleted once each).
+        let synth: Vec<_> =
+            script.ops.iter().filter(|o| o.provenance == OpProvenance::Synthesized).collect();
+        assert_eq!(synth.len(), 2);
+        assert_eq!(synth[0].direction, OpDirection::Insert);
+        assert_eq!(synth[1].direction, OpDirection::Delete);
+        // The temporary path is the direct u -> v edge of branch B.
+        assert_eq!(synth[0].labels.len(), 2);
+        assert_eq!(synth[0].labels[0].as_str(), "u");
+        assert_eq!(synth[0].labels[1].as_str(), "v");
+        assert_eq!(script.len(), 4);
+    }
+
+    #[test]
+    fn fork_heavy_scripts_cover_all_copies() {
+        let spec = fig2_specification();
+        // Run with many fork copies of branch 5 vs a run with none.
+        let r1 = run_from_edges(
+            &spec,
+            &[
+                ("1", 0, "2", 0),
+                ("2", 0, "5", 0),
+                ("2", 0, "5", 1),
+                ("2", 0, "5", 2),
+                ("5", 0, "6", 0),
+                ("5", 1, "6", 0),
+                ("5", 2, "6", 0),
+                ("6", 0, "7", 0),
+            ],
+        );
+        let r2 = run_from_edges(
+            &spec,
+            &[("1", 0, "2", 0), ("2", 0, "4", 0), ("4", 0, "6", 0), ("6", 0, "7", 0)],
+        );
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        let (result, script) = diff_with_script(&engine, &r1, &r2).unwrap();
+        script.validate(&result, &r1, &r2).unwrap();
+        // Delete 3 copies of branch 5, insert 1 copy of branch 4: distance 4.
+        assert_eq!(result.distance, 4.0);
+        assert_eq!(script.deletions(), 3);
+        assert_eq!(script.insertions(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Graphviz/DOT rendering of workflow graphs.
+//!
+//! PDiffView renders the source run with deleted paths in red and inserted
+//! paths in green (Section VII / Figure 10 of the paper).  This module
+//! provides a small, dependency-free DOT writer with per-node and per-edge
+//! styling hooks so the prototype can emit exactly that view.
+
+use crate::digraph::LabeledDigraph;
+use crate::ids::{EdgeId, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Styling options for a DOT rendering.
+#[derive(Debug, Clone, Default)]
+pub struct DotStyle {
+    /// Graph title rendered as a label.
+    pub title: Option<String>,
+    /// Extra attributes per node (e.g. `color=red`).
+    pub node_attrs: HashMap<NodeId, String>,
+    /// Extra attributes per edge (e.g. `color=green,penwidth=2`).
+    pub edge_attrs: HashMap<EdgeId, String>,
+    /// If true, the internal node id is appended to the label
+    /// (`3 [n4]`), which disambiguates replicated modules in runs.
+    pub show_node_ids: bool,
+}
+
+impl DotStyle {
+    /// Creates a default style with a title.
+    pub fn titled(title: impl Into<String>) -> Self {
+        DotStyle { title: Some(title.into()), ..Default::default() }
+    }
+}
+
+/// Renders `graph` as a DOT digraph.
+pub fn to_dot(graph: &LabeledDigraph, name: &str, style: &DotStyle) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    if let Some(title) = &style.title {
+        let _ = writeln!(out, "  label=\"{}\";", escape(title));
+        let _ = writeln!(out, "  labelloc=t;");
+    }
+    for (id, data) in graph.nodes() {
+        let label = if style.show_node_ids {
+            format!("{} [{}]", data.label, id)
+        } else {
+            data.label.to_string()
+        };
+        let extra = style
+            .node_attrs
+            .get(&id)
+            .map(|a| format!(", {a}"))
+            .unwrap_or_default();
+        let _ = writeln!(out, "  {} [label=\"{}\", shape=ellipse{}];", id.index(), escape(&label), extra);
+    }
+    for (id, e) in graph.edges() {
+        let extra = style
+            .edge_attrs
+            .get(&id)
+            .map(|a| format!(" [{a}]"))
+            .unwrap_or_default();
+        let _ = writeln!(out, "  {} -> {}{};", e.src.index(), e.dst.index(), extra);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders `graph` with default styling.
+pub fn to_dot_simple(graph: &LabeledDigraph, name: &str) -> String {
+    to_dot(graph, name, &DotStyle::default())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_graph() -> LabeledDigraph {
+        let mut g = LabeledDigraph::new();
+        let a = g.add_node("getProteinSeq");
+        let b = g.add_node("FastaFormat");
+        g.add_edge(a, b);
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = small_graph();
+        let dot = to_dot_simple(&g, "spec");
+        assert!(dot.starts_with("digraph \"spec\""));
+        assert!(dot.contains("label=\"getProteinSeq\""));
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_applies_styles() {
+        let g = small_graph();
+        let mut style = DotStyle::titled("Run vs Run");
+        style.show_node_ids = true;
+        style.node_attrs.insert(NodeId(0), "color=blue".to_string());
+        style.edge_attrs.insert(EdgeId(0), "color=red, style=dashed".to_string());
+        let dot = to_dot(&g, "diff", &style);
+        assert!(dot.contains("label=\"Run vs Run\""));
+        assert!(dot.contains("color=blue"));
+        assert!(dot.contains("[color=red, style=dashed]"));
+        assert!(dot.contains("[n0]"));
+    }
+
+    #[test]
+    fn labels_with_quotes_are_escaped() {
+        let mut g = LabeledDigraph::new();
+        g.add_node("say \"hi\"");
+        let dot = to_dot_simple(&g, "q\"uoted");
+        assert!(dot.contains("say \\\"hi\\\""));
+        assert!(dot.contains("digraph \"q\\\"uoted\""));
+    }
+}

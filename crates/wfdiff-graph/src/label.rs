@@ -1,0 +1,137 @@
+//! Module labels.
+//!
+//! In the workflow model of the paper every node of a specification carries a
+//! *unique* label (the module name, e.g. `BlastSwP`), while the nodes of a run
+//! carry labels that are **not** necessarily unique: a fork or loop execution
+//! replicates the subgraph it covers and therefore replicates the labels.
+//!
+//! The label is the only piece of information the cost model
+//! `γ(l, Label(s(p)), Label(t(p)))` sees about the endpoints of an elementary
+//! path, so labels are first-class values here.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A module label (module name) on a workflow node.
+///
+/// `Label` is a cheap-to-clone, immutable string: internally an `Arc<str>` so
+/// that runs with thousands of replicated nodes do not duplicate the label
+/// bytes.  Equality, ordering and hashing are by string content.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// Creates a new label from anything string-like.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Label(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns `true` if the label is the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Label {
+    fn from(value: &str) -> Self {
+        Label::new(value)
+    }
+}
+
+impl From<String> for Label {
+    fn from(value: String) -> Self {
+        Label::new(value)
+    }
+}
+
+impl From<u32> for Label {
+    fn from(value: u32) -> Self {
+        Label::new(value.to_string())
+    }
+}
+
+impl Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Label {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Serialize for Label {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Label {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Label::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn label_equality_is_by_content() {
+        assert_eq!(Label::new("BlastSwP"), Label::from("BlastSwP"));
+        assert_ne!(Label::new("BlastSwP"), Label::new("BlastPIR"));
+    }
+
+    #[test]
+    fn label_from_u32() {
+        assert_eq!(Label::from(6u32).as_str(), "6");
+    }
+
+    #[test]
+    fn label_clone_shares_storage() {
+        let a = Label::new("getProteinSeq");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn labels_work_as_hash_keys() {
+        let mut set = HashSet::new();
+        set.insert(Label::new("x"));
+        set.insert(Label::new("x"));
+        set.insert(Label::new("y"));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains("x"));
+    }
+
+    #[test]
+    fn label_serde_roundtrip() {
+        let l = Label::new("collectTop1&Compare");
+        let json = serde_json::to_string(&l).unwrap();
+        assert_eq!(json, "\"collectTop1&Compare\"");
+        let back: Label = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+    }
+
+    #[test]
+    fn display_matches_content() {
+        assert_eq!(Label::new("FastaFormat").to_string(), "FastaFormat");
+    }
+}

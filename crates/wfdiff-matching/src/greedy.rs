@@ -1,0 +1,109 @@
+//! A greedy matcher used as an ablation baseline.
+//!
+//! The evaluation harness compares the optimal Hungarian matching at `F` nodes
+//! against this simple greedy strategy (repeatedly take the globally cheapest
+//! remaining option) to quantify how much the optimal matching contributes to
+//! edit-distance quality — an ablation of the design choice called out in
+//! DESIGN.md.  The greedy matcher is deliberately *not* used by the core
+//! differencing algorithm.
+
+use crate::hungarian::UnbalancedAssignment;
+
+/// Greedy "match or pay" assignment with the same interface as
+/// [`crate::hungarian::assignment_with_unmatched`].
+///
+/// Repeatedly commits the cheapest available action (pair, delete-left or
+/// insert-right) until all items are resolved.  The result is feasible but in
+/// general suboptimal.
+pub fn greedy_assignment_with_unmatched(
+    pair_cost: &[Vec<Option<f64>>],
+    left_unmatched: &[f64],
+    right_unmatched: &[f64],
+) -> UnbalancedAssignment {
+    let n = left_unmatched.len();
+    let m = right_unmatched.len();
+    let mut left_done = vec![false; n];
+    let mut right_done = vec![false; m];
+    let mut left_to_right = vec![None; n];
+    let mut right_to_left = vec![None; m];
+    let mut total = 0.0;
+
+    // Candidate pairs sorted by cost.
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, row) in pair_cost.iter().enumerate() {
+        for (j, c) in row.iter().enumerate() {
+            if let Some(c) = c {
+                pairs.push((*c, i, j));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+    for (c, i, j) in pairs {
+        if left_done[i] || right_done[j] {
+            continue;
+        }
+        // Only take the pair if it is no worse than resolving both separately.
+        if c <= left_unmatched[i] + right_unmatched[j] {
+            left_done[i] = true;
+            right_done[j] = true;
+            left_to_right[i] = Some(j);
+            right_to_left[j] = Some(i);
+            total += c;
+        }
+    }
+    for i in 0..n {
+        if !left_done[i] {
+            total += left_unmatched[i];
+        }
+    }
+    for j in 0..m {
+        if !right_done[j] {
+            total += right_unmatched[j];
+        }
+    }
+    UnbalancedAssignment { cost: total, left_to_right, right_to_left }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::assignment_with_unmatched;
+
+    #[test]
+    fn greedy_is_feasible() {
+        let pair = vec![vec![Some(1.0), Some(2.0)], vec![Some(2.0), Some(1.0)]];
+        let g = greedy_assignment_with_unmatched(&pair, &[5.0, 5.0], &[5.0, 5.0]);
+        assert_eq!(g.cost, 2.0);
+        assert_eq!(g.left_to_right, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn greedy_never_beats_hungarian() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            let n = rng.gen_range(0..=5);
+            let m = rng.gen_range(0..=5);
+            let pair: Vec<Vec<Option<f64>>> = (0..n)
+                .map(|_| (0..m).map(|_| Some(rng.gen_range(0.0..10.0f64).round())).collect())
+                .collect();
+            let del: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
+            let ins: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
+            let g = greedy_assignment_with_unmatched(&pair, &del, &ins);
+            let h = assignment_with_unmatched(&pair, &del, &ins);
+            assert!(g.cost + 1e-9 >= h.cost, "greedy {} < optimal {}", g.cost, h.cost);
+        }
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal() {
+        // Greedy takes the (0,0) pair of cost 1 and is then forced into an
+        // expensive completion; the optimal solution avoids it.
+        let pair = vec![vec![Some(1.0), Some(1.5)], vec![Some(1.4), Some(100.0)]];
+        let del = vec![50.0, 50.0];
+        let ins = vec![50.0, 50.0];
+        let g = greedy_assignment_with_unmatched(&pair, &del, &ins);
+        let h = assignment_with_unmatched(&pair, &del, &ins);
+        assert!(h.cost < g.cost);
+    }
+}

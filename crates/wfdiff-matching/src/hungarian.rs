@@ -1,0 +1,383 @@
+//! The Hungarian (Kuhn–Munkres) algorithm for the assignment problem, plus the
+//! unbalanced "match-or-pay" variant used when pairing fork copies.
+//!
+//! The implementation is the classical `O(n³)` potential-based formulation.
+//! The paper cites Kuhn's Hungarian method [34] for exactly this step of
+//! Algorithm 4.
+
+/// The result of an assignment: total cost plus, for every row, the column it
+/// was assigned to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Total cost of the optimal assignment.
+    pub cost: f64,
+    /// `row_to_col[i]` is the column assigned to row `i`.
+    pub row_to_col: Vec<usize>,
+}
+
+/// Solves the square assignment problem for `cost` (an `n × n` matrix), i.e.
+/// finds a permutation `σ` minimising `Σ cost[i][σ(i)]`.
+///
+/// # Panics
+/// Panics if the matrix is not square or contains non-finite entries.
+pub fn solve(cost: &[Vec<f64>]) -> Assignment {
+    let n = cost.len();
+    if n == 0 {
+        return Assignment { cost: 0.0, row_to_col: Vec::new() };
+    }
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+        assert!(row.iter().all(|c| c.is_finite()), "costs must be finite");
+    }
+    // Potentials u (rows) and v (columns), 1-based internally as in the
+    // classical presentation; p[j] = row matched to column j.
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j]: row assigned to column j (0 = none)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut row_to_col = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    let total = (0..n).map(|i| cost[i][row_to_col[i]]).sum();
+    Assignment { cost: total, row_to_col }
+}
+
+/// Result of an unbalanced assignment where items may stay unmatched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnbalancedAssignment {
+    /// Total cost (matched pairs + unmatched penalties).
+    pub cost: f64,
+    /// For each left item, the right item it is matched to (or `None`).
+    pub left_to_right: Vec<Option<usize>>,
+    /// For each right item, the left item it is matched to (or `None`).
+    pub right_to_left: Vec<Option<usize>>,
+}
+
+/// Minimum-cost "match or pay" assignment between `n` left items and `m` right
+/// items:
+///
+/// * matching left `i` with right `j` costs `pair_cost[i][j]` (or is forbidden
+///   when `None`),
+/// * leaving left `i` unmatched costs `left_unmatched[i]`,
+/// * leaving right `j` unmatched costs `right_unmatched[j]`.
+///
+/// This is exactly the bipartite graph of Figure 9 in the paper: children of
+/// the first `F` node on the left, children of the second on the right, a `−`
+/// node absorbing deletions and a `+` node absorbing insertions.  It is solved
+/// by embedding into an `(n+m) × (n+m)` square assignment problem.
+pub fn assignment_with_unmatched(
+    pair_cost: &[Vec<Option<f64>>],
+    left_unmatched: &[f64],
+    right_unmatched: &[f64],
+) -> UnbalancedAssignment {
+    let n = left_unmatched.len();
+    let m = right_unmatched.len();
+    assert_eq!(pair_cost.len(), n, "pair_cost must have one row per left item");
+    for row in pair_cost {
+        assert_eq!(row.len(), m, "pair_cost rows must have one entry per right item");
+    }
+    if n == 0 && m == 0 {
+        return UnbalancedAssignment {
+            cost: 0.0,
+            left_to_right: Vec::new(),
+            right_to_left: Vec::new(),
+        };
+    }
+    // "Forbidden" pairs get a cost large enough never to be chosen but still
+    // finite so the Hungarian algorithm stays numerically well-behaved.
+    let mut big = 1.0f64;
+    for row in pair_cost {
+        for c in row.iter().flatten() {
+            big = big.max(*c);
+        }
+    }
+    for c in left_unmatched.iter().chain(right_unmatched.iter()) {
+        big = big.max(*c);
+    }
+    let forbidden = big * (n + m) as f64 + 1.0;
+
+    let size = n + m;
+    let mut cost = vec![vec![0.0f64; size]; size];
+    for i in 0..size {
+        for j in 0..size {
+            cost[i][j] = match (i < n, j < m) {
+                // real left vs real right
+                (true, true) => pair_cost[i][j].unwrap_or(forbidden),
+                // real left vs "deleted" slot
+                (true, false) => left_unmatched[i],
+                // "inserted" slot vs real right
+                (false, true) => right_unmatched[j],
+                // dummy vs dummy
+                (false, false) => 0.0,
+            };
+        }
+    }
+    let solved = solve(&cost);
+    let mut left_to_right = vec![None; n];
+    let mut right_to_left = vec![None; m];
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let j = solved.row_to_col[i];
+        if j < m && pair_cost[i][j].is_some() {
+            left_to_right[i] = Some(j);
+            right_to_left[j] = Some(i);
+            total += pair_cost[i][j].expect("checked above");
+        } else {
+            total += left_unmatched[i];
+        }
+    }
+    for j in 0..m {
+        if right_to_left[j].is_none() {
+            total += right_unmatched[j];
+        }
+    }
+    UnbalancedAssignment { cost: total, left_to_right, right_to_left }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force_square(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let mut cols: Vec<usize> = (0..n).collect();
+        let mut best = f64::INFINITY;
+        permute(&mut cols, 0, &mut |perm| {
+            let total: f64 = (0..n).map(|i| cost[i][perm[i]]).sum();
+            if total < best {
+                best = total;
+            }
+        });
+        best
+    }
+
+    fn permute(items: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == items.len() {
+            f(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, f);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = solve(&[]);
+        assert_eq!(a.cost, 0.0);
+        assert!(a.row_to_col.is_empty());
+    }
+
+    #[test]
+    fn identity_is_optimal_when_diagonal_is_cheapest() {
+        let cost = vec![
+            vec![1.0, 10.0, 10.0],
+            vec![10.0, 1.0, 10.0],
+            vec![10.0, 10.0, 1.0],
+        ];
+        let a = solve(&cost);
+        assert_eq!(a.cost, 3.0);
+        assert_eq!(a.row_to_col, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn antidiagonal_forced() {
+        let cost = vec![vec![5.0, 1.0], vec![1.0, 5.0]];
+        let a = solve(&cost);
+        assert_eq!(a.cost, 2.0);
+        assert_eq!(a.row_to_col, vec![1, 0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_matrices() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..=6);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..20.0f64).round()).collect())
+                .collect();
+            let a = solve(&cost);
+            let expected = brute_force_square(&cost);
+            assert!(
+                (a.cost - expected).abs() < 1e-9,
+                "hungarian {} != brute force {} on {cost:?}",
+                a.cost,
+                expected
+            );
+            // The reported assignment is a permutation achieving the cost.
+            let mut seen = vec![false; n];
+            for &c in &a.row_to_col {
+                assert!(!seen[c]);
+                seen[c] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn unmatched_variant_prefers_cheap_pairs() {
+        // Two left, one right: pairing (0,0) costs 1, deleting left costs 5,
+        // inserting right costs 5.
+        let pair = vec![vec![Some(1.0)], vec![Some(4.0)]];
+        let a = assignment_with_unmatched(&pair, &[5.0, 5.0], &[5.0]);
+        assert_eq!(a.cost, 1.0 + 5.0);
+        assert_eq!(a.left_to_right, vec![Some(0), None]);
+        assert_eq!(a.right_to_left, vec![Some(0)]);
+    }
+
+    #[test]
+    fn unmatched_variant_can_refuse_expensive_pairs() {
+        // Pairing costs more than delete + insert, so nothing is matched.
+        let pair = vec![vec![Some(100.0)]];
+        let a = assignment_with_unmatched(&pair, &[2.0], &[3.0]);
+        assert_eq!(a.cost, 5.0);
+        assert_eq!(a.left_to_right, vec![None]);
+        assert_eq!(a.right_to_left, vec![None]);
+    }
+
+    #[test]
+    fn forbidden_pairs_are_never_used() {
+        let pair = vec![vec![None, Some(2.0)], vec![None, Some(1.0)]];
+        let a = assignment_with_unmatched(&pair, &[1.0, 1.0], &[1.0, 1.0]);
+        // Best: match left1-right1 (1.0), delete left0 (1.0), insert right0 (1.0).
+        assert_eq!(a.cost, 3.0);
+        assert_eq!(a.left_to_right[0], None);
+        assert_eq!(a.left_to_right[1], Some(1));
+    }
+
+    #[test]
+    fn unmatched_variant_with_empty_sides() {
+        let a = assignment_with_unmatched(&[], &[], &[2.0, 3.0]);
+        assert_eq!(a.cost, 5.0);
+        assert_eq!(a.right_to_left, vec![None, None]);
+        let b = assignment_with_unmatched(&[vec![], vec![]], &[1.0, 4.0], &[]);
+        assert_eq!(b.cost, 5.0);
+        let c = assignment_with_unmatched(&[], &[], &[]);
+        assert_eq!(c.cost, 0.0);
+    }
+
+    #[test]
+    fn unmatched_variant_matches_exhaustive_search_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..40 {
+            let n = rng.gen_range(0..=4);
+            let m = rng.gen_range(0..=4);
+            let pair: Vec<Vec<Option<f64>>> = (0..n)
+                .map(|_| {
+                    (0..m)
+                        .map(|_| {
+                            if rng.gen_bool(0.8) {
+                                Some(rng.gen_range(0.0..10.0f64).round())
+                            } else {
+                                None
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let del: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
+            let ins: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
+            let got = assignment_with_unmatched(&pair, &del, &ins);
+            let expected = brute_force_unbalanced(&pair, &del, &ins);
+            assert!(
+                (got.cost - expected).abs() < 1e-9,
+                "got {} expected {} (n={n}, m={m})",
+                got.cost,
+                expected
+            );
+        }
+    }
+
+    /// Exhaustively enumerates all partial matchings.
+    fn brute_force_unbalanced(
+        pair: &[Vec<Option<f64>>],
+        del: &[f64],
+        ins: &[f64],
+    ) -> f64 {
+        fn rec(
+            i: usize,
+            pair: &[Vec<Option<f64>>],
+            del: &[f64],
+            ins: &[f64],
+            used: &mut Vec<bool>,
+        ) -> f64 {
+            if i == del.len() {
+                return used
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &u)| !u)
+                    .map(|(j, _)| ins[j])
+                    .sum();
+            }
+            // Option 1: delete left i.
+            let mut best = del[i] + rec(i + 1, pair, del, ins, used);
+            // Option 2: match with any unused right j.
+            for j in 0..ins.len() {
+                if used[j] {
+                    continue;
+                }
+                if let Some(c) = pair[i][j] {
+                    used[j] = true;
+                    best = best.min(c + rec(i + 1, pair, del, ins, used));
+                    used[j] = false;
+                }
+            }
+            best
+        }
+        let mut used = vec![false; ins.len()];
+        rec(0, pair, del, ins, &mut used)
+    }
+}

@@ -1,0 +1,34 @@
+//! Minimum-cost matching substrates for the workflow differencing algorithm.
+//!
+//! Algorithm 4 of *Differencing Provenance in Scientific Workflows* pairs the
+//! children of two homologous `F` nodes by solving a **minimum-cost bipartite
+//! matching** (assignment) problem in which every child may alternatively be
+//! deleted or inserted; Algorithm 6 pairs the ordered children of two `L`
+//! nodes by a **minimum-cost non-crossing matching**.  This crate provides
+//! both primitives:
+//!
+//! * [`hungarian::solve`] — the Hungarian (Kuhn–Munkres) algorithm with
+//!   potentials, `O(n³)`,
+//! * [`hungarian::assignment_with_unmatched`] — the unbalanced variant used by
+//!   the differencing algorithm, where leaving a row/column unmatched has an
+//!   explicit cost,
+//! * [`noncrossing::solve`] — the `O(n·m)` sequence-alignment DP for ordered
+//!   (loop iteration) matching,
+//! * [`greedy`] — a deliberately suboptimal greedy matcher used as an
+//!   ablation baseline in the benchmark harness.
+//!
+//! Costs are `f64`; all algorithms assume finite, non-negative costs (the
+//! paper's cost model guarantees non-negativity).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod greedy;
+pub mod hungarian;
+pub mod noncrossing;
+
+pub use greedy::greedy_assignment_with_unmatched;
+pub use hungarian::{
+    assignment_with_unmatched, solve as hungarian_solve, Assignment, UnbalancedAssignment,
+};
+pub use noncrossing::{solve as noncrossing_solve, NonCrossingMatch, SeqMatching};

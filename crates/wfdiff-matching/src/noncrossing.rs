@@ -1,0 +1,237 @@
+//! Minimum-cost non-crossing bipartite matching (Algorithm 6's substrate).
+//!
+//! The children of an `L` node are *ordered* (loop iterations follow one
+//! another in time), so pairing iterations of two runs must not cross: if
+//! iteration `i` of the first run is paired with iteration `j` of the second,
+//! no earlier iteration may be paired with a later one.  This is the classic
+//! sequence-alignment problem and is solved by an `O(n·m)` dynamic program —
+//! the paper notes this replaces the `O(n³)` Hungarian step and is why
+//! loop-heavy runs difference faster than fork-heavy ones (Figure 14).
+
+/// One decision of a non-crossing matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqMatching {
+    /// Left item `i` is matched with right item `j`.
+    Pair(usize, usize),
+    /// Left item `i` is left unmatched (deleted).
+    DeleteLeft(usize),
+    /// Right item `j` is left unmatched (inserted).
+    InsertRight(usize),
+}
+
+/// Result of a minimum-cost non-crossing matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonCrossingMatch {
+    /// Total cost.
+    pub cost: f64,
+    /// The decisions, in left-to-right order.
+    pub script: Vec<SeqMatching>,
+    /// For each left item, the right item it is matched to (or `None`).
+    pub left_to_right: Vec<Option<usize>>,
+    /// For each right item, the left item it is matched to (or `None`).
+    pub right_to_left: Vec<Option<usize>>,
+}
+
+/// Computes the minimum-cost non-crossing matching between `n` ordered left
+/// items and `m` ordered right items.
+///
+/// * `pair_cost[i][j]` — cost of pairing left `i` with right `j`
+///   (`None` = forbidden),
+/// * `left_unmatched[i]` — cost of leaving left `i` unmatched,
+/// * `right_unmatched[j]` — cost of leaving right `j` unmatched.
+pub fn solve(
+    pair_cost: &[Vec<Option<f64>>],
+    left_unmatched: &[f64],
+    right_unmatched: &[f64],
+) -> NonCrossingMatch {
+    let n = left_unmatched.len();
+    let m = right_unmatched.len();
+    assert_eq!(pair_cost.len(), n);
+    for row in pair_cost {
+        assert_eq!(row.len(), m);
+    }
+    // dp[i][j]: minimum cost of resolving the first i left items and the first
+    // j right items.
+    let mut dp = vec![vec![f64::INFINITY; m + 1]; n + 1];
+    // choice: 0 = delete left, 1 = insert right, 2 = pair.
+    let mut choice = vec![vec![0u8; m + 1]; n + 1];
+    dp[0][0] = 0.0;
+    for j in 1..=m {
+        dp[0][j] = dp[0][j - 1] + right_unmatched[j - 1];
+        choice[0][j] = 1;
+    }
+    for i in 1..=n {
+        dp[i][0] = dp[i - 1][0] + left_unmatched[i - 1];
+        choice[i][0] = 0;
+        for j in 1..=m {
+            let mut best = dp[i - 1][j] + left_unmatched[i - 1];
+            let mut ch = 0u8;
+            let ins = dp[i][j - 1] + right_unmatched[j - 1];
+            if ins < best {
+                best = ins;
+                ch = 1;
+            }
+            if let Some(c) = pair_cost[i - 1][j - 1] {
+                let pair = dp[i - 1][j - 1] + c;
+                if pair < best {
+                    best = pair;
+                    ch = 2;
+                }
+            }
+            dp[i][j] = best;
+            choice[i][j] = ch;
+        }
+    }
+    // Reconstruct.
+    let mut script_rev = Vec::new();
+    let mut left_to_right = vec![None; n];
+    let mut right_to_left = vec![None; m];
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        match choice[i][j] {
+            0 => {
+                i -= 1;
+                script_rev.push(SeqMatching::DeleteLeft(i));
+            }
+            1 => {
+                j -= 1;
+                script_rev.push(SeqMatching::InsertRight(j));
+            }
+            _ => {
+                i -= 1;
+                j -= 1;
+                script_rev.push(SeqMatching::Pair(i, j));
+                left_to_right[i] = Some(j);
+                right_to_left[j] = Some(i);
+            }
+        }
+    }
+    script_rev.reverse();
+    NonCrossingMatch { cost: dp[n][m], script: script_rev, left_to_right, right_to_left }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sides() {
+        let r = solve(&[], &[], &[]);
+        assert_eq!(r.cost, 0.0);
+        assert!(r.script.is_empty());
+    }
+
+    #[test]
+    fn only_insertions_when_left_is_empty() {
+        let r = solve(&[], &[], &[2.0, 3.0]);
+        assert_eq!(r.cost, 5.0);
+        assert_eq!(r.script, vec![SeqMatching::InsertRight(0), SeqMatching::InsertRight(1)]);
+    }
+
+    #[test]
+    fn pairs_when_cheap() {
+        let pair = vec![vec![Some(1.0), Some(9.0)], vec![Some(9.0), Some(1.0)]];
+        let r = solve(&pair, &[5.0, 5.0], &[5.0, 5.0]);
+        assert_eq!(r.cost, 2.0);
+        assert_eq!(r.left_to_right, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn crossing_pairs_are_not_allowed() {
+        // Pairing (0,1) and (1,0) would cost 0 but crosses; the DP must pick a
+        // non-crossing alternative.
+        let pair = vec![vec![Some(10.0), Some(0.0)], vec![Some(0.0), Some(10.0)]];
+        let r = solve(&pair, &[1.0, 1.0], &[1.0, 1.0]);
+        // Best non-crossing: pair (0,1) with cost 0, delete left 1, insert right 0
+        // => 0 + 1 + 1 = 2 (or symmetric).
+        assert_eq!(r.cost, 2.0);
+        // Verify the matching is non-crossing.
+        let mut last = None;
+        for (i, j) in r.left_to_right.iter().enumerate().filter_map(|(i, j)| j.map(|j| (i, j))) {
+            if let Some((pi, pj)) = last {
+                assert!(i > pi && j > pj, "matching crosses");
+            }
+            last = Some((i, j));
+        }
+    }
+
+    #[test]
+    fn forbidden_pairs_respected() {
+        let pair = vec![vec![None]];
+        let r = solve(&pair, &[2.0], &[3.0]);
+        assert_eq!(r.cost, 5.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..60 {
+            let n = rng.gen_range(0..=5);
+            let m = rng.gen_range(0..=5);
+            let pair: Vec<Vec<Option<f64>>> = (0..n)
+                .map(|_| {
+                    (0..m)
+                        .map(|_| {
+                            if rng.gen_bool(0.85) {
+                                Some(rng.gen_range(0.0..10.0f64).round())
+                            } else {
+                                None
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let del: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
+            let ins: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
+            let got = solve(&pair, &del, &ins);
+            let expected = brute_force(&pair, &del, &ins);
+            assert!(
+                (got.cost - expected).abs() < 1e-9,
+                "got {} expected {}",
+                got.cost,
+                expected
+            );
+        }
+    }
+
+    /// Exhaustive non-crossing matching by recursion over the two sequences.
+    fn brute_force(pair: &[Vec<Option<f64>>], del: &[f64], ins: &[f64]) -> f64 {
+        fn rec(i: usize, j: usize, pair: &[Vec<Option<f64>>], del: &[f64], ins: &[f64]) -> f64 {
+            if i == del.len() {
+                return ins[j..].iter().sum();
+            }
+            if j == ins.len() {
+                return del[i..].iter().sum();
+            }
+            let mut best = del[i] + rec(i + 1, j, pair, del, ins);
+            best = best.min(ins[j] + rec(i, j + 1, pair, del, ins));
+            if let Some(c) = pair[i][j] {
+                best = best.min(c + rec(i + 1, j + 1, pair, del, ins));
+            }
+            best
+        }
+        rec(0, 0, pair, del, ins)
+    }
+
+    #[test]
+    fn script_is_complete_and_ordered() {
+        let pair = vec![vec![Some(1.0), Some(2.0), Some(3.0)]];
+        let r = solve(&pair, &[10.0], &[1.0, 1.0, 1.0]);
+        // All three right items and the single left item must be accounted for.
+        let mut left_seen = 0;
+        let mut right_seen = 0;
+        for s in &r.script {
+            match s {
+                SeqMatching::Pair(_, _) => {
+                    left_seen += 1;
+                    right_seen += 1;
+                }
+                SeqMatching::DeleteLeft(_) => left_seen += 1,
+                SeqMatching::InsertRight(_) => right_seen += 1,
+            }
+        }
+        assert_eq!(left_seen, 1);
+        assert_eq!(right_seen, 3);
+    }
+}

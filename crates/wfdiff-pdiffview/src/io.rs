@@ -1,0 +1,281 @@
+//! Import/export of specifications, runs and edit scripts.
+//!
+//! The PDiffView prototype of the paper stores specifications and runs as XML
+//! documents.  Here JSON (via serde) is the primary interchange format —
+//! round-trippable in both directions — and a small XML writer mirrors the
+//! paper's storage format for export.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use wfdiff_core::{EditScript, OpDirection};
+use wfdiff_graph::{EdgeId, LabeledDigraph};
+use wfdiff_sptree::{ControlKind, Run, Specification, SpTreeError};
+
+/// A serialisable description of an SP-workflow specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecDescriptor {
+    /// Specification name.
+    pub name: String,
+    /// Edges as `(source-label, target-label)` pairs.
+    pub edges: Vec<(String, String)>,
+    /// Fork subgraphs, each an edge list.
+    pub forks: Vec<Vec<(String, String)>>,
+    /// Loop subgraphs, each an edge list.
+    pub loops: Vec<Vec<(String, String)>>,
+}
+
+impl SpecDescriptor {
+    /// Extracts a descriptor from a built specification.
+    pub fn from_specification(spec: &Specification) -> Self {
+        let graph = spec.graph();
+        let label = |n| graph.label(n).as_str().to_string();
+        let edge_pair = |e: EdgeId| {
+            let edge = graph.edge(e);
+            (label(edge.src), label(edge.dst))
+        };
+        let mut forks = Vec::new();
+        let mut loops = Vec::new();
+        for control in spec.controls() {
+            let edges: Vec<(String, String)> =
+                control.edges.iter().map(|&e| edge_pair(e)).collect();
+            match control.kind {
+                ControlKind::Fork => forks.push(edges),
+                ControlKind::Loop => loops.push(edges),
+            }
+        }
+        SpecDescriptor {
+            name: spec.name().to_string(),
+            edges: graph.edges().map(|(id, _)| edge_pair(id)).collect(),
+            forks,
+            loops,
+        }
+    }
+
+    /// Builds the specification described by this descriptor.
+    pub fn to_specification(&self) -> Result<Specification, SpTreeError> {
+        let mut graph = LabeledDigraph::new();
+        let mut by_label = std::collections::HashMap::new();
+        let mut node = |graph: &mut LabeledDigraph, l: &str| {
+            *by_label
+                .entry(l.to_string())
+                .or_insert_with(|| graph.add_node(l))
+        };
+        let mut edge_ids = std::collections::HashMap::new();
+        for (from, to) in &self.edges {
+            let u = node(&mut graph, from);
+            let v = node(&mut graph, to);
+            let id = graph.add_edge(u, v);
+            edge_ids.insert((from.clone(), to.clone()), id);
+        }
+        let sp = wfdiff_graph::SpGraph::from_flow_network(graph)?;
+        let resolve = |edges: &Vec<(String, String)>| -> Result<BTreeSet<EdgeId>, SpTreeError> {
+            edges
+                .iter()
+                .map(|pair| {
+                    edge_ids.get(pair).copied().ok_or_else(|| SpTreeError::Invariant(format!(
+                        "control subgraph references unknown edge {} -> {}",
+                        pair.0, pair.1
+                    )))
+                })
+                .collect()
+        };
+        let mut controls = Vec::new();
+        for f in &self.forks {
+            controls.push((ControlKind::Fork, resolve(f)?));
+        }
+        for l in &self.loops {
+            controls.push((ControlKind::Loop, resolve(l)?));
+        }
+        Specification::new(self.name.clone(), sp, controls)
+    }
+
+    /// Serialises the descriptor to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("descriptors serialise")
+    }
+
+    /// Parses a descriptor from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Exports the specification as a small XML document, mirroring the
+    /// storage format of the original prototype.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("<specification name=\"{}\">\n", xml_escape(&self.name)));
+        for (from, to) in &self.edges {
+            out.push_str(&format!(
+                "  <edge from=\"{}\" to=\"{}\"/>\n",
+                xml_escape(from),
+                xml_escape(to)
+            ));
+        }
+        for (tag, groups) in [("fork", &self.forks), ("loop", &self.loops)] {
+            for group in groups {
+                out.push_str(&format!("  <{tag}>\n"));
+                for (from, to) in group {
+                    out.push_str(&format!(
+                        "    <edge from=\"{}\" to=\"{}\"/>\n",
+                        xml_escape(from),
+                        xml_escape(to)
+                    ));
+                }
+                out.push_str(&format!("  </{tag}>\n"));
+            }
+        }
+        out.push_str("</specification>\n");
+        out
+    }
+}
+
+/// A serialisable description of a run: nodes are numbered and carry labels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunDescriptor {
+    /// Name of the specification this run belongs to.
+    pub spec: String,
+    /// Node labels, indexed by node id.
+    pub nodes: Vec<String>,
+    /// Edges as pairs of node indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl RunDescriptor {
+    /// Extracts a descriptor from a run.
+    pub fn from_run(run: &Run) -> Self {
+        let graph = run.graph();
+        RunDescriptor {
+            spec: run.spec_name().to_string(),
+            nodes: graph.nodes().map(|(_, n)| n.label.as_str().to_string()).collect(),
+            edges: graph
+                .edges()
+                .map(|(_, e)| (e.src.index(), e.dst.index()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the run (validating it against `spec`).
+    pub fn to_run(&self, spec: &Specification) -> Result<Run, SpTreeError> {
+        let mut graph = LabeledDigraph::new();
+        for label in &self.nodes {
+            graph.add_node(label.as_str());
+        }
+        for &(u, v) in &self.edges {
+            graph.add_edge(wfdiff_graph::NodeId::from(u), wfdiff_graph::NodeId::from(v));
+        }
+        Run::from_graph(spec, graph)
+    }
+
+    /// Serialises the descriptor to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("descriptors serialise")
+    }
+
+    /// Parses a descriptor from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Exports the run as a small XML document.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("<run spec=\"{}\">\n", xml_escape(&self.spec)));
+        for (i, label) in self.nodes.iter().enumerate() {
+            out.push_str(&format!("  <node id=\"{i}\" label=\"{}\"/>\n", xml_escape(label)));
+        }
+        for (u, v) in &self.edges {
+            out.push_str(&format!("  <edge from=\"{u}\" to=\"{v}\"/>\n"));
+        }
+        out.push_str("</run>\n");
+        out
+    }
+}
+
+/// Exports an edit script as XML (one `<insert>`/`<delete>` element per
+/// operation, listing the path's labels).
+pub fn script_to_xml(script: &EditScript) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("<editscript cost=\"{}\">\n", script.total_cost));
+    for op in &script.ops {
+        let tag = match op.direction {
+            OpDirection::Insert => "insert",
+            OpDirection::Delete => "delete",
+        };
+        let path = op
+            .labels
+            .iter()
+            .map(|l| xml_escape(l.as_str()))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!("  <{tag} cost=\"{}\" path=\"{}\"/>\n", op.cost, path));
+    }
+    out.push_str("</editscript>\n");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfdiff_core::{UnitCost, WorkflowDiff};
+    use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
+
+    #[test]
+    fn spec_descriptor_roundtrips_through_json() {
+        let spec = fig2_specification();
+        let desc = SpecDescriptor::from_specification(&spec);
+        let json = desc.to_json();
+        let back = SpecDescriptor::from_json(&json).unwrap();
+        assert_eq!(desc, back);
+        let rebuilt = back.to_specification().unwrap();
+        assert_eq!(rebuilt.stats(), spec.stats());
+        assert!(rebuilt.tree().equivalent(spec.tree()));
+    }
+
+    #[test]
+    fn run_descriptor_roundtrips_through_json() {
+        let spec = fig2_specification();
+        let run = fig2_run1(&spec);
+        let desc = RunDescriptor::from_run(&run);
+        let json = desc.to_json();
+        let back = RunDescriptor::from_json(&json).unwrap();
+        let rebuilt = back.to_run(&spec).unwrap();
+        assert!(rebuilt.tree().equivalent(run.tree()));
+        assert_eq!(rebuilt.edge_count(), run.edge_count());
+    }
+
+    #[test]
+    fn xml_export_contains_structure() {
+        let spec = fig2_specification();
+        let desc = SpecDescriptor::from_specification(&spec);
+        let xml = desc.to_xml();
+        assert!(xml.starts_with("<specification name=\"fig2\">"));
+        assert!(xml.contains("<fork>"));
+        assert!(xml.contains("<loop>"));
+        assert!(xml.matches("<edge ").count() >= 8);
+        let run_xml = RunDescriptor::from_run(&fig2_run1(&spec)).to_xml();
+        assert!(run_xml.contains("<node id=\"0\""));
+    }
+
+    #[test]
+    fn script_xml_lists_operations() {
+        let spec = fig2_specification();
+        let r1 = fig2_run1(&spec);
+        let r2 = fig2_run2(&spec);
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        let (result, script) =
+            wfdiff_core::script::diff_with_script(&engine, &r1, &r2).unwrap();
+        let xml = script_to_xml(&script);
+        assert!(xml.contains("editscript cost=\"4\""));
+        assert_eq!(xml.matches("<insert").count() + xml.matches("<delete").count(), 4);
+        let _ = result;
+    }
+
+    #[test]
+    fn xml_escaping_handles_special_characters() {
+        assert_eq!(xml_escape("a<b&\"c\">"), "a&lt;b&amp;&quot;c&quot;&gt;");
+    }
+}

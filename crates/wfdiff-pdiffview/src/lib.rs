@@ -1,0 +1,34 @@
+//! PDiffView — a headless provenance-difference viewer (Section VII).
+//!
+//! The paper's prototype lets users *view, store, generate and import/export*
+//! SP-specifications and their runs, and step through the minimum-cost edit
+//! script between two runs, with inserted paths highlighted in green and
+//! deleted paths in red; large workflows can be clustered into composite
+//! modules and the difference viewed at any level of that hierarchy.
+//!
+//! This crate provides the same capabilities without a GUI:
+//!
+//! * [`store`] — a thread-safe in-memory store of specifications and runs,
+//! * [`io`] — JSON import/export and a simple XML export of specifications,
+//!   runs and edit scripts (the paper's prototype stored runs as XML),
+//! * [`session`] — differencing sessions that compute the distance, the
+//!   mapping and the edit script and let a caller step through the operations,
+//! * [`render`] — textual and Graphviz/DOT renderings of a diff (red deleted
+//!   paths on the source run, green inserted paths on the target run),
+//! * [`cluster`] — composite-module clustering and per-cluster difference
+//!   summaries for zooming into large provenance graphs.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cluster;
+pub mod io;
+pub mod render;
+pub mod session;
+pub mod store;
+
+pub use cluster::{ClusterDiff, Clustering};
+pub use io::{RunDescriptor, SpecDescriptor};
+pub use render::{render_diff_dot, render_diff_text};
+pub use session::DiffSession;
+pub use store::WorkflowStore;

@@ -1,0 +1,154 @@
+//! Rendering diffs as text and Graphviz/DOT.
+//!
+//! Mirrors the PDiffView panes: the source run with deleted paths in red, the
+//! target run with inserted paths in green (Figure 10 of the paper), plus a
+//! textual summary suitable for terminals and logs.
+
+use crate::session::DiffSession;
+use std::collections::HashMap;
+use wfdiff_core::{OpDirection, OpProvenance};
+use wfdiff_graph::dot::{to_dot, DotStyle};
+use wfdiff_sptree::NodeType;
+
+/// Renders the session as a pair of DOT digraphs: `(source_view, target_view)`.
+///
+/// Edges covered by deletion operations are drawn red and bold in the source
+/// view; edges covered by insertion operations are drawn green and bold in the
+/// target view.
+pub fn render_diff_dot(session: &DiffSession<'_>) -> (String, String) {
+    let mut source_style = DotStyle::titled(format!(
+        "{}: source run (deleted paths in red)",
+        session.spec().name()
+    ));
+    source_style.show_node_ids = true;
+    let mut target_style = DotStyle::titled(format!(
+        "{}: target run (inserted paths in green)",
+        session.spec().name()
+    ));
+    target_style.show_node_ids = true;
+
+    let t1 = session.source().tree();
+    let t2 = session.target().tree();
+    for op in &session.script().ops {
+        match (op.provenance, op.direction) {
+            (OpProvenance::SourceRun, OpDirection::Delete) => {
+                for &leaf in &op.leaves {
+                    if let Some(edge) = t1.node(leaf).edge {
+                        source_style
+                            .edge_attrs
+                            .insert(edge, "color=red, penwidth=2".to_string());
+                    }
+                }
+            }
+            (OpProvenance::TargetRun, OpDirection::Insert) => {
+                for &leaf in &op.leaves {
+                    if let Some(edge) = t2.node(leaf).edge {
+                        target_style
+                            .edge_attrs
+                            .insert(edge, "color=green, penwidth=2".to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (
+        to_dot(session.source().graph(), "source_run", &source_style),
+        to_dot(session.target().graph(), "target_run", &target_style),
+    )
+}
+
+/// Renders a compact, human-readable textual diff: the overview line, the
+/// per-module change counts and the edit script.
+pub fn render_diff_text(session: &DiffSession<'_>) -> String {
+    let mut out = String::new();
+    out.push_str(&session.overview());
+    out.push_str("\n\n");
+
+    // Per-module change counts: how many deleted/inserted path operations touch
+    // each module label.
+    let mut per_module: HashMap<String, (usize, usize)> = HashMap::new();
+    for op in &session.script().ops {
+        for label in &op.labels {
+            let entry = per_module.entry(label.as_str().to_string()).or_default();
+            match op.direction {
+                OpDirection::Delete => entry.0 += 1,
+                OpDirection::Insert => entry.1 += 1,
+            }
+        }
+    }
+    let mut modules: Vec<_> = per_module.into_iter().collect();
+    modules.sort();
+    out.push_str("module changes (deletions / insertions touching the module):\n");
+    for (module, (del, ins)) in modules {
+        out.push_str(&format!("  {module:<24} -{del} +{ins}\n"));
+    }
+    out.push('\n');
+    out.push_str("edit script:\n");
+    out.push_str(&session.script().describe());
+    out
+}
+
+/// Renders the annotated SP-tree of a run with fork/loop markers, a compact
+/// replacement for the prototype's tree pane.
+pub fn render_run_tree(run: &wfdiff_sptree::Run) -> String {
+    let tree = run.tree();
+    let mut out = String::new();
+    for v in tree.preorder(tree.root()) {
+        let node = tree.node(v);
+        let indent = "  ".repeat(tree.depth(v));
+        let marker = match node.ty {
+            NodeType::F => format!(" (fork × {})", node.children.len()),
+            NodeType::L => format!(" (loop × {})", node.children.len()),
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "{indent}{}{} [{} -> {}]\n",
+            node.ty, marker, node.s_label, node.t_label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfdiff_core::UnitCost;
+    use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
+
+    #[test]
+    fn dot_views_highlight_changed_edges() {
+        let spec = fig2_specification();
+        let r1 = fig2_run1(&spec);
+        let r2 = fig2_run2(&spec);
+        let session = DiffSession::new(&spec, &UnitCost, &r1, &r2).unwrap();
+        let (src, dst) = render_diff_dot(&session);
+        assert!(src.contains("digraph"));
+        assert!(src.contains("color=red"));
+        assert!(dst.contains("color=green"));
+        // The deleted copy of branch 3 covers two edges in the source view.
+        assert_eq!(src.matches("color=red").count(), 2);
+    }
+
+    #[test]
+    fn text_view_contains_script_and_module_counts() {
+        let spec = fig2_specification();
+        let r1 = fig2_run1(&spec);
+        let r2 = fig2_run2(&spec);
+        let session = DiffSession::new(&spec, &UnitCost, &r1, &r2).unwrap();
+        let text = render_diff_text(&session);
+        assert!(text.contains("module changes"));
+        assert!(text.contains("edit script:"));
+        assert!(text.contains("total cost: 4"));
+    }
+
+    #[test]
+    fn run_tree_rendering_marks_forks_and_loops() {
+        let spec = fig2_specification();
+        let r1 = fig2_run1(&spec);
+        let text = render_run_tree(&r1);
+        assert!(text.contains("(fork × 2)"));
+        assert!(text.contains("(loop × 1)"));
+        assert!(text.contains("[1 -> 7]"));
+    }
+}

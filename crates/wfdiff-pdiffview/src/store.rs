@@ -1,0 +1,146 @@
+//! A thread-safe in-memory store of specifications and runs.
+//!
+//! The PDiffView prototype lets users store and later re-open specifications
+//! and runs; this is the headless equivalent, also used by the benchmark
+//! harness to share generated workloads between experiments.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use wfdiff_sptree::{Run, Specification};
+
+/// A named collection of specifications and, per specification, named runs.
+#[derive(Default)]
+pub struct WorkflowStore {
+    specs: RwLock<BTreeMap<String, Arc<Specification>>>,
+    runs: RwLock<BTreeMap<(String, String), Arc<Run>>>,
+}
+
+impl WorkflowStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        WorkflowStore::default()
+    }
+
+    /// Inserts (or replaces) a specification and returns its shared handle.
+    pub fn insert_spec(&self, spec: Specification) -> Arc<Specification> {
+        let arc = Arc::new(spec);
+        self.specs.write().insert(arc.name().to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Looks up a specification by name.
+    pub fn spec(&self, name: &str) -> Option<Arc<Specification>> {
+        self.specs.read().get(name).cloned()
+    }
+
+    /// Names of all stored specifications.
+    pub fn spec_names(&self) -> Vec<String> {
+        self.specs.read().keys().cloned().collect()
+    }
+
+    /// Inserts (or replaces) a run under the given name.
+    ///
+    /// The run's specification must already be stored.
+    pub fn insert_run(&self, run_name: &str, run: Run) -> Option<Arc<Run>> {
+        if self.spec(run.spec_name()).is_none() {
+            return None;
+        }
+        let key = (run.spec_name().to_string(), run_name.to_string());
+        let arc = Arc::new(run);
+        self.runs.write().insert(key, Arc::clone(&arc));
+        Some(arc)
+    }
+
+    /// Looks up a run by specification and run name.
+    pub fn run(&self, spec_name: &str, run_name: &str) -> Option<Arc<Run>> {
+        self.runs.read().get(&(spec_name.to_string(), run_name.to_string())).cloned()
+    }
+
+    /// Names of the runs stored for a specification.
+    pub fn run_names(&self, spec_name: &str) -> Vec<String> {
+        self.runs
+            .read()
+            .keys()
+            .filter(|(s, _)| s == spec_name)
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// Removes a run; returns `true` if it existed.
+    pub fn remove_run(&self, spec_name: &str, run_name: &str) -> bool {
+        self.runs.write().remove(&(spec_name.to_string(), run_name.to_string())).is_some()
+    }
+
+    /// Removes a specification and all of its runs; returns `true` if the
+    /// specification existed.
+    pub fn remove_spec(&self, spec_name: &str) -> bool {
+        let existed = self.specs.write().remove(spec_name).is_some();
+        self.runs.write().retain(|(s, _), _| s != spec_name);
+        existed
+    }
+
+    /// Total number of stored runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
+
+    #[test]
+    fn store_and_retrieve_specs_and_runs() {
+        let store = WorkflowStore::new();
+        let spec = store.insert_spec(fig2_specification());
+        assert_eq!(store.spec_names(), vec!["fig2".to_string()]);
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        store.insert_run("r2", fig2_run2(&spec)).unwrap();
+        assert_eq!(store.run_count(), 2);
+        assert!(store.run("fig2", "r1").is_some());
+        assert_eq!(store.run_names("fig2"), vec!["r1".to_string(), "r2".to_string()]);
+        assert!(store.run("fig2", "r3").is_none());
+    }
+
+    #[test]
+    fn runs_require_their_spec_to_be_stored() {
+        let store = WorkflowStore::new();
+        let spec = fig2_specification();
+        let run = fig2_run1(&spec);
+        assert!(store.insert_run("orphan", run).is_none());
+    }
+
+    #[test]
+    fn removal_cascades_from_spec_to_runs() {
+        let store = WorkflowStore::new();
+        let spec = store.insert_spec(fig2_specification());
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        assert!(store.remove_run("fig2", "r1"));
+        assert!(!store.remove_run("fig2", "r1"));
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        assert!(store.remove_spec("fig2"));
+        assert_eq!(store.run_count(), 0);
+        assert!(store.spec("fig2").is_none());
+    }
+
+    #[test]
+    fn store_is_shareable_across_threads() {
+        let store = Arc::new(WorkflowStore::new());
+        let spec = store.insert_spec(fig2_specification());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let store = Arc::clone(&store);
+                let spec = Arc::clone(&spec);
+                std::thread::spawn(move || {
+                    store.insert_run(&format!("run{i}"), fig2_run1(&spec)).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.run_count(), 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for SP-tree construction and run validation.
+
+use std::fmt;
+use wfdiff_graph::GraphError;
+
+/// Errors raised while constructing annotated SP-trees or validating runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpTreeError {
+    /// An underlying graph-level error.
+    Graph(GraphError),
+    /// A fork/loop subgraph is not representable in the canonical SP-tree
+    /// (not a series subgraph / complete subgraph of the specification).
+    ControlNotRepresentable {
+        /// Human-readable description of the offending subgraph.
+        what: String,
+    },
+    /// The fork/loop subgraphs do not form a laminar family.
+    NotLaminar {
+        /// Description of the two overlapping subgraphs.
+        what: String,
+    },
+    /// Two fork/loop annotations cover exactly the same edge set, or two loops
+    /// share terminals, which would make run replay ambiguous.
+    AmbiguousControl {
+        /// Description of the ambiguity.
+        what: String,
+    },
+    /// A run does not conform to the specification's execution semantics
+    /// (Algorithm 2/5 could not replay it).
+    InvalidRun {
+        /// Description of where the replay failed.
+        what: String,
+    },
+    /// An internal invariant of the tree machinery was violated.
+    Invariant(String),
+}
+
+impl fmt::Display for SpTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpTreeError::Graph(e) => write!(f, "graph error: {e}"),
+            SpTreeError::ControlNotRepresentable { what } => {
+                write!(f, "fork/loop subgraph is not representable: {what}")
+            }
+            SpTreeError::NotLaminar { what } => {
+                write!(f, "fork/loop subgraphs are not well nested (laminar): {what}")
+            }
+            SpTreeError::AmbiguousControl { what } => {
+                write!(f, "ambiguous fork/loop annotation: {what}")
+            }
+            SpTreeError::InvalidRun { what } => write!(f, "invalid run: {what}"),
+            SpTreeError::Invariant(msg) => write!(f, "internal invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpTreeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpTreeError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SpTreeError {
+    fn from(value: GraphError) -> Self {
+        SpTreeError::Graph(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_errors_convert() {
+        let e: SpTreeError = GraphError::CyclicGraph.into();
+        assert!(matches!(e, SpTreeError::Graph(GraphError::CyclicGraph)));
+        assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SpTreeError::InvalidRun { what: "module 3 executed twice without a fork".into() };
+        assert!(e.to_string().contains("invalid run"));
+        assert!(e.to_string().contains("module 3"));
+    }
+
+    #[test]
+    fn source_chains_to_graph_error() {
+        use std::error::Error;
+        let e: SpTreeError = GraphError::EmptyGraph.into();
+        assert!(e.source().is_some());
+        assert!(SpTreeError::Invariant("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! Laminar families (Definition 3.6).
+//!
+//! The fork and loop subgraphs of an SP-workflow specification must be *well
+//! nested*: the collection of their edge sets must form a laminar family —
+//! any two sets are either disjoint or one contains the other.
+
+use std::collections::BTreeSet;
+use wfdiff_graph::EdgeId;
+
+/// Checks whether the given collection of edge sets forms a laminar family.
+///
+/// Returns `Ok(())` or the indices of the first offending pair.
+pub fn check_laminar(sets: &[BTreeSet<EdgeId>]) -> Result<(), (usize, usize)> {
+    for i in 0..sets.len() {
+        for j in (i + 1)..sets.len() {
+            if !nested_or_disjoint(&sets[i], &sets[j]) {
+                return Err((i, j));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns `true` if `a ⊆ b`, `b ⊆ a`, or `a ∩ b = ∅`.
+pub fn nested_or_disjoint(a: &BTreeSet<EdgeId>, b: &BTreeSet<EdgeId>) -> bool {
+    let intersects = a.iter().any(|x| b.contains(x));
+    if !intersects {
+        return true;
+    }
+    a.is_subset(b) || b.is_subset(a)
+}
+
+/// Returns `true` if any two sets in the collection are equal.
+///
+/// Equal sets are permitted by the laminar-family definition but make the
+/// annotation ambiguous (two forks, or a fork and a loop, over exactly the same
+/// subgraph), so the specification builder rejects them explicitly.
+pub fn has_duplicate_sets(sets: &[BTreeSet<EdgeId>]) -> Option<(usize, usize)> {
+    for i in 0..sets.len() {
+        for j in (i + 1)..sets.len() {
+            if sets[i] == sets[j] {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<EdgeId> {
+        ids.iter().map(|&i| EdgeId(i)).collect()
+    }
+
+    #[test]
+    fn disjoint_sets_are_laminar() {
+        assert!(check_laminar(&[set(&[0, 1]), set(&[2, 3]), set(&[4])]).is_ok());
+    }
+
+    #[test]
+    fn nested_sets_are_laminar() {
+        assert!(check_laminar(&[set(&[0, 1, 2, 3]), set(&[1, 2]), set(&[1])]).is_ok());
+    }
+
+    #[test]
+    fn crossing_sets_are_rejected() {
+        let err = check_laminar(&[set(&[0, 1]), set(&[1, 2])]).unwrap_err();
+        assert_eq!(err, (0, 1));
+    }
+
+    #[test]
+    fn mixed_family() {
+        // {0,1,2,3,4,5}, {0,1}, {2,3}, {2} is laminar; adding {3,4} crosses {2,3}.
+        let mut family = vec![set(&[0, 1, 2, 3, 4, 5]), set(&[0, 1]), set(&[2, 3]), set(&[2])];
+        assert!(check_laminar(&family).is_ok());
+        family.push(set(&[3, 4]));
+        assert!(check_laminar(&family).is_err());
+    }
+
+    #[test]
+    fn duplicates_detected() {
+        assert_eq!(has_duplicate_sets(&[set(&[1, 2]), set(&[2, 1])]), Some((0, 1)));
+        assert_eq!(has_duplicate_sets(&[set(&[1]), set(&[2])]), None);
+    }
+
+    #[test]
+    fn empty_family_is_laminar() {
+        assert!(check_laminar(&[]).is_ok());
+    }
+}

@@ -1,0 +1,47 @@
+//! Annotated SP-trees for SP-workflow specifications and runs.
+//!
+//! This crate implements Sections III-D, IV and VI of *Differencing Provenance
+//! in Scientific Workflows* (Bao et al.):
+//!
+//! * the **SP-workflow model**: an SP-specification graph overlaid with a
+//!   laminar family of fork (`F`) and loop (`L`) subgraphs
+//!   ([`Specification`], [`laminar`]),
+//! * the **canonical SP-tree** of an SP-graph ([`canonical`]),
+//! * **Algorithm 1** — the annotated SP-tree of a specification
+//!   ([`Specification::new`]),
+//! * **Algorithms 2 and 5** — the annotated SP-tree of a valid run, i.e. the
+//!   deterministic replay `f''` of the execution that produced the run
+//!   ([`Specification::validate_run`]),
+//! * the **execution function** `f` / `f'` used to generate valid runs from a
+//!   specification ([`execution`]),
+//! * materialisation of run graphs from annotated SP-trees, including the
+//!   implicit loop back-edges ([`materialize`]),
+//! * the **branch-free achievable-length** DP used by the cost machinery of
+//!   `wfdiff-core` ([`lengths`]).
+//!
+//! The edit-distance algorithms themselves (Algorithms 3, 4 and 6) live in the
+//! `wfdiff-core` crate, which consumes the [`AnnotatedTree`]s produced here.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod canonical;
+pub mod error;
+pub mod execution;
+pub mod laminar;
+pub mod lengths;
+pub mod materialize;
+pub mod node;
+pub mod run;
+pub mod spec;
+pub mod tree;
+
+pub use error::SpTreeError;
+pub use execution::{ExecutionDecider, FullDecider, MinimalDecider};
+pub use node::{NodeType, TreeId, TreeNode};
+pub use run::Run;
+pub use spec::{ControlKind, ControlSubgraph, Specification, SpecificationBuilder};
+pub use tree::AnnotatedTree;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SpTreeError>;

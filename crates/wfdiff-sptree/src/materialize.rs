@@ -1,0 +1,210 @@
+//! Materialising run graphs from annotated SP-trees.
+//!
+//! The execution function (and the edit-script applier in `wfdiff-core`)
+//! produce annotated run *trees*; this module turns such a tree into the
+//! corresponding run *graph* — `Graph(T)` in the paper's notation — creating
+//! fresh node identities for every replicated module and inserting the
+//! implicit loop back-edges between consecutive iterations of `L` nodes.
+//!
+//! As a side effect the tree's per-node terminal node ids (`s_node`,
+//! `t_node`) and the `Q`-leaf edge ids are filled in so that the tree and the
+//! graph reference each other consistently.
+
+use crate::node::{NodeType, TreeId};
+use crate::tree::AnnotatedTree;
+use wfdiff_graph::{LabeledDigraph, NodeId};
+
+/// Result of materialising a run tree.
+#[derive(Debug, Clone)]
+pub struct MaterializedRun {
+    /// The run graph, including implicit loop back-edges.
+    pub graph: LabeledDigraph,
+    /// The run's source node.
+    pub source: NodeId,
+    /// The run's sink node.
+    pub sink: NodeId,
+    /// Number of implicit loop back-edges added (edges of the graph that do not
+    /// correspond to any `Q` leaf of the tree).
+    pub implicit_edges: usize,
+}
+
+/// Materialises the run graph of `tree`, updating the tree's terminal node ids
+/// and leaf edge ids in place.
+pub fn materialize(tree: &mut AnnotatedTree) -> MaterializedRun {
+    let mut graph = LabeledDigraph::new();
+    let root = tree.root();
+    let source = graph.add_node(tree.node(root).s_label.clone());
+    let sink = graph.add_node(tree.node(root).t_label.clone());
+    let mut implicit = 0usize;
+    fill(tree, root, &mut graph, source, sink, &mut implicit);
+    MaterializedRun { graph, source, sink, implicit_edges: implicit }
+}
+
+fn fill(
+    tree: &mut AnnotatedTree,
+    v: TreeId,
+    graph: &mut LabeledDigraph,
+    s_node: NodeId,
+    t_node: NodeId,
+    implicit: &mut usize,
+) {
+    {
+        let node = tree.node_mut(v);
+        node.s_node = s_node;
+        node.t_node = t_node;
+    }
+    match tree.ty(v) {
+        NodeType::Q => {
+            let edge = graph.add_edge(s_node, t_node);
+            tree.node_mut(v).edge = Some(edge);
+        }
+        NodeType::S => {
+            let children = tree.children(v).to_vec();
+            let mut prev = s_node;
+            for (i, &c) in children.iter().enumerate() {
+                let next = if i + 1 == children.len() {
+                    t_node
+                } else {
+                    graph.add_node(tree.node(c).t_label.clone())
+                };
+                fill(tree, c, graph, prev, next, implicit);
+                prev = next;
+            }
+        }
+        NodeType::P | NodeType::F => {
+            let children = tree.children(v).to_vec();
+            for &c in &children {
+                fill(tree, c, graph, s_node, t_node, implicit);
+            }
+        }
+        NodeType::L => {
+            let children = tree.children(v).to_vec();
+            let mut iter_source = s_node;
+            for (i, &c) in children.iter().enumerate() {
+                let iter_sink = if i + 1 == children.len() {
+                    t_node
+                } else {
+                    graph.add_node(tree.node(c).t_label.clone())
+                };
+                fill(tree, c, graph, iter_source, iter_sink, implicit);
+                if i + 1 != children.len() {
+                    let next_source = graph.add_node(tree.node(children[i + 1]).s_label.clone());
+                    graph.add_edge(iter_sink, next_source);
+                    *implicit += 1;
+                    iter_source = next_source;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TreeNode;
+    use wfdiff_graph::{validate_flow_network, Label};
+
+    fn q(tree: &mut AnnotatedTree, s: &str, t: &str) -> TreeId {
+        let mut n =
+            TreeNode::new(NodeType::Q, Label::new(s), Label::new(t), NodeId(0), NodeId(0));
+        n.leaf_count = 1;
+        tree.add_node(n)
+    }
+
+    fn internal(tree: &mut AnnotatedTree, ty: NodeType, s: &str, t: &str) -> TreeId {
+        tree.add_node(TreeNode::new(ty, Label::new(s), Label::new(t), NodeId(0), NodeId(0)))
+    }
+
+    #[test]
+    fn materialize_series_of_leaves() {
+        let mut t = AnnotatedTree::empty();
+        let root = internal(&mut t, NodeType::S, "a", "c");
+        let q1 = q(&mut t, "a", "b");
+        let q2 = q(&mut t, "b", "c");
+        t.attach_child(root, q1);
+        t.attach_child(root, q2);
+        t.set_root(root);
+        t.recompute_leaf_counts();
+        let m = materialize(&mut t);
+        assert_eq!(m.graph.node_count(), 3);
+        assert_eq!(m.graph.edge_count(), 2);
+        assert_eq!(m.implicit_edges, 0);
+        assert!(validate_flow_network(&m.graph).is_ok());
+        assert!(t.node(q1).edge.is_some());
+        assert_eq!(t.node(root).s_node, m.source);
+        assert_eq!(t.node(root).t_node, m.sink);
+    }
+
+    #[test]
+    fn materialize_fork_copies_share_terminals() {
+        // F node with two copies of a two-edge series subgraph between u and w.
+        let mut t = AnnotatedTree::empty();
+        let root = internal(&mut t, NodeType::F, "u", "w");
+        for _ in 0..2 {
+            let s = internal(&mut t, NodeType::S, "u", "w");
+            let a = q(&mut t, "u", "v");
+            let b = q(&mut t, "v", "w");
+            t.attach_child(s, a);
+            t.attach_child(s, b);
+            t.attach_child(root, s);
+        }
+        t.set_root(root);
+        t.recompute_leaf_counts();
+        let m = materialize(&mut t);
+        // Nodes: u, w shared + two private copies of v.
+        assert_eq!(m.graph.node_count(), 4);
+        assert_eq!(m.graph.edge_count(), 4);
+        assert_eq!(m.graph.out_degree(m.source), 2);
+        assert_eq!(m.graph.in_degree(m.sink), 2);
+    }
+
+    #[test]
+    fn materialize_loop_adds_implicit_edges() {
+        // L node with two iterations of a single-edge body u -> w.
+        let mut t = AnnotatedTree::empty();
+        let root = internal(&mut t, NodeType::L, "u", "w");
+        let i1 = q(&mut t, "u", "w");
+        let i2 = q(&mut t, "u", "w");
+        t.attach_child(root, i1);
+        t.attach_child(root, i2);
+        t.set_root(root);
+        t.recompute_leaf_counts();
+        let m = materialize(&mut t);
+        // Nodes: u, w (outer) + w (iteration-1 sink) + u (iteration-2 source).
+        assert_eq!(m.graph.node_count(), 4);
+        // Two body edges + one implicit back edge.
+        assert_eq!(m.graph.edge_count(), 3);
+        assert_eq!(m.implicit_edges, 1);
+        assert!(validate_flow_network(&m.graph).is_ok());
+        assert!(m.graph.is_acyclic());
+    }
+
+    #[test]
+    fn nested_structures_materialize_to_valid_flow_networks() {
+        // S( Q(1,2), F( S(Q(2,3), Q(3,6)), S(Q(2,3), Q(3,6)) ), Q(6,7) )
+        let mut t = AnnotatedTree::empty();
+        let root = internal(&mut t, NodeType::S, "1", "7");
+        let q12 = q(&mut t, "1", "2");
+        let f = internal(&mut t, NodeType::F, "2", "6");
+        for _ in 0..2 {
+            let s = internal(&mut t, NodeType::S, "2", "6");
+            let a = q(&mut t, "2", "3");
+            let b = q(&mut t, "3", "6");
+            t.attach_child(s, a);
+            t.attach_child(s, b);
+            t.attach_child(f, s);
+        }
+        let q67 = q(&mut t, "6", "7");
+        t.attach_child(root, q12);
+        t.attach_child(root, f);
+        t.attach_child(root, q67);
+        t.set_root(root);
+        t.recompute_leaf_counts();
+        let m = materialize(&mut t);
+        assert!(validate_flow_network(&m.graph).is_ok());
+        assert!(m.graph.is_acyclic());
+        assert_eq!(m.graph.edge_count(), 6);
+        // Labels: 1,2,6,7 shared; 3 appears twice.
+        assert_eq!(m.graph.find_all_labels("3").len(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Differencing runs with loops (Section VI): iterations are matched by a
+//! non-crossing matching, and the implicit back edges are handled by path
+//! expansion/contraction.
+//!
+//! Run with `cargo run --example loop_differencing`.
+
+use pdiffview::core::script::diff_with_script;
+use pdiffview::pdiffview::render::render_run_tree;
+use pdiffview::prelude::*;
+use pdiffview::workloads::figures::{fig2_run1, fig2_run3, fig2_specification};
+
+fn main() {
+    let spec = fig2_specification();
+
+    // R1 executes the loop once; R3 (Figure 2(d)) executes it twice, with the
+    // implicit back edge 6 -> 2 between the iterations.
+    let r1 = fig2_run1(&spec);
+    let r3 = fig2_run3(&spec);
+    println!("R1: {} edges\n{}", r1.edge_count(), render_run_tree(&r1));
+    println!("R3: {} edges (including one implicit back edge)\n{}", r3.edge_count(), render_run_tree(&r3));
+
+    for cost in [&UnitCost as &dyn CostModel, &LengthCost] {
+        let engine = WorkflowDiff::new(&spec, cost);
+        let (result, script) = diff_with_script(&engine, &r1, &r3).unwrap();
+        println!("under the {} cost model: distance {}", cost.name(), result.distance);
+        println!("{}", script.describe());
+    }
+
+    println!(
+        "Loop iterations are ordered, so they are paired with a non-crossing matching —\n\
+         the reason loop-heavy runs difference faster than fork-heavy ones (Figure 14)."
+    );
+}

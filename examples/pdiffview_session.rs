@@ -1,0 +1,47 @@
+//! A full PDiffView session: store specifications and runs, import/export
+//! them as JSON and XML, difference two stored runs and render the result as
+//! DOT for visualisation.
+//!
+//! Run with `cargo run --example pdiffview_session`.
+
+use pdiffview::pdiffview::io::{script_to_xml, RunDescriptor, SpecDescriptor};
+use pdiffview::pdiffview::{render_diff_dot, DiffSession, WorkflowStore};
+use pdiffview::prelude::*;
+use pdiffview::workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
+
+fn main() {
+    // Store the Figure 2 specification and its two runs.
+    let store = WorkflowStore::new();
+    let spec = store.insert_spec(fig2_specification());
+    store.insert_run("R1", fig2_run1(&spec)).unwrap();
+    store.insert_run("R2", fig2_run2(&spec)).unwrap();
+    println!("stored specifications: {:?}", store.spec_names());
+    println!("stored runs of fig2: {:?}", store.run_names("fig2"));
+
+    // Export / import round trip (JSON), plus the XML view the original
+    // prototype used for storage.
+    let spec_json = SpecDescriptor::from_specification(&spec).to_json();
+    println!("\nspecification as JSON ({} bytes)", spec_json.len());
+    let reimported = SpecDescriptor::from_json(&spec_json).unwrap().to_specification().unwrap();
+    assert!(reimported.tree().equivalent(spec.tree()));
+    let run_xml = RunDescriptor::from_run(&store.run("fig2", "R1").unwrap()).to_xml();
+    println!("run R1 as XML:\n{run_xml}");
+
+    // Difference the two stored runs and step through the edit script.
+    let r1 = store.run("fig2", "R1").unwrap();
+    let r2 = store.run("fig2", "R2").unwrap();
+    let mut session = DiffSession::new(&spec, &UnitCost, &r1, &r2).unwrap();
+    println!("{}", session.overview());
+    while let Some(op) = session.step() {
+        let line = op.describe();
+        println!("  step: {line}");
+    }
+    println!("\nedit script as XML:\n{}", script_to_xml(session.script()));
+
+    // Render the two panes of the viewer as DOT (pipe into `dot -Tsvg`).
+    let (source_dot, target_dot) = render_diff_dot(&session);
+    println!("source pane DOT ({} bytes), target pane DOT ({} bytes)", source_dot.len(), target_dot.len());
+    std::fs::write("fig2_source.dot", source_dot).expect("write fig2_source.dot");
+    std::fs::write("fig2_target.dot", target_dot).expect("write fig2_target.dot");
+    println!("wrote fig2_source.dot and fig2_target.dot");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: build a small workflow specification, execute it twice, and
+//! difference the two runs.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use pdiffview::core::script::diff_with_script;
+use pdiffview::prelude::*;
+
+fn main() {
+    // 1. Describe the specification: a tiny analysis pipeline where the
+    //    alignment step can be forked over many input sequences and the
+    //    refinement section can loop until convergence.
+    let mut builder = SpecificationBuilder::new("quickstart");
+    builder
+        .edge("ingest", "split")
+        .path(&["split", "align", "merge"])
+        .path(&["split", "blast", "merge"])
+        .path(&["merge", "refine", "score"])
+        .edge("score", "report")
+        .fork_path(&["split", "align", "merge"])
+        .loop_between("merge", "score");
+    let spec = builder.build().expect("well-formed specification");
+    println!("specification `{}`: {:?}", spec.name(), spec.stats());
+
+    // 2. Execute the specification twice with different choices.
+    struct Session {
+        align_jobs: usize,
+        refine_rounds: usize,
+    }
+    impl ExecutionDecider for Session {
+        fn parallel_subset(&mut self, n: usize) -> Vec<bool> {
+            vec![true; n]
+        }
+        fn fork_copies(&mut self, _c: usize) -> usize {
+            self.align_jobs
+        }
+        fn loop_iterations(&mut self, _c: usize) -> usize {
+            self.refine_rounds
+        }
+    }
+    let monday = spec.execute(&mut Session { align_jobs: 2, refine_rounds: 1 }).unwrap();
+    let friday = spec.execute(&mut Session { align_jobs: 4, refine_rounds: 3 }).unwrap();
+    println!("monday run: {} edges, friday run: {} edges", monday.edge_count(), friday.edge_count());
+
+    // 3. Difference the two runs under the unit cost model.
+    let engine = WorkflowDiff::new(&spec, &UnitCost);
+    let (result, script) = diff_with_script(&engine, &monday, &friday).unwrap();
+    println!("edit distance: {}", result.distance);
+    println!("edit script:\n{}", script.describe());
+
+    // 4. The same pair under the length cost model weights long refinement
+    //    iterations more heavily.
+    let length_engine = WorkflowDiff::new(&spec, &LengthCost);
+    println!(
+        "distance under the length cost model: {}",
+        length_engine.distance(&monday, &friday).unwrap()
+    );
+}

@@ -1,0 +1,54 @@
+//! PDiffView — differencing provenance in scientific workflows.
+//!
+//! This umbrella crate re-exports the member crates of the workspace, which
+//! together reproduce *Differencing Provenance in Scientific Workflows*
+//! (Bao, Cohen-Boulakia, Davidson, Eyal, Khanna; ICDE 2009):
+//!
+//! * [`graph`] — labeled flow networks, series-parallel graphs and SP
+//!   decomposition,
+//! * [`sptree`] — SP-workflow specifications, annotated SP-trees and the
+//!   execution semantics (Algorithms 1, 2 and 5),
+//! * [`matching`] — Hungarian and non-crossing matching substrates,
+//! * [`core`] — cost models, the subtree-deletion DP, the edit-distance
+//!   algorithm and minimum-cost edit scripts (Algorithms 3, 4 and 6),
+//! * [`workloads`] — the paper's reference workflows and random workload
+//!   generators,
+//! * [`pdiffview`] — the headless provenance-difference viewer.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pdiffview::prelude::*;
+//!
+//! // The Figure 2 specification and two of its runs.
+//! let spec = pdiffview::workloads::figures::fig2_specification();
+//! let r1 = pdiffview::workloads::figures::fig2_run1(&spec);
+//! let r2 = pdiffview::workloads::figures::fig2_run2(&spec);
+//!
+//! // Edit distance and minimum-cost edit script under the unit cost model.
+//! let engine = WorkflowDiff::new(&spec, &UnitCost);
+//! let result = engine.diff(&r1, &r2).unwrap();
+//! assert_eq!(result.distance, 4.0);
+//! ```
+
+pub use wfdiff_core as core;
+pub use wfdiff_graph as graph;
+pub use wfdiff_matching as matching;
+pub use wfdiff_pdiffview as pdiffview;
+pub use wfdiff_sptree as sptree;
+pub use wfdiff_workloads as workloads;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use wfdiff_core::{
+        CostModel, DiffResult, EditScript, LengthCost, PowerCost, UnitCost, WorkflowDiff,
+    };
+    pub use wfdiff_graph::{Label, LabeledDigraph, SpGraph};
+    pub use wfdiff_pdiffview::{DiffSession, WorkflowStore};
+    pub use wfdiff_sptree::{
+        ExecutionDecider, FullDecider, MinimalDecider, Run, Specification, SpecificationBuilder,
+    };
+    pub use wfdiff_workloads::{
+        generate_run, random_specification, real_workflows, RunGenConfig, SpecGenConfig,
+    };
+}

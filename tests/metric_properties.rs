@@ -1,0 +1,132 @@
+//! Property-based tests of the differencing engine on randomly generated
+//! specifications and runs: metric axioms, agreement with the exhaustive
+//! oracle, and edit-script consistency.
+
+use pdiffview::core::exhaustive::exhaustive_distance;
+use pdiffview::core::script::diff_with_script;
+use pdiffview::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random small specification and a set of runs from proptest-chosen
+/// seeds; sizes are kept small so the exhaustive oracle stays tractable.
+fn spec_and_runs(
+    spec_seed: u64,
+    run_seeds: &[u64],
+    forks: usize,
+    loops: usize,
+) -> (Specification, Vec<Run>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec_seed);
+    let spec = random_specification(
+        &format!("prop-{spec_seed}"),
+        &SpecGenConfig {
+            target_edges: 18,
+            series_parallel_ratio: 0.8,
+            forks,
+            loops,
+        },
+        &mut rng,
+    );
+    let runs: Vec<Run> = run_seeds
+        .iter()
+        .map(|&seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            generate_run(
+                &spec,
+                &RunGenConfig { prob_p: 0.7, max_f: 2, prob_f: 0.7, max_l: 2, prob_l: 0.7 },
+                &mut rng,
+            )
+        })
+        .collect();
+    (spec, runs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn distance_is_a_metric_and_matches_the_oracle(
+        spec_seed in 0u64..500,
+        s1 in 0u64..1000,
+        s2 in 0u64..1000,
+        forks in 0usize..3,
+        loops in 0usize..3,
+    ) {
+        let (spec, runs) = spec_and_runs(spec_seed, &[s1, s2], forks, loops);
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        let (a, b) = (&runs[0], &runs[1]);
+
+        // Identity.
+        prop_assert_eq!(engine.distance(a, a).unwrap(), 0.0);
+        prop_assert_eq!(engine.distance(b, b).unwrap(), 0.0);
+
+        // Symmetry.
+        let ab = engine.distance(a, b).unwrap();
+        let ba = engine.distance(b, a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-9);
+
+        // Agreement with the exhaustive well-formed-mapping oracle.
+        let oracle = exhaustive_distance(&spec, &UnitCost, a, b).unwrap();
+        prop_assert!((ab - oracle).abs() < 1e-9, "DP {} != oracle {}", ab, oracle);
+
+        // Equivalent runs have distance zero and vice versa under unit cost.
+        if a.equivalent(b) {
+            prop_assert_eq!(ab, 0.0);
+        } else {
+            prop_assert!(ab > 0.0);
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_holds(
+        spec_seed in 0u64..200,
+        s1 in 0u64..300,
+        s2 in 0u64..300,
+        s3 in 0u64..300,
+    ) {
+        let (spec, runs) = spec_and_runs(spec_seed, &[s1, s2, s3], 2, 1);
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        let d01 = engine.distance(&runs[0], &runs[1]).unwrap();
+        let d12 = engine.distance(&runs[1], &runs[2]).unwrap();
+        let d02 = engine.distance(&runs[0], &runs[2]).unwrap();
+        prop_assert!(d02 <= d01 + d12 + 1e-9);
+    }
+
+    #[test]
+    fn scripts_are_consistent_across_cost_models(
+        spec_seed in 0u64..300,
+        s1 in 0u64..1000,
+        s2 in 0u64..1000,
+        eps in 0.0f64..=1.0,
+    ) {
+        let (spec, runs) = spec_and_runs(spec_seed, &[s1, s2], 2, 2);
+        let cost = PowerCost::new(eps);
+        let engine = WorkflowDiff::new(&spec, &cost);
+        let (result, script) = diff_with_script(&engine, &runs[0], &runs[1]).unwrap();
+        // The script's total cost always equals the reported distance and the
+        // structural validation passes.
+        prop_assert!((script.total_cost - result.distance).abs() < 1e-6);
+        script.validate(&result, &runs[0], &runs[1]).unwrap();
+        // The distance never exceeds the cost of deleting every unmapped piece
+        // the crude way: every T1 leaf deleted + every T2 leaf inserted.
+        let crude = (runs[0].tree().leaf_count(runs[0].tree().root())
+            + runs[1].tree().leaf_count(runs[1].tree().root())) as f64;
+        prop_assert!(result.distance <= crude + 1e-9);
+    }
+
+    #[test]
+    fn executed_runs_always_replay(
+        spec_seed in 0u64..400,
+        run_seed in 0u64..1000,
+        forks in 0usize..4,
+        loops in 0usize..4,
+    ) {
+        let (spec, runs) = spec_and_runs(spec_seed, &[run_seed], forks, loops);
+        let run = &runs[0];
+        // Replaying the materialised graph through Algorithms 2/5 reproduces an
+        // equivalent annotated tree (execution/replay consistency).
+        let replayed = Run::from_graph(&spec, run.graph().clone()).unwrap();
+        prop_assert!(run.tree().equivalent(replayed.tree()));
+    }
+}

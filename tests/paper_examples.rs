@@ -1,0 +1,113 @@
+//! End-to-end integration tests that retrace the paper's worked examples
+//! through the public API of the umbrella crate.
+
+use pdiffview::core::script::diff_with_script;
+use pdiffview::core::naive::NaiveDiff;
+use pdiffview::prelude::*;
+use pdiffview::workloads::figures::{
+    fig2_run1, fig2_run2, fig2_run3, fig2_specification, protein_annotation,
+};
+
+#[test]
+fn figure2_story_end_to_end() {
+    let spec = fig2_specification();
+    let r1 = fig2_run1(&spec);
+    let r2 = fig2_run2(&spec);
+
+    // Example 5.2 / Figure 7: distance 4 under the unit cost model, realised by
+    // a 4-operation script with one deletion and three insertions.
+    let engine = WorkflowDiff::new(&spec, &UnitCost);
+    let (result, script) = diff_with_script(&engine, &r1, &r2).unwrap();
+    assert_eq!(result.distance, 4.0);
+    assert_eq!(script.len(), 4);
+    assert_eq!(script.deletions(), 1);
+    assert_eq!(script.insertions(), 3);
+    script.validate(&result, &r1, &r2).unwrap();
+
+    // The naive Provenance-Challenge-style diff sees a much larger symmetric
+    // difference because it cannot pair the replicated modules.
+    let naive = NaiveDiff::compute(&r1, &r2);
+    assert!(naive.edge_difference() as f64 > result.distance);
+}
+
+#[test]
+fn figure2_loop_run_distances_are_consistent() {
+    let spec = fig2_specification();
+    let r1 = fig2_run1(&spec);
+    let r2 = fig2_run2(&spec);
+    let r3 = fig2_run3(&spec);
+    let engine = WorkflowDiff::new(&spec, &UnitCost);
+    let d12 = engine.distance(&r1, &r2).unwrap();
+    let d13 = engine.distance(&r1, &r3).unwrap();
+    let d23 = engine.distance(&r2, &r3).unwrap();
+    // Metric sanity across the three paper runs.
+    for (a, b, c) in [(d12, d13, d23), (d13, d12, d23), (d23, d12, d13)] {
+        assert!(a <= b + c + 1e-9, "triangle inequality violated: {a} > {b} + {c}");
+    }
+    assert!(d13 > 0.0 && d23 > 0.0);
+    // Scripts for every pair validate.
+    for (x, y) in [(&r1, &r2), (&r1, &r3), (&r2, &r3)] {
+        let (result, script) = diff_with_script(&engine, x, y).unwrap();
+        script.validate(&result, x, y).unwrap();
+    }
+}
+
+#[test]
+fn example_6_2_deleting_a_loop_iteration() {
+    // Example 6.2: removing the second iteration of the loop in R3 requires
+    // deleting the path (2b, 5a, 6b) and contracting the path (2b, 4c, 6b);
+    // under the unit cost model that is an edit distance of 2 between R3 and
+    // the single-iteration run whose iteration matches R3's first one.
+    let spec = fig2_specification();
+    let r3 = fig2_run3(&spec);
+    // The single-iteration run with branches {3, 4, 4} (R3's first iteration).
+    let mut g = pdiffview::graph::LabeledDigraph::new();
+    let n1 = g.add_node("1");
+    let n2 = g.add_node("2");
+    let n3 = g.add_node("3");
+    let n4a = g.add_node("4");
+    let n4b = g.add_node("4");
+    let n6 = g.add_node("6");
+    let n7 = g.add_node("7");
+    g.add_edge(n1, n2);
+    g.add_edge(n2, n3);
+    g.add_edge(n2, n4a);
+    g.add_edge(n2, n4b);
+    g.add_edge(n3, n6);
+    g.add_edge(n4a, n6);
+    g.add_edge(n4b, n6);
+    g.add_edge(n6, n7);
+    let single = Run::from_graph(&spec, g).unwrap();
+    let engine = WorkflowDiff::new(&spec, &UnitCost);
+    let d = engine.distance(&r3, &single).unwrap();
+    assert_eq!(d, 2.0, "dropping the second loop iteration costs two operations");
+}
+
+#[test]
+fn protein_annotation_runs_difference_cleanly() {
+    let spec = protein_annotation();
+    let small = spec.execute(&mut MinimalDecider).unwrap();
+    let full = spec.execute(&mut FullDecider).unwrap();
+    for cost in [&UnitCost as &dyn CostModel, &LengthCost, &PowerCost::new(0.5)] {
+        let engine = WorkflowDiff::new(&spec, cost);
+        let (result, script) = diff_with_script(&engine, &small, &full).unwrap();
+        assert!(result.distance > 0.0);
+        script.validate(&result, &small, &full).unwrap();
+        // Symmetry through the public API.
+        let back = engine.distance(&full, &small).unwrap();
+        assert!((back - result.distance).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn store_and_session_work_through_the_umbrella_crate() {
+    let store = WorkflowStore::new();
+    let spec = store.insert_spec(fig2_specification());
+    store.insert_run("R1", fig2_run1(&spec)).unwrap();
+    store.insert_run("R2", fig2_run2(&spec)).unwrap();
+    let r1 = store.run("fig2", "R1").unwrap();
+    let r2 = store.run("fig2", "R2").unwrap();
+    let session = DiffSession::new(&spec, &UnitCost, &r1, &r2).unwrap();
+    assert_eq!(session.distance(), 4.0);
+    assert_eq!(session.total_steps(), 4);
+}

@@ -1,0 +1,68 @@
+//! Cross-crate serialization tests: specifications and runs survive JSON
+//! round trips and the rebuilt objects difference identically.
+
+use pdiffview::pdiffview::io::{RunDescriptor, SpecDescriptor};
+use pdiffview::prelude::*;
+use pdiffview::workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
+use rand::SeedableRng;
+
+#[test]
+fn diffing_is_invariant_under_json_roundtrips() {
+    let spec = fig2_specification();
+    let r1 = fig2_run1(&spec);
+    let r2 = fig2_run2(&spec);
+    let engine = WorkflowDiff::new(&spec, &UnitCost);
+    let original = engine.distance(&r1, &r2).unwrap();
+
+    // Round-trip everything through JSON.
+    let spec2 = SpecDescriptor::from_json(&SpecDescriptor::from_specification(&spec).to_json())
+        .unwrap()
+        .to_specification()
+        .unwrap();
+    let r1b = RunDescriptor::from_json(&RunDescriptor::from_run(&r1).to_json())
+        .unwrap()
+        .to_run(&spec2)
+        .unwrap();
+    let r2b = RunDescriptor::from_json(&RunDescriptor::from_run(&r2).to_json())
+        .unwrap()
+        .to_run(&spec2)
+        .unwrap();
+    let engine2 = WorkflowDiff::new(&spec2, &UnitCost);
+    assert_eq!(engine2.distance(&r1b, &r2b).unwrap(), original);
+}
+
+#[test]
+fn random_workloads_roundtrip() {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+    let spec = random_specification(
+        "roundtrip",
+        &SpecGenConfig { target_edges: 40, series_parallel_ratio: 1.0, forks: 3, loops: 2 },
+        &mut rng,
+    );
+    let run = generate_run(
+        &spec,
+        &RunGenConfig { prob_p: 0.8, max_f: 3, prob_f: 0.6, max_l: 3, prob_l: 0.6 },
+        &mut rng,
+    );
+    let desc = SpecDescriptor::from_specification(&spec);
+    let rebuilt_spec = desc.to_specification().unwrap();
+    assert_eq!(rebuilt_spec.stats(), spec.stats());
+    assert!(rebuilt_spec.tree().equivalent(spec.tree()));
+
+    let run_desc = RunDescriptor::from_run(&run);
+    let rebuilt_run = run_desc.to_run(&rebuilt_spec).unwrap();
+    assert!(rebuilt_run.tree().equivalent(run.tree()));
+    assert_eq!(rebuilt_run.edge_count(), run.edge_count());
+}
+
+#[test]
+fn xml_exports_are_well_formed_enough_to_inspect() {
+    let spec = fig2_specification();
+    let xml = SpecDescriptor::from_specification(&spec).to_xml();
+    // Balanced top-level element and one edge element per specification edge
+    // plus the fork/loop groups.
+    assert!(xml.starts_with("<specification"));
+    assert!(xml.trim_end().ends_with("</specification>"));
+    assert_eq!(xml.matches("<fork>").count(), spec.fork_count());
+    assert_eq!(xml.matches("<loop>").count(), spec.loop_count());
+}
