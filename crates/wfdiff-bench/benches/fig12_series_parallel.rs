@@ -29,11 +29,9 @@ fn bench_fig12(c: &mut Criterion) {
             let r1 = generate_run(&spec, &cfg, &mut rng);
             let r2 = generate_run(&spec, &cfg, &mut rng);
             let engine = WorkflowDiff::new(&spec, &UnitCost);
-            group.bench_with_input(
-                BenchmarkId::new(label, edges),
-                &(&r1, &r2),
-                |b, (r1, r2)| b.iter(|| engine.distance(r1, r2).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(label, edges), &(&r1, &r2), |b, (r1, r2)| {
+                b.iter(|| engine.distance(r1, r2).unwrap())
+            });
         }
     }
     group.finish();

@@ -14,17 +14,14 @@ fn bench_fig14(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(0xF14);
     let spec = random_specification(
         "bench-fig14",
-        &SpecGenConfig {
-            target_edges: 100,
-            series_parallel_ratio: 0.5,
-            forks: 5,
-            loops: 5,
-        },
+        &SpecGenConfig { target_edges: 100, series_parallel_ratio: 0.5, forks: 5, loops: 5 },
         &mut rng,
     );
     let engine = WorkflowDiff::new(&spec, &UnitCost);
-    let fork_cfg = |p: f64| RunGenConfig { prob_p: 1.0, max_f: 8, prob_f: p, max_l: 1, prob_l: 0.0 };
-    let loop_cfg = |p: f64| RunGenConfig { prob_p: 1.0, max_f: 1, prob_f: 0.0, max_l: 8, prob_l: p };
+    let fork_cfg =
+        |p: f64| RunGenConfig { prob_p: 1.0, max_f: 8, prob_f: p, max_l: 1, prob_l: 0.0 };
+    let loop_cfg =
+        |p: f64| RunGenConfig { prob_p: 1.0, max_f: 1, prob_f: 0.0, max_l: 8, prob_l: p };
     for &prob in &[0.3f64, 0.7] {
         let fork_run_a = generate_run(&spec, &fork_cfg(prob), &mut rng);
         let fork_run_b = generate_run(&spec, &fork_cfg(prob), &mut rng);

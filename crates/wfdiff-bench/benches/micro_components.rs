@@ -30,9 +30,8 @@ fn bench_components(c: &mut Criterion) {
     // Hungarian vs greedy matching ablation.
     let mut rng = ChaCha8Rng::seed_from_u64(0xDEF);
     for &n in &[16usize, 48] {
-        let pair: Vec<Vec<Option<f64>>> = (0..n)
-            .map(|_| (0..n).map(|_| Some(rng.gen_range(0.0..10.0))).collect())
-            .collect();
+        let pair: Vec<Vec<Option<f64>>> =
+            (0..n).map(|_| (0..n).map(|_| Some(rng.gen_range(0.0..10.0))).collect()).collect();
         let del: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
         let ins: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
         group.bench_with_input(BenchmarkId::new("hungarian", n), &n, |b, _| {

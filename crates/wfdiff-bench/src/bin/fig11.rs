@@ -12,7 +12,7 @@ fn main() {
     let samples: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
     let max_total: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2000);
     let totals: Vec<usize> = (1..=10).map(|i| i * max_total / 10).collect();
-    let config = Fig11Config { totals, samples, seed: 0xF16_11 };
+    let config = Fig11Config { totals, samples, seed: 0xF1611 };
     let points = run(&config);
     print!("{}", wfdiff_bench::fig11::render(&points));
     let rows: Vec<Vec<String>> = points

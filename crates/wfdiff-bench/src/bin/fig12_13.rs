@@ -17,19 +17,14 @@ fn main() {
         ratios: vec![3.0, 1.0, 1.0 / 3.0],
         prob_p: 0.95,
         samples,
-        seed: 0xF16_12,
+        seed: 0xF1612,
     };
     let points = run(&config);
     print!("{}", wfdiff_bench::fig12::render(&points));
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            vec![
-                fmt(p.ratio),
-                p.spec_edges.to_string(),
-                fmt(p.avg_time_ms),
-                fmt(p.avg_distance),
-            ]
+            vec![fmt(p.ratio), p.spec_edges.to_string(), fmt(p.avg_time_ms), fmt(p.avg_distance)]
         })
         .collect();
     write_csv("fig12_13.csv", &["ratio", "spec_edges", "avg_time_ms", "avg_distance"], &rows)

@@ -9,11 +9,7 @@ fn main() {
     print!("{}", table1::render(&table1::compute()));
 
     println!("\n==== Figure 11 (reduced sweep) ====");
-    let cfg = fig11::Fig11Config {
-        totals: vec![200, 400, 600, 800],
-        samples: 2,
-        seed: 0xA11,
-    };
+    let cfg = fig11::Fig11Config { totals: vec![200, 400, 600, 800], samples: 2, seed: 0xA11 };
     print!("{}", fig11::render(&fig11::run(&cfg)));
 
     println!("\n==== Figures 12/13 (reduced sweep) ====");

@@ -19,7 +19,7 @@ pub struct Fig11Config {
 
 impl Default for Fig11Config {
     fn default() -> Self {
-        Fig11Config { totals: (1..=10).map(|i| i * 200).collect(), samples: 3, seed: 0xF16_11 }
+        Fig11Config { totals: (1..=10).map(|i| i * 200).collect(), samples: 3, seed: 0xF1611 }
     }
 }
 

@@ -31,7 +31,7 @@ impl Default for Fig12Config {
             ratios: vec![3.0, 1.0, 1.0 / 3.0],
             prob_p: 0.95,
             samples: 3,
-            seed: 0xF16_12,
+            seed: 0xF1612,
         }
     }
 }
@@ -128,16 +128,10 @@ mod tests {
         // Parallel-heavy specifications produce larger edit distances than
         // series-heavy ones of the same size (Fig. 13's qualitative shape):
         // more optional branches means more room for the runs to differ.
-        let series_heavy: f64 = points
-            .iter()
-            .filter(|p| p.ratio > 1.0)
-            .map(|p| p.avg_distance)
-            .sum();
-        let parallel_heavy: f64 = points
-            .iter()
-            .filter(|p| p.ratio < 1.0)
-            .map(|p| p.avg_distance)
-            .sum();
+        let series_heavy: f64 =
+            points.iter().filter(|p| p.ratio > 1.0).map(|p| p.avg_distance).sum();
+        let parallel_heavy: f64 =
+            points.iter().filter(|p| p.ratio < 1.0).map(|p| p.avg_distance).sum();
         assert!(parallel_heavy >= series_heavy);
         assert!(render(&points).contains("Figures 12/13"));
     }

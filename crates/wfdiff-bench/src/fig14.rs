@@ -62,7 +62,7 @@ impl Default for Fig14Config {
             max_rep: 8,
             probabilities: (0..=10).map(|i| i as f64 / 10.0).collect(),
             samples: 2,
-            seed: 0xF16_14,
+            seed: 0xF1614,
         }
     }
 }
@@ -84,20 +84,12 @@ pub struct Fig14Point {
 
 fn run_config(flavor: RunFlavor, prob: f64, max_rep: usize) -> RunGenConfig {
     match flavor {
-        RunFlavor::ForkHeavy => RunGenConfig {
-            prob_p: 1.0,
-            max_f: max_rep,
-            prob_f: prob,
-            max_l: 1,
-            prob_l: 0.0,
-        },
-        RunFlavor::LoopHeavy => RunGenConfig {
-            prob_p: 1.0,
-            max_f: 1,
-            prob_f: 0.0,
-            max_l: max_rep,
-            prob_l: prob,
-        },
+        RunFlavor::ForkHeavy => {
+            RunGenConfig { prob_p: 1.0, max_f: max_rep, prob_f: prob, max_l: 1, prob_l: 0.0 }
+        }
+        RunFlavor::LoopHeavy => {
+            RunGenConfig { prob_p: 1.0, max_f: 1, prob_f: 0.0, max_l: max_rep, prob_l: prob }
+        }
     }
 }
 
@@ -178,16 +170,10 @@ mod tests {
             assert!(points.iter().any(|p| p.curve == curve));
         }
         // Higher probability means more replication and therefore larger runs.
-        let low: f64 = points
-            .iter()
-            .filter(|p| p.probability == 0.0)
-            .map(|p| p.avg_total_edges)
-            .sum();
-        let high: f64 = points
-            .iter()
-            .filter(|p| p.probability == 1.0)
-            .map(|p| p.avg_total_edges)
-            .sum();
+        let low: f64 =
+            points.iter().filter(|p| p.probability == 0.0).map(|p| p.avg_total_edges).sum();
+        let high: f64 =
+            points.iter().filter(|p| p.probability == 1.0).map(|p| p.avg_total_edges).sum();
         assert!(high > low);
         assert!(render(&points).contains("fork-vs-loop"));
     }

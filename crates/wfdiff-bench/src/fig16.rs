@@ -42,7 +42,7 @@ impl Default for Fig16Config {
             samples: 20,
             max_f: 5,
             prob_p: 0.5,
-            seed: 0xF16_16,
+            seed: 0xF1616,
         }
     }
 }
@@ -64,11 +64,7 @@ pub struct Fig16Point {
 
 /// Evaluates the cost of a script under an arbitrary cost model.
 pub fn script_cost_under(script: &EditScript, cost: &dyn CostModel) -> f64 {
-    script
-        .ops
-        .iter()
-        .map(|op| cost.op_cost(op.length, op.start_label(), op.end_label()))
-        .sum()
+    script.ops.iter().map(|op| cost.op_cost(op.length, op.start_label(), op.end_label())).sum()
 }
 
 /// Runs the Figure 16 experiment.
@@ -158,7 +154,11 @@ pub fn render(points: &[Fig16Point]) -> String {
     for p in points {
         out.push_str(&format!(
             "{:<5.1} {:>12.1} {:>15.1} {:>15.1} {:>17.1}\n",
-            p.epsilon, p.avg_error_unit, p.worst_error_unit, p.avg_error_length, p.worst_error_length
+            p.epsilon,
+            p.avg_error_unit,
+            p.worst_error_unit,
+            p.avg_error_length,
+            p.worst_error_length
         ));
     }
     out

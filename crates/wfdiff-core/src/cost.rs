@@ -158,19 +158,12 @@ impl AxiomReport {
 /// and a set of labels.  The quadrangle inequality is checked in its
 /// label-free form `γ(l1+l2+l3, A, D) ≤ γ(l1+l2'+l3, A, D) + γ(l2, B, C) +
 /// γ(l2', B, C)` for all sampled length combinations.
-pub fn check_metric_axioms(
-    cost: &dyn CostModel,
-    labels: &[Label],
-    max_len: usize,
-) -> AxiomReport {
+pub fn check_metric_axioms(cost: &dyn CostModel, labels: &[Label], max_len: usize) -> AxiomReport {
     let mut violations = Vec::new();
     let default_a = Label::new("s");
     let default_b = Label::new("t");
-    let sample_labels: Vec<&Label> = if labels.is_empty() {
-        vec![&default_a, &default_b]
-    } else {
-        labels.iter().collect()
-    };
+    let sample_labels: Vec<&Label> =
+        if labels.is_empty() { vec![&default_a, &default_b] } else { labels.iter().collect() };
     let first = sample_labels[0];
     let last = sample_labels[sample_labels.len() - 1];
 
@@ -182,8 +175,9 @@ pub fn check_metric_axioms(
                     violations.push(format!("negative cost γ({len}, {a}, {b}) = {c}"));
                 }
                 if len > 0 && c == 0.0 {
-                    violations
-                        .push(format!("identity violated: γ({len}, {a}, {b}) = 0 for a non-empty path"));
+                    violations.push(format!(
+                        "identity violated: γ({len}, {a}, {b}) = 0 for a non-empty path"
+                    ));
                 }
             }
         }

@@ -266,14 +266,7 @@ pub(crate) fn make_op(
     }
     let length = leaves.len();
     let op_cost = cost.op_cost(length, &labels[0], &labels[length]);
-    PathOperation {
-        direction,
-        labels,
-        leaves: leaves.to_vec(),
-        length,
-        cost: op_cost,
-        provenance,
-    }
+    PathOperation { direction, labels, leaves: leaves.to_vec(), length, cost: op_cost, provenance }
 }
 
 #[cfg(test)]

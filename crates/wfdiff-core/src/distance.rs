@@ -111,17 +111,16 @@ impl<'a> WorkflowDiff<'a> {
         let x1 = DeletionTables::compute(t1, self.cost);
         let x2 = DeletionTables::compute(t2, self.cost);
         let mut memo: HashMap<(TreeId, TreeId), Entry> = HashMap::new();
-        let root_cost =
-            self.solve(t1, t2, &x1, &x2, t1.root(), t2.root(), &mut memo)?;
+        let root_cost = self.solve(t1, t2, &x1, &x2, t1.root(), t2.root(), &mut memo)?;
         // Reconstruct the mapping by walking the decisions from the roots.
         let mut pairs = Vec::new();
         let mut decisions = HashMap::new();
         let mut stack = vec![(t1.root(), t2.root())];
         while let Some((a, b)) = stack.pop() {
             pairs.push((a, b));
-            let entry = memo
-                .get(&(a, b))
-                .ok_or_else(|| DiffError::Invariant(format!("missing memo entry for ({a}, {b})")))?;
+            let entry = memo.get(&(a, b)).ok_or_else(|| {
+                DiffError::Invariant(format!("missing memo entry for ({a}, {b})"))
+            })?;
             decisions.insert((a, b), entry.decision.clone());
             match &entry.decision {
                 Decision::Leaf | Decision::Unstable => {}
@@ -182,9 +181,7 @@ impl<'a> WorkflowDiff<'a> {
                 }
                 Entry { cost: total, decision: Decision::Series(pairs) }
             }
-            (NodeType::P, NodeType::P) => {
-                self.solve_parallel(t1, t2, x1, x2, v1, v2, memo)?
-            }
+            (NodeType::P, NodeType::P) => self.solve_parallel(t1, t2, x1, x2, v1, v2, memo)?,
             (NodeType::F, NodeType::F) => {
                 let c1 = t1.children(v1).to_vec();
                 let c2 = t2.children(v2).to_vec();
@@ -254,10 +251,8 @@ impl<'a> WorkflowDiff<'a> {
             let (a, b) = (c1[0], c2[0]);
             if t1.node(a).origin == t2.node(b).origin {
                 let mapped = self.solve(t1, t2, x1, x2, a, b, memo)?;
-                let spec_p =
-                    t1.node(v1).origin.ok_or_else(|| missing_origin(v1))?;
-                let spec_child =
-                    t1.node(a).origin.ok_or_else(|| missing_origin(a))?;
+                let spec_p = t1.node(v1).origin.ok_or_else(|| missing_origin(v1))?;
+                let spec_child = t1.node(a).origin.ok_or_else(|| missing_origin(a))?;
                 let unstable =
                     x1.x(a) + x2.x(b) + 2.0 * self.ctx.w_surcharge(self.cost, spec_p, spec_child);
                 return Ok(if mapped <= unstable {

@@ -101,10 +101,7 @@ impl<'a> Solver<'a> {
         let mut right_used: Vec<bool> = vec![false; c2.len()];
         for &a in &c1 {
             let origin = self.t1.node(a).origin;
-            let partner = c2
-                .iter()
-                .enumerate()
-                .find(|(_, &b)| self.t2.node(b).origin == origin);
+            let partner = c2.iter().enumerate().find(|(_, &b)| self.t2.node(b).origin == origin);
             match partner {
                 Some((j, &b)) => {
                     right_used[j] = true;
@@ -148,8 +145,8 @@ impl<'a> Solver<'a> {
                 continue;
             }
             used[j] = true;
-            let cand =
-                self.solve(c1[i], c2[j], memo) + self.enumerate_matchings(c1, c2, i + 1, used, memo);
+            let cand = self.solve(c1[i], c2[j], memo)
+                + self.enumerate_matchings(c1, c2, i + 1, used, memo);
             used[j] = false;
             best = best.min(cand);
         }

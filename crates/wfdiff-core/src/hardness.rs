@@ -111,17 +111,9 @@ pub fn has_biclique(n: usize, edges: &[(usize, usize)], l: usize) -> bool {
     // Enumerate all l-subsets of X and check whether their common neighbourhood
     // has at least l vertices.
     let mut subset: Vec<usize> = Vec::new();
-    fn rec(
-        start: usize,
-        n: usize,
-        l: usize,
-        adj: &[Vec<bool>],
-        subset: &mut Vec<usize>,
-    ) -> bool {
+    fn rec(start: usize, n: usize, l: usize, adj: &[Vec<bool>], subset: &mut Vec<usize>) -> bool {
         if subset.len() == l {
-            let common = (0..n)
-                .filter(|&y| subset.iter().all(|&x| adj[x][y]))
-                .count();
+            let common = (0..n).filter(|&y| subset.iter().all(|&x| adj[x][y])).count();
             return common >= l;
         }
         for x in start..n {

@@ -23,6 +23,7 @@
 //!   showing the general problem is NP-hard.
 
 #![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cost;

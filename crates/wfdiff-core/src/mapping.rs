@@ -150,9 +150,7 @@ impl Mapping {
                 let c2 = t2.children(b)[0];
                 let spec_p = t1.node(a).origin.expect("run nodes carry origins");
                 let spec_child = t1.node(c1).origin.expect("run nodes carry origins");
-                total += x1.x(c1)
-                    + x2.x(c2)
-                    + 2.0 * ctx.w_surcharge(cost, spec_p, spec_child);
+                total += x1.x(c1) + x2.x(c2) + 2.0 * ctx.w_surcharge(cost, spec_p, spec_child);
             } else {
                 for &c in t1.children(a) {
                     if !self.maps_left(c) {
@@ -205,11 +203,7 @@ impl Mapping {
     pub fn summary(&self, t1: &AnnotatedTree, t2: &AnnotatedTree) -> MappingSummary {
         MappingSummary {
             mapped_pairs: self.pairs.len(),
-            mapped_leaves: self
-                .pairs
-                .iter()
-                .filter(|(a, _)| t1.ty(*a) == NodeType::Q)
-                .count(),
+            mapped_leaves: self.pairs.iter().filter(|(a, _)| t1.ty(*a) == NodeType::Q).count(),
             deleted_leaves: self.unmapped_left_leaves(t1).len(),
             inserted_leaves: self.unmapped_right_leaves(t2).len(),
         }

@@ -84,12 +84,8 @@ impl PathOperation {
     /// One-line human-readable rendering, e.g.
     /// `- delete (2 -> 3 -> 6) [len 2, cost 1]`.
     pub fn describe(&self) -> String {
-        let arrow = self
-            .labels
-            .iter()
-            .map(|l| l.as_str().to_string())
-            .collect::<Vec<_>>()
-            .join(" -> ");
+        let arrow =
+            self.labels.iter().map(|l| l.as_str().to_string()).collect::<Vec<_>>().join(" -> ");
         let verb = match self.direction {
             OpDirection::Insert => "insert",
             OpDirection::Delete => "delete",

@@ -73,12 +73,7 @@ impl EditScript {
     ///    is ever inserted,
     /// 4. synthesised (temporary) paths are inserted and deleted in equal
     ///    numbers.
-    pub fn validate(
-        &self,
-        result: &DiffResult,
-        r1: &Run,
-        r2: &Run,
-    ) -> Result<(), DiffError> {
+    pub fn validate(&self, result: &DiffResult, r1: &Run, r2: &Run) -> Result<(), DiffError> {
         let total: f64 = self.ops.iter().map(|o| o.cost).sum();
         if (total - result.distance).abs() > 1e-6 {
             return Err(DiffError::Invariant(format!(
@@ -158,12 +153,7 @@ impl<'a, 'b> ScriptBuilder<'a, 'b> {
 
     /// Materialises a minimum-cost edit script for `result` (which must have
     /// been produced by the same engine for the same pair of runs).
-    pub fn build(
-        &self,
-        r1: &Run,
-        r2: &Run,
-        result: &DiffResult,
-    ) -> Result<EditScript, DiffError> {
+    pub fn build(&self, r1: &Run, r2: &Run, result: &DiffResult) -> Result<EditScript, DiffError> {
         let t1 = r1.tree();
         let t2 = r2.tree();
         let cost = self.engine.cost_model();
@@ -174,10 +164,9 @@ impl<'a, 'b> ScriptBuilder<'a, 'b> {
         // Walk the mapped pairs top-down (pre-order over the mapping).
         let mut stack = vec![(t1.root(), t2.root())];
         while let Some((v1, v2)) = stack.pop() {
-            let decision = result
-                .decisions
-                .get(&(v1, v2))
-                .ok_or_else(|| DiffError::Invariant(format!("no decision for pair ({v1}, {v2})")))?;
+            let decision = result.decisions.get(&(v1, v2)).ok_or_else(|| {
+                DiffError::Invariant(format!("no decision for pair ({v1}, {v2})"))
+            })?;
             match decision {
                 Decision::Leaf => {}
                 Decision::Series(pairs) => {
@@ -352,9 +341,10 @@ impl<'a, 'b> ScriptBuilder<'a, 'b> {
         let spec_child = t1.node(c1).origin.ok_or_else(|| {
             DiffError::Invariant(format!("run node {c1} carries no specification origin"))
         })?;
-        let (witness_child, witness_len) = ctx
-            .w_witness(cost, spec_p, spec_child)
-            .ok_or_else(|| DiffError::Invariant("no alternative branch for unstable pair".into()))?;
+        let (witness_child, witness_len) =
+            ctx.w_witness(cost, spec_p, spec_child).ok_or_else(|| {
+                DiffError::Invariant("no alternative branch for unstable pair".into())
+            })?;
         let labels = ctx.witness_path(witness_child, witness_len).ok_or_else(|| {
             DiffError::Invariant("witness length is not achievable for the chosen branch".into())
         })?;
@@ -422,12 +412,8 @@ mod tests {
         let mut g = LabeledDigraph::new();
         let mut ids = std::collections::HashMap::new();
         for &(a, ai, b, bi) in edges {
-            let na = *ids
-                .entry((a.to_string(), ai))
-                .or_insert_with(|| g.add_node(a));
-            let nb = *ids
-                .entry((b.to_string(), bi))
-                .or_insert_with(|| g.add_node(b));
+            let na = *ids.entry((a.to_string(), ai)).or_insert_with(|| g.add_node(a));
+            let nb = *ids.entry((b.to_string(), bi)).or_insert_with(|| g.add_node(b));
             g.add_edge(na, nb);
         }
         Run::from_graph(spec, g).unwrap()

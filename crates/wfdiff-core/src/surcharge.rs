@@ -143,9 +143,7 @@ fn witness_path_rec(
             }
             None
         }
-        NodeType::F | NodeType::L => {
-            witness_path_rec(tree, tree.children(u)[0], len, lengths)
-        }
+        NodeType::F | NodeType::L => witness_path_rec(tree, tree.children(u)[0], len, lengths),
         NodeType::S => {
             // Distribute `len` over the children greedily with backtracking.
             fn assign(
@@ -226,20 +224,14 @@ mod tests {
         let p = p_node(&spec);
         let children = tree.children(p).to_vec();
         // Identify the direct-edge child (length 1).
-        let direct = children
-            .iter()
-            .copied()
-            .find(|&c| ctx.lengths().lengths(c).contains(&1))
-            .unwrap();
+        let direct =
+            children.iter().copied().find(|&c| ctx.lengths().lengths(c).contains(&1)).unwrap();
         // Excluding the direct edge, the cheapest alternative under length cost
         // is the 2-edge branch.
         assert_eq!(ctx.w_surcharge(&LengthCost, p, direct), 2.0);
         // Excluding a long branch leaves the direct edge available.
-        let long = children
-            .iter()
-            .copied()
-            .find(|&c| ctx.lengths().lengths(c).contains(&4))
-            .unwrap();
+        let long =
+            children.iter().copied().find(|&c| ctx.lengths().lengths(c).contains(&4)).unwrap();
         assert_eq!(ctx.w_surcharge(&LengthCost, p, long), 1.0);
         let (wc, wl) = ctx.w_witness(&LengthCost, p, long).unwrap();
         assert_ne!(wc, long);

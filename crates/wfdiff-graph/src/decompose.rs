@@ -157,8 +157,8 @@ impl Reducer {
         if self.inn[v.index()].len() != 1 || self.out[v.index()].len() != 1 {
             return false;
         }
-        let e_in = *self.inn[v.index()].iter().next().unwrap();
-        let e_out = *self.out[v.index()].iter().next().unwrap();
+        let e_in = *self.inn[v.index()].iter().next().expect("in-degree checked to be 1");
+        let e_out = *self.out[v.index()].iter().next().expect("out-degree checked to be 1");
         if e_in == e_out {
             // Self loop: cannot happen in a DAG, but guard anyway.
             return false;
@@ -323,8 +323,7 @@ mod tests {
                 if rng.gen_bool(0.5) {
                     // Series-extend with a fresh tail node.
                     next_label += 1;
-                    let tail =
-                        SpGraph::basic(g.sink_label().clone(), format!("x{next_label}"));
+                    let tail = SpGraph::basic(g.sink_label().clone(), format!("x{next_label}"));
                     g = SpGraph::series(&g, &tail).unwrap();
                 } else {
                     // Parallel-add another source->sink edge chain.
@@ -345,10 +344,7 @@ mod tests {
     #[test]
     fn empty_graph_rejected() {
         let g = LabeledDigraph::new();
-        assert!(matches!(
-            decompose(&g, NodeId(0), NodeId(0)),
-            Err(GraphError::EmptyGraph)
-        ));
+        assert!(matches!(decompose(&g, NodeId(0), NodeId(0)), Err(GraphError::EmptyGraph)));
     }
 
     #[test]

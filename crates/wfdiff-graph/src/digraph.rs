@@ -252,10 +252,8 @@ impl LabeledDigraph {
     /// Computes a topological order of the nodes, or reports a cycle.
     pub fn topological_order(&self) -> Result<Vec<NodeId>> {
         let mut indeg: Vec<usize> = (0..self.nodes.len()).map(|i| self.in_adj[i].len()).collect();
-        let mut queue: VecDeque<NodeId> = self
-            .node_ids()
-            .filter(|n| indeg[n.index()] == 0)
-            .collect();
+        let mut queue: VecDeque<NodeId> =
+            self.node_ids().filter(|n| indeg[n.index()] == 0).collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(n) = queue.pop_front() {
             order.push(n);

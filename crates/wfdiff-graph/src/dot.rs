@@ -46,19 +46,17 @@ pub fn to_dot(graph: &LabeledDigraph, name: &str, style: &DotStyle) -> String {
         } else {
             data.label.to_string()
         };
-        let extra = style
-            .node_attrs
-            .get(&id)
-            .map(|a| format!(", {a}"))
-            .unwrap_or_default();
-        let _ = writeln!(out, "  {} [label=\"{}\", shape=ellipse{}];", id.index(), escape(&label), extra);
+        let extra = style.node_attrs.get(&id).map(|a| format!(", {a}")).unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\", shape=ellipse{}];",
+            id.index(),
+            escape(&label),
+            extra
+        );
     }
     for (id, e) in graph.edges() {
-        let extra = style
-            .edge_attrs
-            .get(&id)
-            .map(|a| format!(" [{a}]"))
-            .unwrap_or_default();
+        let extra = style.edge_attrs.get(&id).map(|a| format!(" [{a}]")).unwrap_or_default();
         let _ = writeln!(out, "  {} -> {}{};", e.src.index(), e.dst.index(), extra);
     }
     let _ = writeln!(out, "}}");

@@ -216,23 +216,11 @@ mod tests {
 
         let mut extra = HashSet::new();
         // Without the loop edge the run is invalid.
-        assert!(validate_run_against_graph(
-            spec.graph(),
-            spec.source(),
-            spec.sink(),
-            &extra,
-            &r
-        )
-        .is_err());
+        assert!(validate_run_against_graph(spec.graph(), spec.source(), spec.sink(), &extra, &r)
+            .is_err());
         extra.insert((Label::new("6"), Label::new("2")));
-        assert!(validate_run_against_graph(
-            spec.graph(),
-            spec.source(),
-            spec.sink(),
-            &extra,
-            &r
-        )
-        .is_ok());
+        assert!(validate_run_against_graph(spec.graph(), spec.source(), spec.sink(), &extra, &r)
+            .is_ok());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! `wfdiff-pdiffview`.
 
 #![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod decompose;

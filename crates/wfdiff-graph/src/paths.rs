@@ -117,7 +117,8 @@ pub fn is_elementary_path(run: &LabeledDigraph, nodes: &[NodeId]) -> bool {
             return false;
         }
     }
-    run.out_degree(nodes[0]) >= 2 && run.in_degree(*nodes.last().unwrap()) >= 2
+    let last = *nodes.last().expect("elementary path has at least two nodes");
+    run.out_degree(nodes[0]) >= 2 && run.in_degree(last) >= 2
 }
 
 #[cfg(test)]

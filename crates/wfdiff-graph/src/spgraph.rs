@@ -88,11 +88,19 @@ impl SpGraph {
     pub fn parallel(g1: &SpGraph, g2: &SpGraph) -> Result<SpGraph> {
         let (ls, rs) = (g1.graph.label(g1.source).clone(), g2.graph.label(g2.source).clone());
         if ls != rs {
-            return Err(GraphError::ParallelLabelMismatch { terminal: "source", left: ls, right: rs });
+            return Err(GraphError::ParallelLabelMismatch {
+                terminal: "source",
+                left: ls,
+                right: rs,
+            });
         }
         let (lt, rt) = (g1.graph.label(g1.sink).clone(), g2.graph.label(g2.sink).clone());
         if lt != rt {
-            return Err(GraphError::ParallelLabelMismatch { terminal: "sink", left: lt, right: rt });
+            return Err(GraphError::ParallelLabelMismatch {
+                terminal: "sink",
+                left: lt,
+                right: rt,
+            });
         }
         let mut graph = LabeledDigraph::with_capacity(
             g1.graph.node_count() + g2.graph.node_count() - 2,
@@ -199,12 +207,12 @@ impl SpGraph {
     pub fn chain<L: Into<Label> + Clone>(labels: &[L]) -> SpGraph {
         assert!(labels.len() >= 2, "a chain needs at least two labels");
         let mut graph = LabeledDigraph::new();
-        let ids: Vec<NodeId> =
-            labels.iter().map(|l| graph.add_node(l.clone().into())).collect();
+        let ids: Vec<NodeId> = labels.iter().map(|l| graph.add_node(l.clone().into())).collect();
         for w in ids.windows(2) {
             graph.add_edge(w[0], w[1]);
         }
-        SpGraph { graph, source: ids[0], sink: *ids.last().unwrap() }
+        let sink = *ids.last().expect("chain length asserted above");
+        SpGraph { graph, source: ids[0], sink }
     }
 
     /// Builds the "fan" SP-graph used by Figure 17(b): `paths` parallel paths
@@ -298,10 +306,7 @@ mod tests {
     fn series_rejects_label_mismatch() {
         let a = SpGraph::basic("1", "2");
         let b = SpGraph::basic("9", "3");
-        assert!(matches!(
-            SpGraph::series(&a, &b),
-            Err(GraphError::SeriesLabelMismatch { .. })
-        ));
+        assert!(matches!(SpGraph::series(&a, &b), Err(GraphError::SeriesLabelMismatch { .. })));
     }
 
     #[test]

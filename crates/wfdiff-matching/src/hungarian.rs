@@ -222,11 +222,7 @@ mod tests {
 
     #[test]
     fn identity_is_optimal_when_diagonal_is_cheapest() {
-        let cost = vec![
-            vec![1.0, 10.0, 10.0],
-            vec![10.0, 1.0, 10.0],
-            vec![10.0, 10.0, 1.0],
-        ];
+        let cost = vec![vec![1.0, 10.0, 10.0], vec![10.0, 1.0, 10.0], vec![10.0, 10.0, 1.0]];
         let a = solve(&cost);
         assert_eq!(a.cost, 3.0);
         assert_eq!(a.row_to_col, vec![0, 1, 2]);
@@ -342,11 +338,7 @@ mod tests {
     }
 
     /// Exhaustively enumerates all partial matchings.
-    fn brute_force_unbalanced(
-        pair: &[Vec<Option<f64>>],
-        del: &[f64],
-        ins: &[f64],
-    ) -> f64 {
+    fn brute_force_unbalanced(pair: &[Vec<Option<f64>>], del: &[f64], ins: &[f64]) -> f64 {
         fn rec(
             i: usize,
             pair: &[Vec<Option<f64>>],
@@ -355,12 +347,7 @@ mod tests {
             used: &mut Vec<bool>,
         ) -> f64 {
             if i == del.len() {
-                return used
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &u)| !u)
-                    .map(|(j, _)| ins[j])
-                    .sum();
+                return used.iter().enumerate().filter(|(_, &u)| !u).map(|(j, _)| ins[j]).sum();
             }
             // Option 1: delete left i.
             let mut best = del[i] + rec(i + 1, pair, del, ins, used);

@@ -21,6 +21,7 @@
 //! paper's cost model guarantees non-negativity).
 
 #![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod greedy;

@@ -186,12 +186,7 @@ mod tests {
             let ins: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
             let got = solve(&pair, &del, &ins);
             let expected = brute_force(&pair, &del, &ins);
-            assert!(
-                (got.cost - expected).abs() < 1e-9,
-                "got {} expected {}",
-                got.cost,
-                expected
-            );
+            assert!((got.cost - expected).abs() < 1e-9, "got {} expected {}", got.cost, expected);
         }
     }
 

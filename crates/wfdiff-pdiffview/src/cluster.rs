@@ -47,9 +47,7 @@ impl Clustering {
         for (_, node) in spec.graph().nodes() {
             let label = node.label.as_str();
             if let Some(pos) = label.find(separator) {
-                clustering
-                    .cluster_of
-                    .insert(label.to_string(), label[..pos].to_string());
+                clustering.cluster_of.insert(label.to_string(), label[..pos].to_string());
             }
         }
         clustering

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use wfdiff_core::{EditScript, OpDirection};
 use wfdiff_graph::{EdgeId, LabeledDigraph};
-use wfdiff_sptree::{ControlKind, Run, Specification, SpTreeError};
+use wfdiff_sptree::{ControlKind, Run, SpTreeError, Specification};
 
 /// A serialisable description of an SP-workflow specification.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,9 +56,7 @@ impl SpecDescriptor {
         let mut graph = LabeledDigraph::new();
         let mut by_label = std::collections::HashMap::new();
         let mut node = |graph: &mut LabeledDigraph, l: &str| {
-            *by_label
-                .entry(l.to_string())
-                .or_insert_with(|| graph.add_node(l))
+            *by_label.entry(l.to_string()).or_insert_with(|| graph.add_node(l))
         };
         let mut edge_ids = std::collections::HashMap::new();
         for (from, to) in &self.edges {
@@ -72,10 +70,12 @@ impl SpecDescriptor {
             edges
                 .iter()
                 .map(|pair| {
-                    edge_ids.get(pair).copied().ok_or_else(|| SpTreeError::Invariant(format!(
-                        "control subgraph references unknown edge {} -> {}",
-                        pair.0, pair.1
-                    )))
+                    edge_ids.get(pair).copied().ok_or_else(|| {
+                        SpTreeError::Invariant(format!(
+                            "control subgraph references unknown edge {} -> {}",
+                            pair.0, pair.1
+                        ))
+                    })
                 })
                 .collect()
         };
@@ -147,10 +147,7 @@ impl RunDescriptor {
         RunDescriptor {
             spec: run.spec_name().to_string(),
             nodes: graph.nodes().map(|(_, n)| n.label.as_str().to_string()).collect(),
-            edges: graph
-                .edges()
-                .map(|(_, e)| (e.src.index(), e.dst.index()))
-                .collect(),
+            edges: graph.edges().map(|(_, e)| (e.src.index(), e.dst.index())).collect(),
         }
     }
 
@@ -201,12 +198,7 @@ pub fn script_to_xml(script: &EditScript) -> String {
             OpDirection::Insert => "insert",
             OpDirection::Delete => "delete",
         };
-        let path = op
-            .labels
-            .iter()
-            .map(|l| xml_escape(l.as_str()))
-            .collect::<Vec<_>>()
-            .join(",");
+        let path = op.labels.iter().map(|l| xml_escape(l.as_str())).collect::<Vec<_>>().join(",");
         out.push_str(&format!("  <{tag} cost=\"{}\" path=\"{}\"/>\n", op.cost, path));
     }
     out.push_str("</editscript>\n");
@@ -266,8 +258,7 @@ mod tests {
         let r1 = fig2_run1(&spec);
         let r2 = fig2_run2(&spec);
         let engine = WorkflowDiff::new(&spec, &UnitCost);
-        let (result, script) =
-            wfdiff_core::script::diff_with_script(&engine, &r1, &r2).unwrap();
+        let (result, script) = wfdiff_core::script::diff_with_script(&engine, &r1, &r2).unwrap();
         let xml = script_to_xml(&script);
         assert!(xml.contains("editscript cost=\"4\""));
         assert_eq!(xml.matches("<insert").count() + xml.matches("<delete").count(), 4);

@@ -19,6 +19,7 @@
 //!   summaries for zooming into large provenance graphs.
 
 #![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cluster;

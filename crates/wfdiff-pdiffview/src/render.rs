@@ -16,10 +16,8 @@ use wfdiff_sptree::NodeType;
 /// view; edges covered by insertion operations are drawn green and bold in the
 /// target view.
 pub fn render_diff_dot(session: &DiffSession<'_>) -> (String, String) {
-    let mut source_style = DotStyle::titled(format!(
-        "{}: source run (deleted paths in red)",
-        session.spec().name()
-    ));
+    let mut source_style =
+        DotStyle::titled(format!("{}: source run (deleted paths in red)", session.spec().name()));
     source_style.show_node_ids = true;
     let mut target_style = DotStyle::titled(format!(
         "{}: target run (inserted paths in green)",
@@ -34,18 +32,14 @@ pub fn render_diff_dot(session: &DiffSession<'_>) -> (String, String) {
             (OpProvenance::SourceRun, OpDirection::Delete) => {
                 for &leaf in &op.leaves {
                     if let Some(edge) = t1.node(leaf).edge {
-                        source_style
-                            .edge_attrs
-                            .insert(edge, "color=red, penwidth=2".to_string());
+                        source_style.edge_attrs.insert(edge, "color=red, penwidth=2".to_string());
                     }
                 }
             }
             (OpProvenance::TargetRun, OpDirection::Insert) => {
                 for &leaf in &op.leaves {
                     if let Some(edge) = t2.node(leaf).edge {
-                        target_style
-                            .edge_attrs
-                            .insert(edge, "color=green, penwidth=2".to_string());
+                        target_style.edge_attrs.insert(edge, "color=green, penwidth=2".to_string());
                     }
                 }
             }

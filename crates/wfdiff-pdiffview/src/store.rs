@@ -43,9 +43,7 @@ impl WorkflowStore {
     ///
     /// The run's specification must already be stored.
     pub fn insert_run(&self, run_name: &str, run: Run) -> Option<Arc<Run>> {
-        if self.spec(run.spec_name()).is_none() {
-            return None;
-        }
+        self.spec(run.spec_name())?;
         let key = (run.spec_name().to_string(), run_name.to_string());
         let arc = Arc::new(run);
         self.runs.write().insert(key, Arc::clone(&arc));
@@ -59,12 +57,7 @@ impl WorkflowStore {
 
     /// Names of the runs stored for a specification.
     pub fn run_names(&self, spec_name: &str) -> Vec<String> {
-        self.runs
-            .read()
-            .keys()
-            .filter(|(s, _)| s == spec_name)
-            .map(|(_, r)| r.clone())
-            .collect()
+        self.runs.read().keys().filter(|(s, _)| s == spec_name).map(|(_, r)| r.clone()).collect()
     }
 
     /// Removes a run; returns `true` if it existed.

@@ -63,12 +63,10 @@ fn convert(graph: &LabeledDigraph, bin: &BinSpTree, tree: &mut AnnotatedTree) ->
         BinSpTree::Series(_, _) => {
             let mut parts = Vec::new();
             flatten(bin, true, &mut parts);
-            let children: Vec<TreeId> =
-                parts.iter().map(|p| convert(graph, p, tree)).collect();
+            let children: Vec<TreeId> = parts.iter().map(|p| convert(graph, p, tree)).collect();
             let first = children[0];
             let last = *children.last().expect("series node has children");
-            let (s_label, s_node) =
-                (tree.node(first).s_label.clone(), tree.node(first).s_node);
+            let (s_label, s_node) = (tree.node(first).s_label.clone(), tree.node(first).s_node);
             let (t_label, t_node) = (tree.node(last).t_label.clone(), tree.node(last).t_node);
             let node = TreeNode::new(NodeType::S, s_label, t_label, s_node, t_node);
             let id = tree.add_node(node);
@@ -80,13 +78,10 @@ fn convert(graph: &LabeledDigraph, bin: &BinSpTree, tree: &mut AnnotatedTree) ->
         BinSpTree::Parallel(_, _) => {
             let mut parts = Vec::new();
             flatten(bin, false, &mut parts);
-            let children: Vec<TreeId> =
-                parts.iter().map(|p| convert(graph, p, tree)).collect();
+            let children: Vec<TreeId> = parts.iter().map(|p| convert(graph, p, tree)).collect();
             let first = children[0];
-            let (s_label, s_node) =
-                (tree.node(first).s_label.clone(), tree.node(first).s_node);
-            let (t_label, t_node) =
-                (tree.node(first).t_label.clone(), tree.node(first).t_node);
+            let (s_label, s_node) = (tree.node(first).s_label.clone(), tree.node(first).s_node);
+            let (t_label, t_node) = (tree.node(first).t_label.clone(), tree.node(first).t_node);
             let node = TreeNode::new(NodeType::P, s_label, t_label, s_node, t_node);
             let id = tree.add_node(node);
             for c in children {

@@ -23,6 +23,7 @@
 //! `wfdiff-core` crate, which consumes the [`AnnotatedTree`]s produced here.
 
 #![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod canonical;

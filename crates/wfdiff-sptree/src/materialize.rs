@@ -105,8 +105,7 @@ mod tests {
     use wfdiff_graph::{validate_flow_network, Label};
 
     fn q(tree: &mut AnnotatedTree, s: &str, t: &str) -> TreeId {
-        let mut n =
-            TreeNode::new(NodeType::Q, Label::new(s), Label::new(t), NodeId(0), NodeId(0));
+        let mut n = TreeNode::new(NodeType::Q, Label::new(s), Label::new(t), NodeId(0), NodeId(0));
         n.leaf_count = 1;
         tree.add_node(n)
     }

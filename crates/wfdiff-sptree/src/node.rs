@@ -175,13 +175,8 @@ mod tests {
 
     #[test]
     fn true_and_pseudo_nodes() {
-        let mut n = TreeNode::new(
-            NodeType::P,
-            Label::new("a"),
-            Label::new("b"),
-            NodeId(0),
-            NodeId(1),
-        );
+        let mut n =
+            TreeNode::new(NodeType::P, Label::new("a"), Label::new("b"), NodeId(0), NodeId(1));
         assert!(n.is_pseudo());
         n.children.push(TreeId(1));
         assert!(n.is_pseudo());

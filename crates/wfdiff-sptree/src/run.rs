@@ -18,9 +18,7 @@ use crate::spec::Specification;
 use crate::tree::AnnotatedTree;
 use crate::{Result, SpTreeError};
 use std::collections::{BTreeSet, HashMap};
-use wfdiff_graph::{
-    validate_run_against_graph, EdgeId, Label, LabeledDigraph, NodeId,
-};
+use wfdiff_graph::{validate_run_against_graph, EdgeId, Label, LabeledDigraph, NodeId};
 
 /// A valid run of an SP-workflow specification: the run graph together with
 /// its annotated SP-tree.
@@ -195,10 +193,8 @@ fn replay(
     }
     let _ = graph;
 
-    let mut replayer =
-        Replayer { spec, spec_keys, ctree, run_keys, out: AnnotatedTree::empty() };
-    let root =
-        replayer.build(spec_tree.root(), &[ctree.root()], Comp::Series)?;
+    let mut replayer = Replayer { spec, spec_keys, ctree, run_keys, out: AnnotatedTree::empty() };
+    let root = replayer.build(spec_tree.root(), &[ctree.root()], Comp::Series)?;
     let mut out = replayer.out;
     out.set_root(root);
     out.recompute_leaf_counts();
@@ -221,7 +217,9 @@ fn run_edge_key(
         return Ok(SpecKey::LoopBack(l));
     }
     Err(SpTreeError::InvalidRun {
-        what: format!("run edge {from} -> {to} matches neither a specification edge nor a loop back edge"),
+        what: format!(
+            "run edge {from} -> {to} matches neither a specification edge nor a loop back edge"
+        ),
     })
 }
 
@@ -414,15 +412,14 @@ impl<'a> Replayer<'a> {
     fn build_fork(&mut self, spec_v: TreeId, forest: &[TreeId], ctx: Comp) -> Result<TreeId> {
         let body = self.spec_tree().children(spec_v)[0];
         let control_id = self.spec_tree().node(spec_v).control_id;
-        let copies: Vec<Vec<TreeId>> = if forest.len() == 1
-            && self.ctree.ty(forest[0]) == NodeType::P
-        {
-            self.ctree.children(forest[0]).iter().map(|&c| vec![c]).collect()
-        } else if forest.len() > 1 && ctx == Comp::Parallel {
-            forest.iter().map(|&c| vec![c]).collect()
-        } else {
-            vec![forest.to_vec()]
-        };
+        let copies: Vec<Vec<TreeId>> =
+            if forest.len() == 1 && self.ctree.ty(forest[0]) == NodeType::P {
+                self.ctree.children(forest[0]).iter().map(|&c| vec![c]).collect()
+            } else if forest.len() > 1 && ctx == Comp::Parallel {
+                forest.iter().map(|&c| vec![c]).collect()
+            } else {
+                vec![forest.to_vec()]
+            };
         let mut out_children = Vec::with_capacity(copies.len());
         for copy in &copies {
             out_children.push(self.build(body, copy, Comp::Series)?);

@@ -280,16 +280,10 @@ fn subgraph_terminals(
         *appears_as_src.entry(edge.src).or_insert(0) += 1;
         *appears_as_dst.entry(edge.dst).or_insert(0) += 1;
     }
-    let sources: Vec<NodeId> = appears_as_src
-        .keys()
-        .filter(|n| !appears_as_dst.contains_key(n))
-        .copied()
-        .collect();
-    let sinks: Vec<NodeId> = appears_as_dst
-        .keys()
-        .filter(|n| !appears_as_src.contains_key(n))
-        .copied()
-        .collect();
+    let sources: Vec<NodeId> =
+        appears_as_src.keys().filter(|n| !appears_as_dst.contains_key(n)).copied().collect();
+    let sinks: Vec<NodeId> =
+        appears_as_dst.keys().filter(|n| !appears_as_src.contains_key(n)).copied().collect();
     if sources.len() != 1 || sinks.len() != 1 {
         return Err(SpTreeError::ControlNotRepresentable {
             what: format!(
@@ -506,7 +500,7 @@ impl SpecificationBuilder {
     pub fn fork_path(&mut self, labels: &[&str]) -> &mut Self {
         self.controls.push((
             ControlKind::Fork,
-            ControlSelector::Path(labels.iter().map(|l| Label::new(l)).collect()),
+            ControlSelector::Path(labels.iter().map(Label::new).collect()),
         ));
         self
     }
@@ -533,7 +527,7 @@ impl SpecificationBuilder {
     pub fn loop_path(&mut self, labels: &[&str]) -> &mut Self {
         self.controls.push((
             ControlKind::Loop,
-            ControlSelector::Path(labels.iter().map(|l| Label::new(l)).collect()),
+            ControlSelector::Path(labels.iter().map(Label::new).collect()),
         ));
         self
     }
@@ -619,7 +613,10 @@ fn edges_between(graph: &LabeledDigraph, s: NodeId, t: NodeId) -> BTreeSet<EdgeI
     graph
         .edges()
         .filter(|(_, e)| {
-            from_s[e.src.index()] && to_t[e.src.index()] && from_s[e.dst.index()] && to_t[e.dst.index()]
+            from_s[e.src.index()]
+                && to_t[e.src.index()]
+                && from_s[e.dst.index()]
+                && to_t[e.dst.index()]
         })
         .map(|(id, _)| id)
         .collect()

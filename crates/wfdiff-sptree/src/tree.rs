@@ -134,10 +134,7 @@ impl AnnotatedTree {
     /// The graph edges represented by the `Q` leaves of the subtree rooted at
     /// `id`.
     pub fn leaf_edges(&self, id: TreeId) -> Vec<EdgeId> {
-        self.leaves(id)
-            .into_iter()
-            .filter_map(|v| self.node(v).edge)
-            .collect()
+        self.leaves(id).into_iter().filter_map(|v| self.node(v).edge).collect()
     }
 
     /// Number of `Q` leaves below `id` (uses the cached `leaf_count`).
@@ -262,8 +259,7 @@ impl AnnotatedTree {
     /// produce identical signatures.
     pub fn signature(&self, id: TreeId) -> String {
         let n = self.node(id);
-        let mut child_sigs: Vec<String> =
-            n.children.iter().map(|&c| self.signature(c)).collect();
+        let mut child_sigs: Vec<String> = n.children.iter().map(|&c| self.signature(c)).collect();
         if !n.ty.ordered_children() {
             child_sigs.sort();
         }

@@ -187,12 +187,7 @@ mod tests {
         // Very high ratio: almost everything is a series split -> long chain,
         // so the number of nodes is close to the number of edges + 1.
         let chainish = random_sp_graph(
-            &SpecGenConfig {
-                target_edges: 60,
-                series_parallel_ratio: 1e9,
-                forks: 0,
-                loops: 0,
-            },
+            &SpecGenConfig { target_edges: 60, series_parallel_ratio: 1e9, forks: 0, loops: 0 },
             &mut rng,
         );
         assert_eq!(chainish.node_count(), chainish.edge_count() + 1);
@@ -200,12 +195,7 @@ mod tests {
         // two new edges), so the graph is branch-heavy: roughly two edges per
         // node, against exactly one edge per node for the chain.
         let bundle = random_sp_graph(
-            &SpecGenConfig {
-                target_edges: 60,
-                series_parallel_ratio: 0.0,
-                forks: 0,
-                loops: 0,
-            },
+            &SpecGenConfig { target_edges: 60, series_parallel_ratio: 0.0, forks: 0, loops: 0 },
             &mut rng,
         );
         let ep = validate_flow_network(&bundle).unwrap();
@@ -219,12 +209,8 @@ mod tests {
     fn specifications_with_controls_are_valid() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         for seed in 0..10 {
-            let config = SpecGenConfig {
-                target_edges: 60,
-                series_parallel_ratio: 0.5,
-                forks: 5,
-                loops: 5,
-            };
+            let config =
+                SpecGenConfig { target_edges: 60, series_parallel_ratio: 0.5, forks: 5, loops: 5 };
             let spec = random_specification(&format!("rand{seed}"), &config, &mut rng);
             assert!(spec.tree().validate_spec_tree().is_ok());
             assert!(spec.fork_count() <= 5);

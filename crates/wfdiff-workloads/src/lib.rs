@@ -17,6 +17,7 @@
 //!   total run size in edges (Figure 11).
 
 #![deny(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod figures;

@@ -176,19 +176,7 @@ pub fn mb() -> RealWorkflow {
     use Segment::*;
     RealWorkflow {
         name: "MB",
-        segments: vec![
-            Edge,
-            Edge,
-            Block(3),
-            Edge,
-            Edge,
-            Block(2),
-            Edge,
-            Edge,
-            Edge,
-            Edge,
-            Edge,
-        ],
+        segments: vec![Edge, Edge, Block(3), Edge, Edge, Block(2), Edge, Edge, Edge, Edge, Edge],
         forks: vec![Branch(2, 0), Range(7, 10)],
         loops: vec![Range(2, 2)],
     }

@@ -93,24 +93,15 @@ pub fn generate_run(spec: &Specification, config: &RunGenConfig, rng: &mut impl 
 /// `target_edges`, by scaling the fork/loop replication factors (used by the
 /// Figure 11 experiment, which sweeps the total size of the two runs from 200
 /// to 2000 edges).
-pub fn generate_run_with_target_edges(
-    spec: &Specification,
-    target_edges: usize,
-    seed: u64,
-) -> Run {
+pub fn generate_run_with_target_edges(spec: &Specification, target_edges: usize, seed: u64) -> Run {
     let mut best: Option<Run> = None;
     let mut best_gap = usize::MAX;
     // Increase the replication budget until the run is large enough (or the
     // budget becomes clearly excessive).
     for max_rep in 1..=64usize {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (max_rep as u64).wrapping_mul(0x9E37_79B9));
-        let config = RunGenConfig {
-            prob_p: 0.95,
-            max_f: max_rep,
-            prob_f: 0.7,
-            max_l: max_rep,
-            prob_l: 0.7,
-        };
+        let config =
+            RunGenConfig { prob_p: 0.95, max_f: max_rep, prob_f: 0.7, max_l: max_rep, prob_l: 0.7 };
         let run = generate_run(spec, &config, &mut rng);
         let gap = run.edge_count().abs_diff(target_edges);
         if gap < best_gap {
@@ -140,13 +131,7 @@ mod tests {
         let spec = fig2_specification();
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         for _ in 0..20 {
-            let config = RunGenConfig {
-                prob_p: 0.7,
-                max_f: 3,
-                prob_f: 0.6,
-                max_l: 3,
-                prob_l: 0.6,
-            };
+            let config = RunGenConfig { prob_p: 0.7, max_f: 3, prob_f: 0.6, max_l: 3, prob_l: 0.6 };
             let run = generate_run(&spec, &config, &mut rng);
             // Replaying the generated graph through Algorithm 2/5 must yield an
             // equivalent annotated tree.

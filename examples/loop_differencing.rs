@@ -17,7 +17,11 @@ fn main() {
     let r1 = fig2_run1(&spec);
     let r3 = fig2_run3(&spec);
     println!("R1: {} edges\n{}", r1.edge_count(), render_run_tree(&r1));
-    println!("R3: {} edges (including one implicit back edge)\n{}", r3.edge_count(), render_run_tree(&r3));
+    println!(
+        "R3: {} edges (including one implicit back edge)\n{}",
+        r3.edge_count(),
+        render_run_tree(&r3)
+    );
 
     for cost in [&UnitCost as &dyn CostModel, &LengthCost] {
         let engine = WorkflowDiff::new(&spec, cost);

@@ -40,7 +40,11 @@ fn main() {
 
     // Render the two panes of the viewer as DOT (pipe into `dot -Tsvg`).
     let (source_dot, target_dot) = render_diff_dot(&session);
-    println!("source pane DOT ({} bytes), target pane DOT ({} bytes)", source_dot.len(), target_dot.len());
+    println!(
+        "source pane DOT ({} bytes), target pane DOT ({} bytes)",
+        source_dot.len(),
+        target_dot.len()
+    );
     std::fs::write("fig2_source.dot", source_dot).expect("write fig2_source.dot");
     std::fs::write("fig2_target.dot", target_dot).expect("write fig2_target.dot");
     println!("wrote fig2_source.dot and fig2_target.dot");

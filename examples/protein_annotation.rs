@@ -50,17 +50,20 @@ fn main() {
         "similarity-search",
         &["FastaFormat", "BlastSwP", "BlastTrEMBL", "BlastPIR", "collectTop1&Compare"],
     );
-    clustering.assign("domain-annotation", &[
-        "getDomAnnot",
-        "getProDomDom",
-        "getPFAMDom",
-        "extractDomSeq",
-        "getGOAnnot",
-        "getFunCatAnnot",
-        "getBrendaAnnot",
-        "getEnzymeAnnot",
-        "exportAnnotSeq",
-    ]);
+    clustering.assign(
+        "domain-annotation",
+        &[
+            "getDomAnnot",
+            "getProDomDom",
+            "getPFAMDom",
+            "extractDomSeq",
+            "getGOAnnot",
+            "getFunCatAnnot",
+            "getBrendaAnnot",
+            "getEnzymeAnnot",
+            "exportAnnotSeq",
+        ],
+    );
     let cluster_diff = ClusterDiff::compute(&session, &clustering);
     println!("\nchange hotspots (composite module, touched operations):");
     for (cluster, touches) in cluster_diff.hotspots() {

@@ -40,7 +40,11 @@ fn main() {
     }
     let monday = spec.execute(&mut Session { align_jobs: 2, refine_rounds: 1 }).unwrap();
     let friday = spec.execute(&mut Session { align_jobs: 4, refine_rounds: 3 }).unwrap();
-    println!("monday run: {} edges, friday run: {} edges", monday.edge_count(), friday.edge_count());
+    println!(
+        "monday run: {} edges, friday run: {} edges",
+        monday.edge_count(),
+        friday.edge_count()
+    );
 
     // 3. Difference the two runs under the unit cost model.
     let engine = WorkflowDiff::new(&spec, &UnitCost);

@@ -20,12 +20,7 @@ fn spec_and_runs(
     let mut rng = ChaCha8Rng::seed_from_u64(spec_seed);
     let spec = random_specification(
         &format!("prop-{spec_seed}"),
-        &SpecGenConfig {
-            target_edges: 18,
-            series_parallel_ratio: 0.8,
-            forks,
-            loops,
-        },
+        &SpecGenConfig { target_edges: 18, series_parallel_ratio: 0.8, forks, loops },
         &mut rng,
     );
     let runs: Vec<Run> = run_seeds

@@ -1,8 +1,8 @@
 //! End-to-end integration tests that retrace the paper's worked examples
 //! through the public API of the umbrella crate.
 
-use pdiffview::core::script::diff_with_script;
 use pdiffview::core::naive::NaiveDiff;
+use pdiffview::core::script::diff_with_script;
 use pdiffview::prelude::*;
 use pdiffview::workloads::figures::{
     fig2_run1, fig2_run2, fig2_run3, fig2_specification, protein_annotation,

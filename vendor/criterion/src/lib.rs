@@ -1,0 +1,153 @@
+//! Offline shim for the subset of `criterion` used by this workspace.
+//!
+//! Lets the Figure 11–16 benches compile (and run, crudely): each `iter`
+//! closure is warmed up once and then timed over a small fixed number of
+//! iterations, with the mean printed to stdout.  No statistical analysis,
+//! HTML reports or CLI filtering — swap in the real crate once a registry is
+//! reachable.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevents the compiler from optimising a benchmarked value away.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _criterion: self, name }
+    }
+}
+
+/// A named benchmark id, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+/// A group of related benchmarks (stand-in for `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim always runs a fixed, small
+    /// number of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&self.name, &id.into().id);
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.into().id);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times a closure (stand-in for `criterion::Bencher`).
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Number of timed iterations per benchmark.
+    const ITERS: u32 = 3;
+
+    /// Runs the benchmarked routine: one warm-up, then a few timed laps.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std_black_box(routine());
+        let start = Instant::now();
+        for _ in 0..Self::ITERS {
+            std_black_box(routine());
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / f64::from(Self::ITERS));
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        match self.mean_ns {
+            Some(ns) => println!("  {group}/{id}: {:.3} ms/iter", ns / 1e6),
+            None => println!("  {group}/{id}: no measurement"),
+        }
+    }
+}
+
+/// Declares a group of benchmark functions (stand-in for the criterion macro
+/// of the same name; only the `criterion_group!(name, targets...)` form is
+/// supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (stand-in for the criterion macro of
+/// the same name).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Offline shim for the subset of `rand_chacha` used by this workspace.
+//!
+//! Exposes [`ChaCha8Rng`] with the vendored rand shim's trait set.  The
+//! underlying generator is xoshiro256** (seeded via SplitMix64), not real
+//! ChaCha: every use in this workspace only needs a deterministic, seedable,
+//! statistically reasonable stream, not the ChaCha cipher itself.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Stand-in for `rand_chacha::ChaCha8Rng`.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    inner: StdRng,
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        ChaCha8Rng { inner: StdRng::seed_from_u64(state) }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

@@ -1,0 +1,218 @@
+//! Deserialization half of the shim: the [`Deserialize`] / [`Deserializer`]
+//! traits and impls for the std types the workspace deserializes.
+
+use crate::{from_value, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Trait for deserializer errors (mirrors `serde::de::Error`).
+pub trait Error: Sized + fmt::Debug + fmt::Display {
+    /// Creates a custom error from a message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete error type used when deserializing out of a [`Value`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A data format (or value source) that can produce the shim's data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: Error;
+
+    /// Produces the next value as a [`Value`] tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A value that can be rebuilt from the shim's data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A [`Deserializer`] over an in-memory [`Value`] tree.
+pub struct ValueDeserializer {
+    /// The value to deserialize from.
+    pub value: Value,
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn deserialize_value(self) -> Result<Value, DeError> {
+        Ok(self.value)
+    }
+}
+
+fn as_i64<E: Error>(value: &Value) -> Result<i64, E> {
+    match value {
+        Value::Int(i) => Ok(*i),
+        Value::UInt(u) => i64::try_from(*u).map_err(|_| E::custom("integer out of range")),
+        Value::Float(x) if x.fract() == 0.0 => Ok(*x as i64),
+        other => Err(E::custom(format!("expected integer, got {}", other.kind()))),
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($ty:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.deserialize_value()?;
+                let i = as_i64::<D::Error>(&value)?;
+                <$ty>::try_from(i)
+                    .map_err(|_| D::Error::custom(format!("integer {i} out of range")))
+            }
+        }
+    )*};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::UInt(u) => Ok(u),
+            Value::Int(i) => {
+                u64::try_from(i).map_err(|_| D::Error::custom("negative value for u64"))
+            }
+            other => Err(D::Error::custom(format!("expected integer, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Float(x) => Ok(x),
+            Value::Int(i) => Ok(i as f64),
+            Value::UInt(u) => Ok(u as f64),
+            other => Err(D::Error::custom(format!("expected number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::Error::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Null => Ok(None),
+            value => from_value(value).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+fn seq_of<E: Error>(value: Value) -> Result<Vec<Value>, E> {
+    match value {
+        Value::Seq(items) => Ok(items),
+        other => Err(E::custom(format!("expected sequence, got {}", other.kind()))),
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        seq_of::<D::Error>(deserializer.deserialize_value()?)?
+            .into_iter()
+            .map(|item| from_value(item).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        seq_of::<D::Error>(deserializer.deserialize_value()?)?
+            .into_iter()
+            .map(|item| from_value(item).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, A: for<'a> Deserialize<'a>, B: for<'a> Deserialize<'a>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items = seq_of::<D::Error>(deserializer.deserialize_value()?)?;
+        if items.len() != 2 {
+            return Err(D::Error::custom(format!("expected 2-tuple, got {} items", items.len())));
+        }
+        let mut items = items.into_iter();
+        let a = from_value(items.next().expect("length checked")).map_err(D::Error::custom)?;
+        let b = from_value(items.next().expect("length checked")).map_err(D::Error::custom)?;
+        Ok((a, b))
+    }
+}
+
+fn map_of<E: Error>(value: Value) -> Result<Vec<(String, Value)>, E> {
+    match value {
+        Value::Map(entries) => Ok(entries),
+        other => Err(E::custom(format!("expected map, got {}", other.kind()))),
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + Ord,
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        map_of::<D::Error>(deserializer.deserialize_value()?)?
+            .into_iter()
+            .map(|(k, v)| {
+                let key = from_value(Value::Str(k)).map_err(D::Error::custom)?;
+                let value = from_value(v).map_err(D::Error::custom)?;
+                Ok((key, value))
+            })
+            .collect()
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + std::hash::Hash + Eq,
+    V: for<'a> Deserialize<'a>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        map_of::<D::Error>(deserializer.deserialize_value()?)?
+            .into_iter()
+            .map(|(k, v)| {
+                let key = from_value(Value::Str(k)).map_err(D::Error::custom)?;
+                let value = from_value(v).map_err(D::Error::custom)?;
+                Ok((key, value))
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline shim for the subset of [`serde`](https://serde.rs) used by this
+//! workspace.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors a small, API-compatible replacement: the `Serialize` /
+//! `Deserialize` traits (and their derive macros, behind the `derive`
+//! feature), routed through a self-describing [`Value`] tree instead of
+//! serde's visitor machinery.  `serde_json` (also vendored) renders and
+//! parses that tree.
+//!
+//! Only what the workspace needs is implemented; swap in the real `serde`
+//! once a registry is reachable — call sites require no changes.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value (the shim's data model).
+///
+/// This plays the role of serde's data model: `Serialize` impls lower Rust
+/// values into a `Value`, `Deserialize` impls rebuild Rust values from one.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer (used when the value exceeds `i64::MAX`).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// A map with string keys, preserving insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short human-readable description of the value's kind, for errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Serializes any [`Serialize`] value into a [`Value`] tree (infallible).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    struct ValueSerializer;
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = ser::Impossible;
+        fn serialize_value(self, value: Value) -> Result<Value, ser::Impossible> {
+            Ok(value)
+        }
+    }
+    match value.serialize(ValueSerializer) {
+        Ok(v) => v,
+        Err(impossible) => match impossible {},
+    }
+}
+
+/// Rebuilds a [`Deserialize`] value from a [`Value`] tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, de::DeError> {
+    T::deserialize(de::ValueDeserializer { value })
+}
+
+/// Error produced when a map key does not lower to a string-compatible value.
+fn key_to_string(value: &Value) -> String {
+    match value {
+        Value::Str(s) => s.clone(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map keys must serialize to strings, got {}", other.kind()),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Seq(_) => f.write_str("<sequence>"),
+            Value::Map(_) => f.write_str("<map>"),
+        }
+    }
+}

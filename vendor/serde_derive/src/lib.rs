@@ -1,0 +1,411 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Parses the derive input with the bare `proc_macro` API (no `syn`/`quote`
+//! available offline) and emits impls of the vendored serde shim's
+//! `Serialize` / `Deserialize` traits.  Supported shapes — the ones this
+//! workspace actually derives:
+//!
+//! * structs with named fields (attributes: `#[serde(skip)]`,
+//!   `#[serde(default)]`, `#[serde(skip_serializing_if = "path")]`),
+//! * single-field tuple ("newtype") structs,
+//! * enums whose variants are all unit variants.
+//!
+//! Generics are not supported; none of the workspace types need them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<Field> },
+    NewtypeStruct { name: String },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            for field in fields {
+                if field.attrs.skip {
+                    continue;
+                }
+                let push = format!(
+                    "__map.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::to_value(&self.{f})));",
+                    f = field.name
+                );
+                match &field.attrs.skip_serializing_if {
+                    Some(path) => {
+                        body.push_str(&format!(
+                            "if !({path}(&self.{f})) {{ {push} }}\n",
+                            f = field.name
+                        ));
+                    }
+                    None => {
+                        body.push_str(&push);
+                        body.push('\n');
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 let mut __map: ::std::vec::Vec<(::std::string::String, ::serde::Value)> =\n\
+                 ::std::vec::Vec::new();\n\
+                 {body}\n\
+                 __serializer.serialize_value(::serde::Value::Map(__map))\n\
+                 }}\n}}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+             -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+             ::serde::Serialize::serialize(&self.0, __serializer)\n\
+             }}\n}}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => __serializer.serialize_str(\"{v}\"),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{ {arms} }}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for field in fields {
+                let f = &field.name;
+                if field.attrs.skip {
+                    inits.push_str(&format!("{f}: ::core::default::Default::default(),\n"));
+                    continue;
+                }
+                let missing = if field.attrs.default || field.attrs.skip_serializing_if.is_some() {
+                    "::core::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::core::result::Result::Err(\
+                         <__D::Error as ::serde::de::Error>::custom(\
+                         \"missing field `{f}` in {name}\"))"
+                    )
+                };
+                inits.push_str(&format!(
+                    "{f}: match __take(&mut __map, \"{f}\") {{\n\
+                     ::core::option::Option::Some(__v) => match ::serde::from_value(__v) {{\n\
+                     ::core::result::Result::Ok(__x) => __x,\n\
+                     ::core::result::Result::Err(__e) => return ::core::result::Result::Err(\n\
+                     <__D::Error as ::serde::de::Error>::custom(\n\
+                     ::std::format!(\"field `{f}` of {name}: {{}}\", __e))),\n\
+                     }},\n\
+                     ::core::option::Option::None => {missing},\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 fn __take(__map: &mut ::std::vec::Vec<(::std::string::String, ::serde::Value)>,\n\
+                 __key: &str) -> ::core::option::Option<::serde::Value> {{\n\
+                 let __pos = __map.iter().position(|(__k, _)| __k == __key)?;\n\
+                 ::core::option::Option::Some(__map.remove(__pos).1)\n\
+                 }}\n\
+                 let mut __map = match __deserializer.deserialize_value()? {{\n\
+                 ::serde::Value::Map(__m) => __m,\n\
+                 __other => return ::core::result::Result::Err(\n\
+                 <__D::Error as ::serde::de::Error>::custom(\n\
+                 ::std::format!(\"expected map for struct {name}, got {{}}\", __other.kind()))),\n\
+                 }};\n\
+                 let __out = {name} {{\n{inits}\n}};\n\
+                 let _ = &mut __map;\n\
+                 ::core::result::Result::Ok(__out)\n\
+                 }}\n}}"
+            )
+        }
+        Shape::NewtypeStruct { name } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+             -> ::core::result::Result<Self, __D::Error> {{\n\
+             ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__deserializer)?))\n\
+             }}\n}}"
+        ),
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 match __deserializer.deserialize_value()? {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {arms}\
+                 __other => ::core::result::Result::Err(\n\
+                 <__D::Error as ::serde::de::Error>::custom(\n\
+                 ::std::format!(\"unknown variant `{{}}` for enum {name}\", __other))),\n\
+                 }},\n\
+                 __other => ::core::result::Result::Err(\n\
+                 <__D::Error as ::serde::de::Error>::custom(\n\
+                 ::std::format!(\"expected string for enum {name}, got {{}}\", __other.kind()))),\n\
+                 }}\n\
+                 }}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Outer attribute: skip the following bracket group.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip an optional visibility argument like `pub(crate)`.
+                        if let Some(TokenTree::Group(g)) = iter.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                iter.next();
+                            }
+                        }
+                    }
+                    "struct" => return parse_struct(&mut iter),
+                    "enum" => return parse_enum(&mut iter),
+                    other => panic!("serde_derive shim: unexpected token `{other}`"),
+                }
+            }
+            Some(other) => panic!("serde_derive shim: unexpected token `{other}`"),
+            None => panic!("serde_derive shim: no struct or enum found in input"),
+        }
+    }
+}
+
+fn expect_name(iter: &mut impl Iterator<Item = TokenTree>) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    }
+}
+
+fn parse_struct(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Shape {
+    let name = expect_name(iter);
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_tuple_fields(g.stream());
+            if arity != 1 {
+                panic!(
+                    "serde_derive shim: tuple struct {name} has {arity} fields; \
+                     only single-field newtype structs are supported"
+                );
+            }
+            Shape::NewtypeStruct { name }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic type {name} is not supported")
+        }
+        other => panic!("serde_derive shim: unexpected struct body for {name}: {other:?}"),
+    }
+}
+
+fn parse_enum(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Shape {
+    let name = expect_name(iter);
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic enum {name} is not supported")
+        }
+        other => panic!("serde_derive shim: unexpected enum body for {name}: {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            TokenTree::Ident(id) => {
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    panic!(
+                        "serde_derive shim: enum {name} variant {id} carries data; \
+                         only unit variants are supported"
+                    );
+                }
+                variants.push(id.to_string());
+            }
+            other => panic!("serde_derive shim: unexpected token in enum {name}: {other}"),
+        }
+    }
+    Shape::UnitEnum { name, variants }
+}
+
+/// Counts the comma-separated fields of a tuple-struct body, ignoring commas
+/// nested inside generic argument lists.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                assert!(
+                    angle_depth >= 0,
+                    "serde_derive shim: unsupported syntax in tuple struct field \
+                     (stray `>`, e.g. from a function type)"
+                );
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    fields + usize::from(saw_tokens)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let mut attrs = FieldAttrs::default();
+        // Leading attributes (doc comments and `#[serde(...)]`).
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        merge_serde_attr(&mut attrs, g.stream());
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Optional visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        // Field name, or end of input.
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field {name}, got {other:?}"),
+        }
+        // Skip the field type up to the next top-level comma.  A `>` at depth
+        // zero means the type uses syntax this tracker cannot follow (e.g. the
+        // `->` of a function type), which would silently swallow the remaining
+        // fields — fail loudly instead, like every other unsupported shape.
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    if angle_depth < 0 {
+                        panic!(
+                            "serde_derive shim: unsupported syntax in the type of field \
+                             `{name}` (stray `>`, e.g. from a function type)"
+                        );
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Folds one attribute's tokens into `attrs` if it is a `serde(...)` attribute.
+fn merge_serde_attr(attrs: &mut FieldAttrs, stream: TokenStream) {
+    let mut tokens = stream.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment or other attribute
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return;
+    };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(token) = args.next() {
+        let TokenTree::Ident(id) = token else {
+            continue;
+        };
+        match id.to_string().as_str() {
+            "skip" => attrs.skip = true,
+            "default" => attrs.default = true,
+            "skip_serializing_if" => {
+                // Expect `= "path"`.
+                match (args.next(), args.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let raw = lit.to_string();
+                        let path = raw.trim_matches('"').to_string();
+                        attrs.skip_serializing_if = Some(path);
+                    }
+                    other => panic!(
+                        "serde_derive shim: malformed skip_serializing_if attribute: {other:?}"
+                    ),
+                }
+            }
+            other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+        }
+    }
+}

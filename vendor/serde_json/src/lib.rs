@@ -1,0 +1,71 @@
+//! Offline shim for the subset of `serde_json` used by this workspace.
+//!
+//! Renders and parses the vendored serde shim's [`serde::Value`] data model
+//! as JSON text.  Supports `to_string`, `to_string_pretty`, `from_str` and a
+//! `serde_json::Error`-shaped error type; swap in the real crate once a
+//! registry is reachable.
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+mod parse;
+mod print;
+
+/// Error raised when parsing or producing JSON fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::print(&serde::to_value(value), None))
+}
+
+/// Serializes `value` as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::print(&serde::to_value(value), Some(0)))
+}
+
+/// Deserializes a value of type `T` from a JSON string.
+pub fn from_str<'a, T: Deserialize<'a>>(input: &str) -> Result<T, Error> {
+    let value = parse::parse(input)?;
+    T::deserialize(JsonDeserializer { value })
+}
+
+/// A [`serde::Deserializer`] over a parsed JSON document.
+struct JsonDeserializer {
+    value: Value,
+}
+
+impl<'de> serde::Deserializer<'de> for JsonDeserializer {
+    type Error = Error;
+
+    fn deserialize_value(self) -> Result<Value, Error> {
+        Ok(self.value)
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}

@@ -1,0 +1,136 @@
+//! JSON rendering of the shim's data model.
+
+use serde::Value;
+use std::fmt::Write as _;
+
+/// Prints a value; `indent: Some(level)` selects pretty-printing.
+pub(crate) fn print(value: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, indent);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_seq(out, items, indent),
+        Value::Map(entries) => write_map(out, entries, indent),
+    }
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if x.is_finite() {
+        if x.fract() == 0.0 && x.abs() < 1e15 {
+            // Match serde_json: whole floats keep a trailing `.0`.
+            let _ = write!(out, "{x:.1}");
+        } else {
+            let _ = write!(out, "{x}");
+        }
+    } else {
+        // serde_json renders non-finite floats as null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(out: &mut String, items: &[Value], indent: Option<usize>) {
+    if items.is_empty() {
+        out.push_str("[]");
+        return;
+    }
+    match indent {
+        None => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item, None);
+            }
+            out.push(']');
+        }
+        Some(level) => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, level + 1);
+                write_value(out, item, Some(level + 1));
+            }
+            out.push('\n');
+            push_indent(out, level);
+            out.push(']');
+        }
+    }
+}
+
+fn write_map(out: &mut String, entries: &[(String, Value)], indent: Option<usize>) {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    match indent {
+        None => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, value, None);
+            }
+            out.push('}');
+        }
+        Some(level) => {
+            out.push_str("{\n");
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, level + 1);
+                write_string(out, key);
+                out.push_str(": ");
+                write_value(out, value, Some(level + 1));
+            }
+            out.push('\n');
+            push_indent(out, level);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
