@@ -1,0 +1,66 @@
+//! Criterion bench for the batch diff engine: all-pairs differencing through
+//! the `DiffService` — cold cache, warm cache, single- and multi-threaded —
+//! against the serial unmemoised baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use wfdiff_bench::batch::{generate_workload, BatchConfig};
+use wfdiff_core::{UnitCost, WorkflowDiff};
+use wfdiff_pdiffview::{DiffService, WorkflowStore};
+
+fn service_for(config: &BatchConfig, threads: usize) -> (DiffService, String) {
+    let (spec, runs) = generate_workload(config);
+    let spec_name = spec.name().to_string();
+    let store = Arc::new(WorkflowStore::new());
+    store.insert_spec(spec).expect("fresh store");
+    for (i, run) in runs.into_iter().enumerate() {
+        let name = format!("run{i:03}");
+        store.insert_run(&name, run).expect("spec stored");
+    }
+    (DiffService::builder(store).threads(threads).build(), spec_name)
+}
+
+fn bench_batch_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_diff");
+    group.sample_size(10);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for config in [BatchConfig::fig12(60, 12), BatchConfig::fig14(40, 10)] {
+        // Serial unmemoised baseline.
+        let (spec, runs) = generate_workload(&config);
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        group.bench_function(BenchmarkId::new("serial_baseline", &config.label), |b| {
+            b.iter(|| {
+                let mut total = 0.0;
+                for i in 0..runs.len() {
+                    for j in i + 1..runs.len() {
+                        total += engine.distance(&runs[i], &runs[j]).expect("valid runs");
+                    }
+                }
+                total
+            })
+        });
+        // Cold cache: a fresh service per iteration.
+        group.bench_function(BenchmarkId::new("service_cold_1t", &config.label), |b| {
+            b.iter(|| {
+                let (service, spec_name) = service_for(&config, 1);
+                service.diff_all_pairs(&spec_name).expect("all pairs")
+            })
+        });
+        // Warm cache, one thread and all threads.
+        let (warm1, warm1_spec) = service_for(&config, 1);
+        warm1.diff_all_pairs(&warm1_spec).expect("warm-up");
+        group.bench_function(BenchmarkId::new("service_warm_1t", &config.label), |b| {
+            b.iter(|| warm1.diff_all_pairs(&warm1_spec).expect("all pairs"))
+        });
+        let (warm_n, warm_n_spec) = service_for(&config, threads);
+        warm_n.diff_all_pairs(&warm_n_spec).expect("warm-up");
+        group.bench_function(
+            BenchmarkId::new(format!("service_warm_{threads}t"), &config.label),
+            |b| b.iter(|| warm_n.diff_all_pairs(&warm_n_spec).expect("all pairs")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_diff);
+criterion_main!(benches);

@@ -35,10 +35,12 @@ fn bench_components(c: &mut Criterion) {
         let del: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
         let ins: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0)).collect();
         group.bench_with_input(BenchmarkId::new("hungarian", n), &n, |b, _| {
-            b.iter(|| assignment_with_unmatched(&pair, &del, &ins).cost)
+            b.iter(|| assignment_with_unmatched(&pair, &del, &ins).expect("finite costs").cost)
         });
         group.bench_with_input(BenchmarkId::new("greedy_ablation", n), &n, |b, _| {
-            b.iter(|| greedy_assignment_with_unmatched(&pair, &del, &ins).cost)
+            b.iter(|| {
+                greedy_assignment_with_unmatched(&pair, &del, &ins).expect("finite costs").cost
+            })
         });
     }
     group.finish();

@@ -1,0 +1,268 @@
+//! The `batch_diff` experiment: cold-vs-warm-cache and 1-vs-N-thread
+//! throughput of the [`DiffService`] all-pairs engine on the Fig. 12/14
+//! generated workloads.
+//!
+//! Three timings per workload and thread count:
+//!
+//! * **serial baseline** — the unmemoised [`WorkflowDiff::distance`] over
+//!   every pair, exactly what `wfdiff-pdiffview` did before the batch engine,
+//! * **cold** — `diff_all_pairs` on a freshly built service (empty cache),
+//! * **warm** — the same call again on the now-populated cache.
+//!
+//! Every service distance matrix is compared entry-by-entry against the
+//! serial baseline; [`BatchReport::distances_match`] must be `true` (the
+//! cache only short-circuits provably equal subproblems).
+
+use crate::time_ms;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use wfdiff_core::{CacheStats, UnitCost, WorkflowDiff};
+use wfdiff_pdiffview::{DiffService, WorkflowStore};
+use wfdiff_sptree::Run;
+use wfdiff_workloads::generator::{random_specification, SpecGenConfig};
+use wfdiff_workloads::runs::{generate_run, RunGenConfig};
+
+/// Configuration of one batch-diff experiment.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Workload label for the report.
+    pub label: String,
+    /// Specification size in edges.
+    pub spec_edges: usize,
+    /// Series/parallel ratio of the generator.
+    pub series_parallel_ratio: f64,
+    /// Number of forks in the specification (Fig. 14 workload when > 0).
+    pub forks: usize,
+    /// Number of loops in the specification (Fig. 14 workload when > 0).
+    pub loops: usize,
+    /// Run-generation parameters.
+    pub run_gen: RunGenConfig,
+    /// Number of runs in the collection (the paper browses whole
+    /// collections; the acceptance workload uses 50).
+    pub runs: usize,
+    /// Worker-pool sizes to measure.
+    pub threads: Vec<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BatchConfig {
+    /// The Fig. 12-style workload: a fork/loop-free specification where runs
+    /// differ in which parallel branches they take.
+    pub fn fig12(spec_edges: usize, runs: usize) -> Self {
+        BatchConfig {
+            label: format!("fig12(e={spec_edges})"),
+            spec_edges,
+            series_parallel_ratio: 1.0,
+            forks: 0,
+            loops: 0,
+            run_gen: RunGenConfig { prob_p: 0.85, ..Default::default() },
+            runs,
+            threads: default_threads(),
+            seed: 0xBA7C8,
+        }
+    }
+
+    /// The Fig. 14-style workload: forks and loops replicate subtrees, the
+    /// best case for subtree memoisation.
+    pub fn fig14(spec_edges: usize, runs: usize) -> Self {
+        BatchConfig {
+            label: format!("fig14(e={spec_edges})"),
+            spec_edges,
+            series_parallel_ratio: 1.0,
+            forks: 3,
+            loops: 2,
+            run_gen: RunGenConfig { prob_p: 0.9, max_f: 3, prob_f: 0.6, max_l: 3, prob_l: 0.6 },
+            runs,
+            threads: default_threads(),
+            seed: 0xBA7C14,
+        }
+    }
+}
+
+fn default_threads() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if max > 1 {
+        vec![1, max]
+    } else {
+        vec![1]
+    }
+}
+
+/// One measured service configuration.
+#[derive(Debug, Clone)]
+pub struct BatchPoint {
+    /// Worker-pool size.
+    pub threads: usize,
+    /// `diff_all_pairs` wall time on an empty cache (milliseconds).
+    pub cold_ms: f64,
+    /// `diff_all_pairs` wall time on the warmed cache (milliseconds).
+    pub warm_ms: f64,
+    /// Cache statistics after the warm pass.
+    pub cache: CacheStats,
+}
+
+/// The full result of one batch-diff experiment.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Workload label.
+    pub label: String,
+    /// Number of runs in the collection.
+    pub runs: usize,
+    /// Number of distinct unordered pairs differenced.
+    pub pairs: usize,
+    /// Serial unmemoised baseline (milliseconds for the whole matrix).
+    pub serial_ms: f64,
+    /// One point per measured thread count.
+    pub points: Vec<BatchPoint>,
+    /// Whether every service distance equals the baseline distance.
+    pub distances_match: bool,
+}
+
+impl BatchReport {
+    /// Speedup of the cold cache at `threads` over the serial baseline.
+    pub fn cold_speedup(&self, threads: usize) -> Option<f64> {
+        self.points.iter().find(|p| p.threads == threads).map(|p| self.serial_ms / p.cold_ms)
+    }
+
+    /// Speedup of the warm cache at `threads` over the serial baseline.
+    pub fn warm_speedup(&self, threads: usize) -> Option<f64> {
+        self.points.iter().find(|p| p.threads == threads).map(|p| self.serial_ms / p.warm_ms)
+    }
+}
+
+/// Generates the workload (one specification, `config.runs` random runs).
+pub fn generate_workload(config: &BatchConfig) -> (wfdiff_sptree::Specification, Vec<Run>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let spec = random_specification(
+        &format!("batch-{}", config.label),
+        &SpecGenConfig {
+            target_edges: config.spec_edges,
+            series_parallel_ratio: config.series_parallel_ratio,
+            forks: config.forks,
+            loops: config.loops,
+        },
+        &mut rng,
+    );
+    let runs = (0..config.runs).map(|_| generate_run(&spec, &config.run_gen, &mut rng)).collect();
+    (spec, runs)
+}
+
+/// Runs the experiment.
+pub fn run(config: &BatchConfig) -> BatchReport {
+    let (spec, runs) = generate_workload(config);
+    let n = runs.len();
+
+    // Serial unmemoised baseline.
+    let engine = WorkflowDiff::new(&spec, &UnitCost);
+    let (baseline, serial_ms) = time_ms(|| {
+        let mut matrix = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = engine.distance(&runs[i], &runs[j]).expect("valid runs");
+                matrix[i][j] = d;
+                matrix[j][i] = d;
+            }
+        }
+        matrix
+    });
+
+    let mut distances_match = true;
+    let mut points = Vec::new();
+    for &threads in &config.threads {
+        // A fresh store + service per thread count so the cold pass really
+        // starts from an empty cache.
+        let store = Arc::new(WorkflowStore::new());
+        let spec_arc = store.insert_spec(spec.clone()).expect("fresh store has no conflict");
+        for (i, run) in runs.iter().enumerate() {
+            store.insert_run(&format!("run{i:03}"), run.clone()).expect("spec is stored");
+        }
+        let spec_name = spec_arc.name().to_string();
+        drop(spec_arc);
+        let service = DiffService::builder(Arc::clone(&store)).threads(threads).build();
+        let (cold_result, cold_ms) =
+            time_ms(|| service.diff_all_pairs(&spec_name).expect("all-pairs diff succeeds"));
+        let (warm_result, warm_ms) =
+            time_ms(|| service.diff_all_pairs(&spec_name).expect("all-pairs diff succeeds"));
+        for matrix in [&cold_result.matrix, &warm_result.matrix] {
+            for i in 0..n {
+                for j in 0..n {
+                    if (matrix[i][j] - baseline[i][j]).abs() > 1e-9 {
+                        distances_match = false;
+                    }
+                }
+            }
+        }
+        points.push(BatchPoint { threads, cold_ms, warm_ms, cache: service.cache_stats() });
+    }
+
+    BatchReport {
+        label: config.label.clone(),
+        runs: n,
+        pairs: n * (n - 1) / 2,
+        serial_ms,
+        points,
+        distances_match,
+    }
+}
+
+/// Renders a report as an aligned text table.
+pub fn render(report: &BatchReport) -> String {
+    let mut out = String::new();
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    out.push_str(&format!(
+        "batch_diff — {} ({} runs, {} pairs, {} CPU(s) available)\n",
+        report.label, report.runs, report.pairs, cpus
+    ));
+    out.push_str(&format!("serial unmemoised baseline: {:>10.2} ms\n", report.serial_ms));
+    out.push_str("threads    cold_ms   speedup    warm_ms   speedup   hit_rate\n");
+    for p in &report.points {
+        out.push_str(&format!(
+            "{:>7} {:>10.2} {:>8.2}x {:>10.2} {:>8.2}x {:>9.3}\n",
+            p.threads,
+            p.cold_ms,
+            report.serial_ms / p.cold_ms,
+            p.warm_ms,
+            report.serial_ms / p.warm_ms,
+            p.cache.hit_rate(),
+        ));
+    }
+    out.push_str(&format!(
+        "distances identical to unmemoised path: {}\n",
+        if report.distances_match { "yes" } else { "NO — BUG" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_batch_report_is_consistent() {
+        let mut config = BatchConfig::fig12(40, 6);
+        config.threads = vec![1, 2];
+        let report = run(&config);
+        assert_eq!(report.runs, 6);
+        assert_eq!(report.pairs, 15);
+        assert!(report.distances_match, "memoised distances must equal the baseline");
+        assert_eq!(report.points.len(), 2);
+        for p in &report.points {
+            assert!(p.cold_ms > 0.0 && p.warm_ms > 0.0);
+            assert!(p.cache.hits > 0, "the warm pass must hit the cache");
+        }
+        let text = render(&report);
+        assert!(text.contains("batch_diff"));
+        assert!(text.contains("yes"));
+    }
+
+    #[test]
+    fn fork_loop_workload_also_matches() {
+        let mut config = BatchConfig::fig14(30, 5);
+        config.threads = vec![2];
+        let report = run(&config);
+        assert!(report.distances_match);
+        assert_eq!(report.pairs, 10);
+    }
+}

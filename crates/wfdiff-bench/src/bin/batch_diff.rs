@@ -1,0 +1,63 @@
+//! Measures the batch diff engine: cold-vs-warm-cache and 1-vs-N-thread
+//! `diff_all_pairs` throughput against the serial unmemoised baseline, on the
+//! Fig. 12 (branch-choice) and Fig. 14 (fork/loop) generated workloads.
+//! Writes `batch_diff.csv`.
+//!
+//! Usage: `batch_diff [runs] [spec_edges] [threads...]`
+//! (defaults: 50 runs, 100-edge specifications, 1 and all available CPUs).
+
+use wfdiff_bench::batch::{render, run, BatchConfig};
+use wfdiff_bench::csvout::{fmt, write_csv};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let edges: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let threads: Vec<usize> =
+        args[3.min(args.len())..].iter().filter_map(|s| s.parse().ok()).collect();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut all_match = true;
+    for mut config in [BatchConfig::fig12(edges, runs), BatchConfig::fig14(edges, runs)] {
+        if !threads.is_empty() {
+            config.threads = threads.clone();
+        }
+        let report = run(&config);
+        print!("{}", render(&report));
+        println!();
+        all_match &= report.distances_match;
+        for p in &report.points {
+            rows.push(vec![
+                report.label.clone(),
+                report.runs.to_string(),
+                report.pairs.to_string(),
+                p.threads.to_string(),
+                fmt(report.serial_ms),
+                fmt(p.cold_ms),
+                fmt(p.warm_ms),
+                fmt(report.serial_ms / p.cold_ms),
+                fmt(report.serial_ms / p.warm_ms),
+                fmt(p.cache.hit_rate()),
+            ]);
+        }
+    }
+    write_csv(
+        "batch_diff.csv",
+        &[
+            "workload",
+            "runs",
+            "pairs",
+            "threads",
+            "serial_ms",
+            "cold_ms",
+            "warm_ms",
+            "cold_speedup",
+            "warm_speedup",
+            "hit_rate",
+        ],
+        &rows,
+    )
+    .expect("write batch_diff.csv");
+    eprintln!("wrote batch_diff.csv");
+    assert!(all_match, "memoised distances diverged from the unmemoised baseline");
+}

@@ -9,6 +9,7 @@
 //! paper so that the full harness completes in minutes on a laptop; every
 //! binary accepts arguments to scale the workload up to the paper's settings.
 
+pub mod batch;
 pub mod csvout;
 pub mod fig11;
 pub mod fig12;

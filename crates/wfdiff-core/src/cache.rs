@@ -1,0 +1,330 @@
+//! Fingerprint-keyed caches shared across [`crate::WorkflowDiff`] calls.
+//!
+//! The paper's workload is differencing *many* runs of the *same*
+//! specification (PDiffView clusters whole run collections), and those runs
+//! share most of their structure: fork copies and loop iterations repeat the
+//! same subtrees over and over.  Two memoisable quantities dominate the cost
+//! of a diff:
+//!
+//! * the **subtree deletion/insertion tables** of Algorithm 3 (`X`/`Y`), which
+//!   depend only on the subtree's canonical structure and the cost model, and
+//! * the **per-pair DP value** of Algorithms 4/6 — the minimum mapping cost of
+//!   two homologous subtrees — which depends only on the two subtree
+//!   structures (with their specification origins), the specification and the
+//!   cost model.
+//!
+//! Both are therefore keyed here by [`Fingerprint`]s
+//! (see [`wfdiff_sptree::fingerprint`]) and shared across `diff` calls through
+//! the [`DiffCache`] trait.  The default implementation is
+//! [`ShardedDiffCache`]: a fixed number of `parking_lot::RwLock`-protected
+//! shards with a per-shard capacity bound, FIFO eviction and atomic hit/miss/
+//! eviction counters.
+//!
+//! # `DiffCache` contract
+//!
+//! Implementations must uphold the following, which `WorkflowDiff` relies on
+//! for correctness:
+//!
+//! 1. **Keys are authoritative.**  A value returned for a key must have been
+//!    stored for *exactly* that key (never a "close" one).  The engine treats
+//!    equal fingerprints as proof of structural equivalence, so a cache must
+//!    never transform keys.
+//! 2. **Eviction is always allowed.**  `get` may return `None` for a key that
+//!    was stored earlier; the engine recomputes and re-inserts.  A cache may
+//!    drop anything at any time (including everything — clearing is safe).
+//! 3. **Thread safety.**  All methods take `&self` and may be called
+//!    concurrently from many differencing threads; `put` races for the same
+//!    key are benign because both threads compute identical values.
+//! 4. **No blocking on the caller's progress.**  Implementations should not
+//!    hold internal locks while calling back into the engine (the provided
+//!    implementations never do).
+
+use crate::deletion::DeletionEntry;
+use parking_lot::RwLock;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wfdiff_sptree::Fingerprint;
+
+/// Key of a cached Algorithm 3 subtree entry: the cost model plus the
+/// canonical fingerprint of the subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeletionKey {
+    /// Identity hash of the cost model (see [`crate::CostModel::cache_key`]).
+    pub cost_model: u64,
+    /// Canonical fingerprint of the subtree.
+    pub subtree: Fingerprint,
+}
+
+/// Key of a cached per-pair DP value: the specification, the cost model and
+/// the fingerprints of the two homologous subtrees (origins included in the
+/// fingerprints, so the pair's position in the specification is part of the
+/// key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PairKey {
+    /// Root fingerprint of the specification tree (the surcharge context of
+    /// Algorithm 4 depends on the whole specification).
+    pub spec: Fingerprint,
+    /// Identity hash of the cost model.
+    pub cost_model: u64,
+    /// Fingerprint of the left (source-run) subtree.
+    pub left: Fingerprint,
+    /// Fingerprint of the right (target-run) subtree.
+    pub right: Fingerprint,
+}
+
+/// A point-in-time snapshot of cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a value.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Values stored (racing duplicate stores count once per call).
+    pub insertions: u64,
+    /// Values dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A cache shared across [`crate::WorkflowDiff`] calls.  See the
+/// [module docs](self) for the implementation contract.
+pub trait DiffCache: Send + Sync {
+    /// Looks up the Algorithm 3 entry of a subtree.
+    fn get_deletion(&self, key: &DeletionKey) -> Option<Arc<DeletionEntry>>;
+    /// Stores the Algorithm 3 entry of a subtree.
+    fn put_deletion(&self, key: DeletionKey, entry: Arc<DeletionEntry>);
+    /// Looks up the minimum mapping cost of a homologous subtree pair.
+    fn get_pair(&self, key: &PairKey) -> Option<f64>;
+    /// Stores the minimum mapping cost of a homologous subtree pair.
+    fn put_pair(&self, key: PairKey, cost: f64);
+    /// A snapshot of the effectiveness counters.
+    fn stats(&self) -> CacheStats;
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Key {
+    Deletion(DeletionKey),
+    Pair(PairKey),
+}
+
+#[derive(Clone)]
+enum Value {
+    Deletion(Arc<DeletionEntry>),
+    Pair(f64),
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, Value>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<Key>,
+}
+
+/// The default [`DiffCache`]: a sharded, capacity-bounded, FIFO-evicting map.
+///
+/// The capacity bound is per cache (split evenly across shards); at the
+/// default of one million entries the cache tops out at a few hundred MiB on
+/// pathological workloads and far less on realistic ones.
+pub struct ShardedDiffCache {
+    shards: Vec<RwLock<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+const SHARD_COUNT: usize = 16;
+
+impl ShardedDiffCache {
+    /// Creates a cache bounded to roughly `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity_per_shard = capacity.div_ceil(SHARD_COUNT).max(1);
+        ShardedDiffCache {
+            shards: (0..SHARD_COUNT).map(|_| RwLock::new(Shard::default())).collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &Key) -> &RwLock<Shard> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARD_COUNT]
+    }
+
+    fn get(&self, key: &Key) -> Option<Value> {
+        let found = self.shard_of(key).read().map.get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn put(&self, key: Key, value: Value) {
+        let shard = self.shard_of(&key);
+        let mut guard = shard.write();
+        if guard.map.insert(key.clone(), value).is_none() {
+            guard.order.push_back(key);
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+            while guard.map.len() > self.capacity_per_shard {
+                match guard.order.pop_front() {
+                    Some(oldest) => {
+                        guard.map.remove(&oldest);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}
+
+impl Default for ShardedDiffCache {
+    fn default() -> Self {
+        ShardedDiffCache::with_capacity(1 << 20)
+    }
+}
+
+impl DiffCache for ShardedDiffCache {
+    fn get_deletion(&self, key: &DeletionKey) -> Option<Arc<DeletionEntry>> {
+        match self.get(&Key::Deletion(*key)) {
+            Some(Value::Deletion(entry)) => Some(entry),
+            _ => None,
+        }
+    }
+
+    fn put_deletion(&self, key: DeletionKey, entry: Arc<DeletionEntry>) {
+        self.put(Key::Deletion(key), Value::Deletion(entry));
+    }
+
+    fn get_pair(&self, key: &PairKey) -> Option<f64> {
+        match self.get(&Key::Pair(*key)) {
+            Some(Value::Pair(cost)) => Some(cost),
+            _ => None,
+        }
+    }
+
+    fn put_pair(&self, key: PairKey, cost: f64) {
+        self.put(Key::Pair(key), Value::Pair(cost));
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.read().map.len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(v: u128) -> Fingerprint {
+        Fingerprint(v)
+    }
+
+    fn pair_key(left: u128, right: u128) -> PairKey {
+        PairKey { spec: fp(1), cost_model: 7, left: fp(left), right: fp(right) }
+    }
+
+    #[test]
+    fn pair_roundtrip_and_stats() {
+        let cache = ShardedDiffCache::with_capacity(64);
+        assert_eq!(cache.get_pair(&pair_key(1, 2)), None);
+        cache.put_pair(pair_key(1, 2), 4.5);
+        assert_eq!(cache.get_pair(&pair_key(1, 2)), Some(4.5));
+        assert_eq!(cache.get_pair(&pair_key(2, 1)), None, "keys are directional");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.hit_rate() > 0.3 && stats.hit_rate() < 0.4);
+    }
+
+    #[test]
+    fn deletion_roundtrip() {
+        let cache = ShardedDiffCache::default();
+        let key = DeletionKey { cost_model: 3, subtree: fp(9) };
+        assert!(cache.get_deletion(&key).is_none());
+        let entry = Arc::new(DeletionEntry { x: 2.0, y: vec![f64::INFINITY, 0.0] });
+        cache.put_deletion(key, Arc::clone(&entry));
+        let got = cache.get_deletion(&key).expect("stored");
+        assert_eq!(got.x, 2.0);
+        // Pair lookups never alias deletion entries.
+        assert_eq!(
+            cache.get_pair(&PairKey { spec: fp(0), cost_model: 3, left: fp(9), right: fp(9) }),
+            None
+        );
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest() {
+        // One entry per shard: inserting many keys forces evictions and the
+        // resident count never exceeds the bound.
+        let cache = ShardedDiffCache::with_capacity(SHARD_COUNT);
+        for i in 0..200u128 {
+            cache.put_pair(pair_key(i, i), i as f64);
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= SHARD_COUNT);
+        assert!(stats.evictions >= 200 - SHARD_COUNT as u64);
+        assert_eq!(stats.insertions, 200);
+    }
+
+    #[test]
+    fn duplicate_puts_do_not_grow_the_cache() {
+        let cache = ShardedDiffCache::with_capacity(8);
+        for _ in 0..100 {
+            cache.put_pair(pair_key(5, 6), 1.0);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = Arc::new(ShardedDiffCache::with_capacity(1024));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..500u128 {
+                        cache.put_pair(pair_key(i % 64, t as u128), i as f64);
+                        let _ = cache.get_pair(&pair_key(i % 64, t as u128));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert!(cache.stats().hits > 0);
+    }
+}

@@ -30,6 +30,27 @@ pub trait CostModel: Send + Sync {
 
     /// A short human-readable name used in reports and benchmark output.
     fn name(&self) -> String;
+
+    /// A stable identity hash used to key shared diff caches
+    /// ([`crate::cache::DiffCache`]).
+    ///
+    /// Two cost models with equal `cache_key` are assumed to assign identical
+    /// costs everywhere.  The default hashes [`CostModel::name`], which is
+    /// sufficient whenever every parameter of the model appears in its name;
+    /// models with parameters not reflected in the name (e.g. label weight
+    /// tables) must override this.
+    fn cache_key(&self) -> u64 {
+        fnv64(self.name().as_bytes(), 0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// FNV-1a over `bytes` starting from `seed`.
+fn fnv64(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// The unit cost model: every edit operation costs 1 (`ε = 0`).
@@ -137,6 +158,23 @@ impl<C: CostModel> CostModel for LabelWeightedCost<C> {
 
     fn name(&self) -> String {
         format!("label-weighted({})", self.base.name())
+    }
+
+    fn cache_key(&self) -> u64 {
+        // The weight table is not part of the name, so fold it into the hash
+        // (sorted for determinism across insertion orders).  Every
+        // variable-length field is length-prefixed so distinct tables can
+        // never serialise to the same byte stream.
+        let mut h = fnv64(self.name().as_bytes(), 0xcbf2_9ce4_8422_2325);
+        let mut weights: Vec<(&Label, &f64)> = self.weights.iter().collect();
+        weights.sort_by(|a, b| a.0.cmp(b.0));
+        h = fnv64(&(weights.len() as u64).to_le_bytes(), h);
+        for (label, weight) in weights {
+            h = fnv64(&(label.as_str().len() as u64).to_le_bytes(), h);
+            h = fnv64(label.as_str().as_bytes(), h);
+            h = fnv64(&weight.to_bits().to_le_bytes(), h);
+        }
+        fnv64(&self.default_weight.to_bits().to_le_bytes(), h)
     }
 }
 

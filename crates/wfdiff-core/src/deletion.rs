@@ -17,105 +17,177 @@
 //! deletes `T[v]` — and, by symmetry of the cost model, the minimum cost of
 //! inserting it.
 
+use crate::cache::{DeletionKey, DiffCache};
 use crate::cost::CostModel;
 use crate::ops::{OpDirection, OpProvenance, PathOperation};
-use wfdiff_sptree::{AnnotatedTree, NodeType, TreeId};
+use std::sync::Arc;
+use wfdiff_sptree::{AnnotatedTree, NodeType, TreeFingerprints, TreeId};
 
 const INF: f64 = f64::INFINITY;
 
+/// The Algorithm 3 result for one subtree: shared across runs through the
+/// [`DiffCache`] deletion map, keyed by the subtree's canonical fingerprint
+/// and the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeletionEntry {
+    /// `X(v)`: minimum cost of deleting the subtree entirely.
+    pub x: f64,
+    /// `Y(v)[l]`: minimum cost of reducing the subtree to a branch-free
+    /// subtree with exactly `l` leaves (`INF` when unreachable, index 0
+    /// unused).
+    pub y: Vec<f64>,
+}
+
 /// The `X` and `Y` tables of Algorithm 3 for one annotated run tree.
+///
+/// Per-node entries are reference-counted so that structurally identical
+/// subtrees of *different* runs share one allocation when the tables are
+/// built through [`DeletionTables::compute_cached`]; the `X` values are
+/// additionally mirrored into a flat vector because [`DeletionTables::x`] is
+/// on the differencing DP's hot path (`NaN` marks arena slots not reachable
+/// from the root, which the algorithms never consult).
 #[derive(Debug, Clone)]
 pub struct DeletionTables {
-    /// `x[v]`: minimum cost of deleting the subtree rooted at `v`.
-    x: Vec<f64>,
-    /// `y[v][l]`: minimum cost of reducing the subtree rooted at `v` to a
-    /// branch-free subtree with exactly `l` leaves (`INF` when unreachable,
-    /// index 0 unused).
-    y: Vec<Vec<f64>>,
+    entries: Vec<Option<Arc<DeletionEntry>>>,
+    x_flat: Vec<f64>,
 }
 
 impl DeletionTables {
     /// Runs Algorithm 3 over the whole tree.
     pub fn compute(tree: &AnnotatedTree, cost: &dyn CostModel) -> DeletionTables {
-        let mut x = vec![0.0; tree.len()];
-        let mut y: Vec<Vec<f64>> = vec![Vec::new(); tree.len()];
+        Self::compute_inner(tree, cost, None)
+    }
+
+    /// Runs Algorithm 3, sharing per-subtree entries through `cache`.
+    ///
+    /// `fps` must be the fingerprints of `tree` and `cost_model_key` the
+    /// identity hash of `cost` (see [`CostModel::cache_key`]); a warm cache
+    /// turns the whole computation into one lookup per node.
+    pub fn compute_cached(
+        tree: &AnnotatedTree,
+        cost: &dyn CostModel,
+        fps: &TreeFingerprints,
+        cost_model_key: u64,
+        cache: &dyn DiffCache,
+    ) -> DeletionTables {
+        Self::compute_inner(tree, cost, Some((fps, cost_model_key, cache)))
+    }
+
+    fn compute_inner(
+        tree: &AnnotatedTree,
+        cost: &dyn CostModel,
+        cache: Option<(&TreeFingerprints, u64, &dyn DiffCache)>,
+    ) -> DeletionTables {
+        let mut entries: Vec<Option<Arc<DeletionEntry>>> = vec![None; tree.len()];
         for v in tree.postorder(tree.root()) {
-            let node = tree.node(v);
-            let leaf_cap = node.leaf_count;
-            let mut yv = vec![INF; leaf_cap + 1];
-            match node.ty {
-                NodeType::Q => {
-                    yv[1] = 0.0;
+            if let Some((fps, cost_model, cache)) = cache {
+                let key = DeletionKey { cost_model, subtree: fps.of(v) };
+                if let Some(entry) = cache.get_deletion(&key) {
+                    entries[v.index()] = Some(entry);
+                    continue;
                 }
-                NodeType::P | NodeType::F | NodeType::L => {
-                    let children = tree.children(v);
-                    let sum_x: f64 = children.iter().map(|c| x[c.index()]).sum();
-                    for &c in children {
-                        let yc = &y[c.index()];
-                        for (l, &cost_l) in yc.iter().enumerate().skip(1) {
-                            if cost_l.is_finite() {
-                                let cand = cost_l + sum_x - x[c.index()];
-                                if cand < yv[l] {
-                                    yv[l] = cand;
-                                }
-                            }
-                        }
-                    }
-                }
-                NodeType::S => {
-                    // Knapsack over the children: z[l] after processing the
-                    // first i children.
-                    let children = tree.children(v);
-                    let mut z = vec![INF; leaf_cap + 1];
-                    z[0] = 0.0;
-                    for &c in children {
-                        let yc = &y[c.index()];
-                        let mut next = vec![INF; leaf_cap + 1];
-                        for (k, &zk) in z.iter().enumerate() {
-                            if !zk.is_finite() {
-                                continue;
-                            }
-                            for (l, &yl) in yc.iter().enumerate().skip(1) {
-                                if yl.is_finite() && k + l <= leaf_cap {
-                                    let cand = zk + yl;
-                                    if cand < next[k + l] {
-                                        next[k + l] = cand;
-                                    }
-                                }
-                            }
-                        }
-                        z = next;
-                    }
-                    yv = z;
-                    yv[0] = INF;
-                }
+                let entry = Arc::new(Self::node_entry(tree, cost, v, &entries));
+                cache.put_deletion(key, Arc::clone(&entry));
+                entries[v.index()] = Some(entry);
+            } else {
+                entries[v.index()] = Some(Arc::new(Self::node_entry(tree, cost, v, &entries)));
             }
-            // X(v) = min_l Y(v)[l] + γ(l, s(v), t(v)).
-            let mut best = INF;
-            for (l, &yl) in yv.iter().enumerate().skip(1) {
-                if yl.is_finite() {
-                    let cand = yl + cost.op_cost(l, &node.s_label, &node.t_label);
-                    if cand < best {
-                        best = cand;
-                    }
-                }
-            }
-            x[v.index()] = best;
-            y[v.index()] = yv;
         }
-        DeletionTables { x, y }
+        let x_flat = entries.iter().map(|e| e.as_ref().map_or(f64::NAN, |e| e.x)).collect();
+        DeletionTables { entries, x_flat }
+    }
+
+    /// Computes the Algorithm 3 entry for one node given its children's
+    /// entries.
+    fn node_entry(
+        tree: &AnnotatedTree,
+        cost: &dyn CostModel,
+        v: TreeId,
+        entries: &[Option<Arc<DeletionEntry>>],
+    ) -> DeletionEntry {
+        let child_y = |c: TreeId| -> &[f64] {
+            &entries[c.index()].as_ref().expect("children computed in post-order").y
+        };
+        let child_x = |c: TreeId| -> f64 {
+            entries[c.index()].as_ref().expect("children computed in post-order").x
+        };
+        let node = tree.node(v);
+        let leaf_cap = node.leaf_count;
+        let mut yv = vec![INF; leaf_cap + 1];
+        match node.ty {
+            NodeType::Q => {
+                yv[1] = 0.0;
+            }
+            NodeType::P | NodeType::F | NodeType::L => {
+                let children = tree.children(v);
+                let sum_x: f64 = children.iter().map(|&c| child_x(c)).sum();
+                for &c in children {
+                    for (l, &cost_l) in child_y(c).iter().enumerate().skip(1) {
+                        if cost_l.is_finite() {
+                            let cand = cost_l + sum_x - child_x(c);
+                            if cand < yv[l] {
+                                yv[l] = cand;
+                            }
+                        }
+                    }
+                }
+            }
+            NodeType::S => {
+                // Knapsack over the children: z[l] after processing the
+                // first i children.
+                let children = tree.children(v);
+                let mut z = vec![INF; leaf_cap + 1];
+                z[0] = 0.0;
+                for &c in children {
+                    let yc = child_y(c);
+                    let mut next = vec![INF; leaf_cap + 1];
+                    for (k, &zk) in z.iter().enumerate() {
+                        if !zk.is_finite() {
+                            continue;
+                        }
+                        for (l, &yl) in yc.iter().enumerate().skip(1) {
+                            if yl.is_finite() && k + l <= leaf_cap {
+                                let cand = zk + yl;
+                                if cand < next[k + l] {
+                                    next[k + l] = cand;
+                                }
+                            }
+                        }
+                    }
+                    z = next;
+                }
+                yv = z;
+                yv[0] = INF;
+            }
+        }
+        // X(v) = min_l Y(v)[l] + γ(l, s(v), t(v)).
+        let mut best = INF;
+        for (l, &yl) in yv.iter().enumerate().skip(1) {
+            if yl.is_finite() {
+                let cand = yl + cost.op_cost(l, &node.s_label, &node.t_label);
+                if cand < best {
+                    best = cand;
+                }
+            }
+        }
+        DeletionEntry { x: best, y: yv }
+    }
+
+    fn y_vec(&self, v: TreeId) -> &[f64] {
+        &self.entries[v.index()].as_ref().expect("node reachable from the root").y
     }
 
     /// `X_T(v)`: minimum cost of deleting (equivalently inserting) the subtree
     /// rooted at `v`.
+    #[inline]
     pub fn x(&self, v: TreeId) -> f64 {
-        self.x[v.index()]
+        self.x_flat[v.index()]
     }
 
     /// `Y_T(v)[l]` (or `None` if no branch-free subtree with `l` leaves is
     /// reachable).
     pub fn y(&self, v: TreeId, l: usize) -> Option<f64> {
-        self.y[v.index()].get(l).copied().filter(|c| c.is_finite())
+        self.y_vec(v).get(l).copied().filter(|c| c.is_finite())
     }
 
     /// Extracts a concrete minimum-cost sequence of elementary-path operations
@@ -156,7 +228,7 @@ impl DeletionTables {
         // Choose the final branch-free length l*.
         let mut best_l = 1;
         let mut best = INF;
-        for (l, &yl) in self.y[v.index()].iter().enumerate().skip(1) {
+        for (l, &yl) in self.y_vec(v).iter().enumerate().skip(1) {
             if yl.is_finite() {
                 let cand = yl + cost.op_cost(l, &node.s_label, &node.t_label);
                 if cand < best {
@@ -187,13 +259,13 @@ impl DeletionTables {
             }
             NodeType::P | NodeType::F | NodeType::L => {
                 let children = tree.children(v).to_vec();
-                let sum_x: f64 = children.iter().map(|c| self.x[c.index()]).sum();
+                let sum_x: f64 = children.iter().map(|&c| self.x(c)).sum();
                 // Find the child achieving Y(v)[l].
                 let mut keep = children[0];
                 let mut best = INF;
                 for &c in &children {
                     if let Some(yl) = self.y(c, l) {
-                        let cand = yl + sum_x - self.x[c.index()];
+                        let cand = yl + sum_x - self.x(c);
                         if cand < best {
                             best = cand;
                             keep = c;
@@ -220,7 +292,7 @@ impl DeletionTables {
                         if !z[i][k].is_finite() {
                             continue;
                         }
-                        for (ll, &yl) in self.y[c.index()].iter().enumerate().skip(1) {
+                        for (ll, &yl) in self.y_vec(c).iter().enumerate().skip(1) {
                             if yl.is_finite() && k + ll <= cap {
                                 let cand = z[i][k] + yl;
                                 if cand < z[i + 1][k + ll] {

@@ -21,6 +21,7 @@
 //! * `L`/`L` pairs solve a minimum-cost **non-crossing** matching over their
 //!   iterations (sequence-alignment DP), since iterations are ordered.
 
+use crate::cache::{DiffCache, PairKey};
 use crate::cost::CostModel;
 use crate::deletion::DeletionTables;
 use crate::error::DiffError;
@@ -28,7 +29,9 @@ use crate::mapping::Mapping;
 use crate::surcharge::SpecContext;
 use std::collections::HashMap;
 use wfdiff_matching::{assignment_with_unmatched, noncrossing_solve};
-use wfdiff_sptree::{AnnotatedTree, NodeType, Run, Specification, TreeId};
+use wfdiff_sptree::{
+    AnnotatedTree, Fingerprint, NodeType, Run, Specification, TreeFingerprints, TreeId,
+};
 
 /// How the children of a mapped pair were matched; used to reconstruct the
 /// mapping and to derive edit scripts.
@@ -62,19 +65,59 @@ pub struct WorkflowDiff<'a> {
     spec: &'a Specification,
     cost: &'a dyn CostModel,
     ctx: SpecContext<'a>,
+    /// Arena-identity fingerprint of the specification (part of every
+    /// pair-cache key: the surcharge context and the meaning of run-tree
+    /// origins depend on the exact specification build).
+    spec_fp: Fingerprint,
+    /// Identity hash of the cost model.
+    cost_key: u64,
 }
 
-/// Internal memo entry.
+/// A run together with its canonical fingerprints and Algorithm 3 tables,
+/// ready for repeated differencing.
+///
+/// Build one per run with [`WorkflowDiff::prepare`] and reuse it across
+/// [`WorkflowDiff::diff_prepared`] / [`WorkflowDiff::distance_prepared`]
+/// calls: batch workloads (all-pairs clustering) prepare each run once and
+/// difference it against many partners.
+pub struct PreparedRun<'r> {
+    run: &'r Run,
+    fps: TreeFingerprints,
+    tables: DeletionTables,
+}
+
+impl<'r> PreparedRun<'r> {
+    /// The underlying run.
+    pub fn run(&self) -> &'r Run {
+        self.run
+    }
+
+    /// The run tree's canonical fingerprints.
+    pub fn fingerprints(&self) -> &TreeFingerprints {
+        &self.fps
+    }
+
+    /// The run's Algorithm 3 deletion/insertion tables.
+    pub fn tables(&self) -> &DeletionTables {
+        &self.tables
+    }
+}
+
+/// Internal memo entry.  `decision` is `None` when the cost was taken from a
+/// shared cache (cost-only queries never reconstruct a mapping, so no
+/// decision is needed).
 #[derive(Debug, Clone)]
 struct Entry {
     cost: f64,
-    decision: Decision,
+    decision: Option<Decision>,
 }
 
 impl<'a> WorkflowDiff<'a> {
     /// Creates a differencing engine.
     pub fn new(spec: &'a Specification, cost: &'a dyn CostModel) -> Self {
-        WorkflowDiff { spec, cost, ctx: SpecContext::new(spec) }
+        let spec_fp = spec.fingerprint();
+        let cost_key = cost.cache_key();
+        WorkflowDiff { spec, cost, ctx: SpecContext::new(spec), spec_fp, cost_key }
     }
 
     /// The specification context (branch-free lengths, surcharges).
@@ -97,32 +140,106 @@ impl<'a> WorkflowDiff<'a> {
         DeletionTables::compute(run.tree(), self.cost)
     }
 
+    /// Fingerprints a run and computes its Algorithm 3 tables, reusing
+    /// per-subtree cache entries when a shared cache is supplied.
+    ///
+    /// Fails with [`DiffError::SpecMismatch`] when the run does not belong to
+    /// this engine's specification.
+    pub fn prepare<'r>(
+        &self,
+        run: &'r Run,
+        cache: Option<&dyn DiffCache>,
+    ) -> Result<PreparedRun<'r>, DiffError> {
+        if run.spec_name() != self.spec.name() {
+            return Err(DiffError::SpecMismatch {
+                first: self.spec.name().to_string(),
+                second: run.spec_name().to_string(),
+            });
+        }
+        // Same name is not enough: the run must have been validated against
+        // this exact specification *version*, or its origin references would
+        // index a different tree arena.
+        if run.spec_fingerprint() != self.spec_fp {
+            return Err(DiffError::SpecVersionMismatch { spec: self.spec.name().to_string() });
+        }
+        let fps = TreeFingerprints::compute(run.tree());
+        let tables = match cache {
+            Some(cache) => {
+                DeletionTables::compute_cached(run.tree(), self.cost, &fps, self.cost_key, cache)
+            }
+            None => DeletionTables::compute(run.tree(), self.cost),
+        };
+        Ok(PreparedRun { run, fps, tables })
+    }
+
     /// Computes the edit distance and a minimum-cost mapping between two runs
     /// of this engine's specification.
     pub fn diff(&self, r1: &Run, r2: &Run) -> Result<DiffResult, DiffError> {
-        if r1.spec_name() != self.spec.name() || r2.spec_name() != self.spec.name() {
-            return Err(DiffError::SpecMismatch {
-                first: r1.spec_name().to_string(),
-                second: r2.spec_name().to_string(),
-            });
-        }
-        let t1 = r1.tree();
-        let t2 = r2.tree();
-        let x1 = DeletionTables::compute(t1, self.cost);
-        let x2 = DeletionTables::compute(t2, self.cost);
+        self.diff_with_cache(r1, r2, None)
+    }
+
+    /// [`WorkflowDiff::diff`] with an optional shared cache.
+    ///
+    /// The cache accelerates the Algorithm 3 tables (per-subtree entries) and
+    /// short-circuits identical subtree pairs; every computed pair cost is
+    /// also *published* to the cache so subsequent
+    /// [`WorkflowDiff::distance_prepared`] queries can reuse it.  The mapping
+    /// and distance are bit-identical to the uncached path.
+    pub fn diff_with_cache(
+        &self,
+        r1: &Run,
+        r2: &Run,
+        cache: Option<&dyn DiffCache>,
+    ) -> Result<DiffResult, DiffError> {
+        let p1 = self.prepare(r1, cache)?;
+        let p2 = self.prepare(r2, cache)?;
+        self.diff_prepared(&p1, &p2, cache)
+    }
+
+    /// Computes the full diff between two prepared runs.
+    pub fn diff_prepared(
+        &self,
+        p1: &PreparedRun<'_>,
+        p2: &PreparedRun<'_>,
+        cache: Option<&dyn DiffCache>,
+    ) -> Result<DiffResult, DiffError> {
+        let cx = Ctx {
+            t1: p1.run.tree(),
+            t2: p2.run.tree(),
+            x1: &p1.tables,
+            x2: &p2.tables,
+            f1: &p1.fps,
+            f2: &p2.fps,
+            // Mapping reconstruction needs a decision per mapped pair, so the
+            // full diff never *reads* pair costs from the cache — it only
+            // publishes them (and uses the O(1) identical-subtree fast path,
+            // whose decisions are synthesised during reconstruction).
+            read_pairs: false,
+            cache,
+        };
         let mut memo: HashMap<(TreeId, TreeId), Entry> = HashMap::new();
-        let root_cost = self.solve(t1, t2, &x1, &x2, t1.root(), t2.root(), &mut memo)?;
+        let (root1, root2) = (cx.t1.root(), cx.t2.root());
+        let root_cost = self.solve(&cx, root1, root2, &mut memo)?;
         // Reconstruct the mapping by walking the decisions from the roots.
         let mut pairs = Vec::new();
         let mut decisions = HashMap::new();
-        let mut stack = vec![(t1.root(), t2.root())];
+        let mut stack = vec![(root1, root2)];
         while let Some((a, b)) = stack.pop() {
             pairs.push((a, b));
-            let entry = memo.get(&(a, b)).ok_or_else(|| {
-                DiffError::Invariant(format!("missing memo entry for ({a}, {b})"))
-            })?;
-            decisions.insert((a, b), entry.decision.clone());
-            match &entry.decision {
+            let decision = match memo.get(&(a, b)) {
+                Some(Entry { decision: Some(decision), .. }) => decision.clone(),
+                Some(Entry { decision: None, .. }) => {
+                    return Err(DiffError::Invariant(format!(
+                        "cost-only memo entry reached during reconstruction at ({a}, {b})"
+                    )))
+                }
+                None if cx.f1.of(a) == cx.f2.of(b) => self.identity_decision(&cx, a, b)?,
+                None => {
+                    return Err(DiffError::Invariant(format!("missing memo entry for ({a}, {b})")))
+                }
+            };
+            decisions.insert((a, b), decision.clone());
+            match &decision {
                 Decision::Leaf | Decision::Unstable => {}
                 Decision::Series(children) | Decision::Matched(children) => {
                     for &(c1, c2) in children {
@@ -140,15 +257,112 @@ impl<'a> WorkflowDiff<'a> {
         Ok(self.diff(r1, r2)?.distance)
     }
 
+    /// Computes only the edit distance, memoising shared subproblems through
+    /// `cache`.
+    ///
+    /// Unlike the full diff, the cost-only query both reads *and* writes the
+    /// fingerprint-keyed pair memo, so repeated or overlapping queries (the
+    /// all-pairs clustering workload) skip whole subtree-pair DPs.
+    pub fn distance_with_cache(
+        &self,
+        r1: &Run,
+        r2: &Run,
+        cache: &dyn DiffCache,
+    ) -> Result<f64, DiffError> {
+        let p1 = self.prepare(r1, Some(cache))?;
+        let p2 = self.prepare(r2, Some(cache))?;
+        self.distance_prepared(&p1, &p2, Some(cache))
+    }
+
+    /// Computes only the edit distance between two prepared runs.
+    pub fn distance_prepared(
+        &self,
+        p1: &PreparedRun<'_>,
+        p2: &PreparedRun<'_>,
+        cache: Option<&dyn DiffCache>,
+    ) -> Result<f64, DiffError> {
+        let cx = Ctx {
+            t1: p1.run.tree(),
+            t2: p2.run.tree(),
+            x1: &p1.tables,
+            x2: &p2.tables,
+            f1: &p1.fps,
+            f2: &p2.fps,
+            read_pairs: true,
+            cache,
+        };
+        let mut memo: HashMap<(TreeId, TreeId), Entry> = HashMap::new();
+        self.solve(&cx, cx.t1.root(), cx.t2.root(), &mut memo)
+    }
+
+    /// The pair-cache key of the homologous subtree pair `(v1, v2)`.
+    fn pair_key(&self, cx: &Ctx<'_>, v1: TreeId, v2: TreeId) -> PairKey {
+        PairKey {
+            spec: self.spec_fp,
+            cost_model: self.cost_key,
+            left: cx.f1.of(v1),
+            right: cx.f2.of(v2),
+        }
+    }
+
+    /// Synthesises the zero-cost decision of an identical subtree pair
+    /// (`fingerprint(v1) == fingerprint(v2)`): children are paired with their
+    /// structurally identical counterparts.
+    fn identity_decision(
+        &self,
+        cx: &Ctx<'_>,
+        v1: TreeId,
+        v2: TreeId,
+    ) -> Result<Decision, DiffError> {
+        let (n1, n2) = (cx.t1.node(v1), cx.t2.node(v2));
+        let mismatch = || {
+            DiffError::Invariant(format!(
+                "fingerprint-equal pair ({v1}, {v2}) with mismatched shapes"
+            ))
+        };
+        if n1.ty != n2.ty || cx.t1.children(v1).len() != cx.t2.children(v2).len() {
+            return Err(mismatch());
+        }
+        match n1.ty {
+            NodeType::Q => Ok(Decision::Leaf),
+            NodeType::S | NodeType::L => {
+                // Ordered children: identical trees pair positionally.
+                let pairs: Vec<(TreeId, TreeId)> = cx
+                    .t1
+                    .children(v1)
+                    .iter()
+                    .copied()
+                    .zip(cx.t2.children(v2).iter().copied())
+                    .collect();
+                Ok(if n1.ty == NodeType::S {
+                    Decision::Series(pairs)
+                } else {
+                    Decision::Matched(pairs)
+                })
+            }
+            NodeType::P | NodeType::F => {
+                // Unordered children: sort both sides by fingerprint; equal
+                // parent fingerprints guarantee equal child multisets, so the
+                // zipped pairs are identical subtrees.
+                let mut c1 = cx.t1.children(v1).to_vec();
+                let mut c2 = cx.t2.children(v2).to_vec();
+                c1.sort_by_key(|&c| cx.f1.of(c));
+                c2.sort_by_key(|&c| cx.f2.of(c));
+                for (&a, &b) in c1.iter().zip(c2.iter()) {
+                    if cx.f1.of(a) != cx.f2.of(b) {
+                        return Err(mismatch());
+                    }
+                }
+                Ok(Decision::Matched(c1.into_iter().zip(c2).collect()))
+            }
+        }
+    }
+
     /// The minimum cost of a well-formed mapping between `T1[v1]` and
     /// `T2[v2]`, where `v1` and `v2` are homologous.
-    #[allow(clippy::too_many_arguments)]
     fn solve(
         &self,
-        t1: &AnnotatedTree,
-        t2: &AnnotatedTree,
-        x1: &DeletionTables,
-        x2: &DeletionTables,
+        cx: &Ctx<'_>,
         v1: TreeId,
         v2: TreeId,
         memo: &mut HashMap<(TreeId, TreeId), Entry>,
@@ -156,6 +370,7 @@ impl<'a> WorkflowDiff<'a> {
         if let Some(entry) = memo.get(&(v1, v2)) {
             return Ok(entry.cost);
         }
+        let (t1, t2) = (cx.t1, cx.t2);
         let n1 = t1.node(v1);
         let n2 = t2.node(v2);
         if n1.origin != n2.origin {
@@ -163,8 +378,24 @@ impl<'a> WorkflowDiff<'a> {
                 "solve called on non-homologous pair ({v1}, {v2})"
             )));
         }
+        // Identical subtrees (same canonical fingerprint, origins included)
+        // map onto each other for free — the dominant case when differencing
+        // many runs of one specification.  The decision is synthesised on
+        // demand during reconstruction.
+        if cx.f1.of(v1) == cx.f2.of(v2) {
+            return Ok(0.0);
+        }
+        // Shared fingerprint-keyed memo (cost-only queries): another diff of
+        // this specification may already have solved this exact subproblem.
+        let key = self.pair_key(cx, v1, v2);
+        if cx.read_pairs {
+            if let Some(cost) = cx.cache.and_then(|c| c.get_pair(&key)) {
+                memo.insert((v1, v2), Entry { cost, decision: None });
+                return Ok(cost);
+            }
+        }
         let entry = match (n1.ty, n2.ty) {
-            (NodeType::Q, NodeType::Q) => Entry { cost: 0.0, decision: Decision::Leaf },
+            (NodeType::Q, NodeType::Q) => Entry { cost: 0.0, decision: Some(Decision::Leaf) },
             (NodeType::S, NodeType::S) => {
                 let c1 = t1.children(v1).to_vec();
                 let c2 = t2.children(v2).to_vec();
@@ -176,31 +407,31 @@ impl<'a> WorkflowDiff<'a> {
                 let mut total = 0.0;
                 let mut pairs = Vec::with_capacity(c1.len());
                 for (&a, &b) in c1.iter().zip(c2.iter()) {
-                    total += self.solve(t1, t2, x1, x2, a, b, memo)?;
+                    total += self.solve(cx, a, b, memo)?;
                     pairs.push((a, b));
                 }
-                Entry { cost: total, decision: Decision::Series(pairs) }
+                Entry { cost: total, decision: Some(Decision::Series(pairs)) }
             }
-            (NodeType::P, NodeType::P) => self.solve_parallel(t1, t2, x1, x2, v1, v2, memo)?,
+            (NodeType::P, NodeType::P) => self.solve_parallel(cx, v1, v2, memo)?,
             (NodeType::F, NodeType::F) => {
                 let c1 = t1.children(v1).to_vec();
                 let c2 = t2.children(v2).to_vec();
                 let mut pair_cost = vec![vec![None; c2.len()]; c1.len()];
                 for (i, &a) in c1.iter().enumerate() {
                     for (j, &b) in c2.iter().enumerate() {
-                        pair_cost[i][j] = Some(self.solve(t1, t2, x1, x2, a, b, memo)?);
+                        pair_cost[i][j] = Some(self.solve(cx, a, b, memo)?);
                     }
                 }
-                let left: Vec<f64> = c1.iter().map(|&c| x1.x(c)).collect();
-                let right: Vec<f64> = c2.iter().map(|&c| x2.x(c)).collect();
-                let solved = assignment_with_unmatched(&pair_cost, &left, &right);
+                let left: Vec<f64> = c1.iter().map(|&c| cx.x1.x(c)).collect();
+                let right: Vec<f64> = c2.iter().map(|&c| cx.x2.x(c)).collect();
+                let solved = assignment_with_unmatched(&pair_cost, &left, &right)?;
                 let pairs: Vec<(TreeId, TreeId)> = solved
                     .left_to_right
                     .iter()
                     .enumerate()
                     .filter_map(|(i, j)| j.map(|j| (c1[i], c2[j])))
                     .collect();
-                Entry { cost: solved.cost, decision: Decision::Matched(pairs) }
+                Entry { cost: solved.cost, decision: Some(Decision::Matched(pairs)) }
             }
             (NodeType::L, NodeType::L) => {
                 let c1 = t1.children(v1).to_vec();
@@ -208,19 +439,19 @@ impl<'a> WorkflowDiff<'a> {
                 let mut pair_cost = vec![vec![None; c2.len()]; c1.len()];
                 for (i, &a) in c1.iter().enumerate() {
                     for (j, &b) in c2.iter().enumerate() {
-                        pair_cost[i][j] = Some(self.solve(t1, t2, x1, x2, a, b, memo)?);
+                        pair_cost[i][j] = Some(self.solve(cx, a, b, memo)?);
                     }
                 }
-                let left: Vec<f64> = c1.iter().map(|&c| x1.x(c)).collect();
-                let right: Vec<f64> = c2.iter().map(|&c| x2.x(c)).collect();
-                let solved = noncrossing_solve(&pair_cost, &left, &right);
+                let left: Vec<f64> = c1.iter().map(|&c| cx.x1.x(c)).collect();
+                let right: Vec<f64> = c2.iter().map(|&c| cx.x2.x(c)).collect();
+                let solved = noncrossing_solve(&pair_cost, &left, &right)?;
                 let pairs: Vec<(TreeId, TreeId)> = solved
                     .left_to_right
                     .iter()
                     .enumerate()
                     .filter_map(|(i, j)| j.map(|j| (c1[i], c2[j])))
                     .collect();
-                Entry { cost: solved.cost, decision: Decision::Matched(pairs) }
+                Entry { cost: solved.cost, decision: Some(Decision::Matched(pairs)) }
             }
             (a, b) => {
                 return Err(DiffError::Invariant(format!(
@@ -228,37 +459,38 @@ impl<'a> WorkflowDiff<'a> {
                 )))
             }
         };
+        if let Some(cache) = cx.cache {
+            cache.put_pair(key, entry.cost);
+        }
         memo.insert((v1, v2), entry.clone());
         Ok(entry.cost)
     }
 
     /// Case 3 of Algorithm 4: a pair of `P` nodes.
-    #[allow(clippy::too_many_arguments)]
     fn solve_parallel(
         &self,
-        t1: &AnnotatedTree,
-        t2: &AnnotatedTree,
-        x1: &DeletionTables,
-        x2: &DeletionTables,
+        cx: &Ctx<'_>,
         v1: TreeId,
         v2: TreeId,
         memo: &mut HashMap<(TreeId, TreeId), Entry>,
     ) -> Result<Entry, DiffError> {
+        let (t1, t2) = (cx.t1, cx.t2);
+        let (x1, x2) = (cx.x1, cx.x2);
         let c1 = t1.children(v1).to_vec();
         let c2 = t2.children(v2).to_vec();
         // Case 3a: both have exactly one child and the children are homologous.
         if c1.len() == 1 && c2.len() == 1 {
             let (a, b) = (c1[0], c2[0]);
             if t1.node(a).origin == t2.node(b).origin {
-                let mapped = self.solve(t1, t2, x1, x2, a, b, memo)?;
+                let mapped = self.solve(cx, a, b, memo)?;
                 let spec_p = t1.node(v1).origin.ok_or_else(|| missing_origin(v1))?;
                 let spec_child = t1.node(a).origin.ok_or_else(|| missing_origin(a))?;
                 let unstable =
                     x1.x(a) + x2.x(b) + 2.0 * self.ctx.w_surcharge(self.cost, spec_p, spec_child);
                 return Ok(if mapped <= unstable {
-                    Entry { cost: mapped, decision: Decision::Matched(vec![(a, b)]) }
+                    Entry { cost: mapped, decision: Some(Decision::Matched(vec![(a, b)])) }
                 } else {
-                    Entry { cost: unstable, decision: Decision::Unstable }
+                    Entry { cost: unstable, decision: Some(Decision::Unstable) }
                 });
             }
         }
@@ -275,7 +507,7 @@ impl<'a> WorkflowDiff<'a> {
             let origin = t1.node(a).origin.ok_or_else(|| missing_origin(a))?;
             match by_origin_right.get(&origin) {
                 Some(&b) => {
-                    let mapped = self.solve(t1, t2, x1, x2, a, b, memo)?;
+                    let mapped = self.solve(cx, a, b, memo)?;
                     let separate = x1.x(a) + x2.x(b);
                     if mapped <= separate {
                         total += mapped;
@@ -293,8 +525,23 @@ impl<'a> WorkflowDiff<'a> {
                 total += x2.x(b);
             }
         }
-        Ok(Entry { cost: total, decision: Decision::Matched(pairs) })
+        Ok(Entry { cost: total, decision: Some(Decision::Matched(pairs)) })
     }
+}
+
+/// Everything a single pair-of-runs DP needs, bundled to keep the recursion
+/// signatures small.
+struct Ctx<'e> {
+    t1: &'e AnnotatedTree,
+    t2: &'e AnnotatedTree,
+    x1: &'e DeletionTables,
+    x2: &'e DeletionTables,
+    f1: &'e TreeFingerprints,
+    f2: &'e TreeFingerprints,
+    /// Whether pair costs may be *read* from the shared cache (cost-only
+    /// queries).  Writes happen whenever `cache` is present.
+    read_pairs: bool,
+    cache: Option<&'e dyn DiffCache>,
 }
 
 fn missing_origin(v: TreeId) -> DiffError {
@@ -582,6 +829,108 @@ mod tests {
         let evaluated =
             result.mapping.cost(r1.tree(), r2.tree(), &x1, &x2, diff.context(), &UnitCost);
         assert_eq!(evaluated, result.distance);
+    }
+
+    #[test]
+    fn cached_distances_match_uncached() {
+        let spec = fig2_specification();
+        let runs = [fig2_run1(&spec), fig2_run2(&spec), fig2_run3(&spec)];
+        let cache = crate::ShardedDiffCache::default();
+        for cost in [&UnitCost as &dyn CostModel, &LengthCost, &PowerCost::new(0.5)] {
+            let diff = WorkflowDiff::new(&spec, cost);
+            for a in &runs {
+                for b in &runs {
+                    let plain = diff.distance(a, b).unwrap();
+                    let cold = diff.distance_with_cache(a, b, &cache).unwrap();
+                    let warm = diff.distance_with_cache(a, b, &cache).unwrap();
+                    assert_eq!(plain, cold, "cold cached distance under {}", cost.name());
+                    assert_eq!(plain, warm, "warm cached distance under {}", cost.name());
+                }
+            }
+        }
+        assert!(cache.stats().hits > 0, "repeated queries must hit the cache");
+    }
+
+    #[test]
+    fn cached_full_diff_matches_and_identity_fast_path_reconstructs() {
+        let spec = fig2_specification();
+        let r1 = fig2_run1(&spec);
+        let r1b = fig2_run1(&spec);
+        let r2 = fig2_run2(&spec);
+        let cache = crate::ShardedDiffCache::default();
+        let diff = WorkflowDiff::new(&spec, &UnitCost);
+        let res = diff.diff_with_cache(&r1, &r2, Some(&cache)).unwrap();
+        assert_eq!(res.distance, 4.0);
+        res.mapping.verify_well_formed(r1.tree(), r2.tree()).unwrap();
+        // Identical runs exercise the pure fingerprint fast path: the
+        // synthesised mapping must be complete, well formed and free.
+        let res0 = diff.diff_with_cache(&r1, &r1b, Some(&cache)).unwrap();
+        assert_eq!(res0.distance, 0.0);
+        res0.mapping.verify_well_formed(r1.tree(), r1b.tree()).unwrap();
+        let x1 = diff.deletion_tables(&r1);
+        let x2 = diff.deletion_tables(&r1b);
+        let evaluated =
+            res0.mapping.cost(r1.tree(), r1b.tree(), &x1, &x2, diff.context(), &UnitCost);
+        assert_eq!(evaluated, 0.0);
+        // A warm repeat of the full diff is bit-identical.
+        let again = diff.diff_with_cache(&r1, &r2, Some(&cache)).unwrap();
+        assert_eq!(again.distance, res.distance);
+        assert_eq!(again.mapping, res.mapping);
+    }
+
+    #[test]
+    fn warm_cost_only_query_is_answered_at_the_root() {
+        let spec = fig2_specification();
+        let r1 = fig2_run1(&spec);
+        let r2 = fig2_run2(&spec);
+        let cache = crate::ShardedDiffCache::default();
+        let diff = WorkflowDiff::new(&spec, &UnitCost);
+        let cold = diff.distance_with_cache(&r1, &r2, &cache).unwrap();
+        let after_cold = cache.stats();
+        let warm = diff.distance_with_cache(&r1, &r2, &cache).unwrap();
+        let after_warm = cache.stats();
+        assert_eq!(cold, warm);
+        assert_eq!(
+            after_warm.misses, after_cold.misses,
+            "a warm query must not miss the cache at all"
+        );
+        assert!(after_warm.hits > after_cold.hits);
+    }
+
+    #[test]
+    fn multi_edge_specs_do_not_confuse_the_fast_path() {
+        // Two parallel edges u -> v: runs taking different (label-identical)
+        // branches are signature-equivalent but NOT distance-zero, because
+        // mappings must respect homology.  The fingerprint includes the
+        // specification origin precisely so the cached path agrees with the
+        // plain DP here.
+        let mut b = SpecificationBuilder::new("multi");
+        b.edge("s", "u");
+        b.edge("u", "v");
+        b.edge("u", "v");
+        b.edge("v", "t");
+        let spec = b.build().unwrap();
+        struct Pick(usize);
+        impl ExecutionDecider for Pick {
+            fn parallel_subset(&mut self, n: usize) -> Vec<bool> {
+                (0..n).map(|i| i == self.0).collect()
+            }
+            fn fork_copies(&mut self, _c: usize) -> usize {
+                1
+            }
+            fn loop_iterations(&mut self, _c: usize) -> usize {
+                1
+            }
+        }
+        let ra = spec.execute(&mut Pick(0)).unwrap();
+        let rb = spec.execute(&mut Pick(1)).unwrap();
+        assert!(ra.equivalent(&rb), "the two runs are signature-equivalent");
+        let cache = crate::ShardedDiffCache::default();
+        let diff = WorkflowDiff::new(&spec, &UnitCost);
+        let plain = diff.distance(&ra, &rb).unwrap();
+        let cached = diff.distance_with_cache(&ra, &rb, &cache).unwrap();
+        assert_eq!(plain, cached);
+        assert!(plain > 0.0, "homology makes these runs differ despite equivalence");
     }
 
     #[test]

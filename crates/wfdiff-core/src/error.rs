@@ -2,6 +2,7 @@
 
 use std::fmt;
 use wfdiff_graph::GraphError;
+use wfdiff_matching::MatchingError;
 use wfdiff_sptree::SpTreeError;
 
 /// Errors raised while computing edit distances or edit scripts.
@@ -11,12 +12,21 @@ pub enum DiffError {
     Graph(GraphError),
     /// An underlying SP-tree error.
     SpTree(SpTreeError),
+    /// An underlying matching error (a cost model produced non-finite costs).
+    Matching(MatchingError),
     /// The two runs being differenced do not belong to the same specification.
     SpecMismatch {
         /// Specification name of the first run.
         first: String,
         /// Specification name of the second run.
         second: String,
+    },
+    /// A run was validated against a different *version* of the same-named
+    /// specification (the specification was replaced after the run was
+    /// built), so its origin references do not apply to this engine's tree.
+    SpecVersionMismatch {
+        /// The contested specification name.
+        spec: String,
     },
     /// The supplied cost function violates one of the required axioms
     /// (non-negativity, identity, symmetry or the quadrangle inequality).
@@ -30,6 +40,12 @@ impl fmt::Display for DiffError {
         match self {
             DiffError::Graph(e) => write!(f, "graph error: {e}"),
             DiffError::SpTree(e) => write!(f, "SP-tree error: {e}"),
+            DiffError::Matching(e) => write!(f, "matching error: {e}"),
+            DiffError::SpecVersionMismatch { spec } => write!(
+                f,
+                "run was validated against a different version of specification {spec:?}; \
+                 rebuild the run against the current specification"
+            ),
             DiffError::SpecMismatch { first, second } => write!(
                 f,
                 "runs belong to different specifications ({first:?} vs {second:?}); the edit \
@@ -46,8 +62,15 @@ impl std::error::Error for DiffError {
         match self {
             DiffError::Graph(e) => Some(e),
             DiffError::SpTree(e) => Some(e),
+            DiffError::Matching(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<MatchingError> for DiffError {
+    fn from(value: MatchingError) -> Self {
+        DiffError::Matching(value)
     }
 }
 

@@ -26,6 +26,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod cache;
 pub mod cost;
 pub mod deletion;
 pub mod distance;
@@ -38,9 +39,10 @@ pub mod ops;
 pub mod script;
 pub mod surcharge;
 
+pub use cache::{CacheStats, DeletionKey, DiffCache, PairKey, ShardedDiffCache};
 pub use cost::{check_metric_axioms, CostModel, LengthCost, PowerCost, UnitCost};
-pub use deletion::DeletionTables;
-pub use distance::{Decision, DiffResult, WorkflowDiff};
+pub use deletion::{DeletionEntry, DeletionTables};
+pub use distance::{Decision, DiffResult, PreparedRun, WorkflowDiff};
 pub use error::DiffError;
 pub use mapping::{Mapping, MappingSummary};
 pub use ops::{OpDirection, OpProvenance, PathOperation};

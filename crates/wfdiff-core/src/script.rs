@@ -18,7 +18,7 @@
 //!   surcharge.
 
 use crate::deletion::DeletionTables;
-use crate::distance::{Decision, DiffResult, WorkflowDiff};
+use crate::distance::{Decision, DiffResult, PreparedRun, WorkflowDiff};
 use crate::error::DiffError;
 use crate::ops::{OpDirection, OpProvenance, PathOperation};
 use std::collections::HashSet;
@@ -154,11 +154,33 @@ impl<'a, 'b> ScriptBuilder<'a, 'b> {
     /// Materialises a minimum-cost edit script for `result` (which must have
     /// been produced by the same engine for the same pair of runs).
     pub fn build(&self, r1: &Run, r2: &Run, result: &DiffResult) -> Result<EditScript, DiffError> {
+        let cost = self.engine.cost_model();
+        let x1 = DeletionTables::compute(r1.tree(), cost);
+        let x2 = DeletionTables::compute(r2.tree(), cost);
+        self.build_with_tables(r1, r2, &x1, &x2, result)
+    }
+
+    /// [`ScriptBuilder::build`] over prepared runs, reusing their Algorithm 3
+    /// tables instead of recomputing them.
+    pub fn build_prepared(
+        &self,
+        p1: &PreparedRun<'_>,
+        p2: &PreparedRun<'_>,
+        result: &DiffResult,
+    ) -> Result<EditScript, DiffError> {
+        self.build_with_tables(p1.run(), p2.run(), p1.tables(), p2.tables(), result)
+    }
+
+    fn build_with_tables(
+        &self,
+        r1: &Run,
+        r2: &Run,
+        x1: &DeletionTables,
+        x2: &DeletionTables,
+        result: &DiffResult,
+    ) -> Result<EditScript, DiffError> {
         let t1 = r1.tree();
         let t2 = r2.tree();
-        let cost = self.engine.cost_model();
-        let x1 = DeletionTables::compute(t1, cost);
-        let x2 = DeletionTables::compute(t2, cost);
         let mut ops: Vec<PathOperation> = Vec::new();
 
         // Walk the mapped pairs top-down (pre-order over the mapping).
@@ -196,8 +218,8 @@ impl<'a, 'b> ScriptBuilder<'a, 'b> {
                         !pairs.is_empty(),
                         r1,
                         r2,
-                        &x1,
-                        &x2,
+                        x1,
+                        x2,
                         &mut ops,
                     );
                     for &p in pairs {
@@ -205,7 +227,7 @@ impl<'a, 'b> ScriptBuilder<'a, 'b> {
                     }
                 }
                 Decision::Unstable => {
-                    self.emit_unstable(v1, v2, r1, r2, &x1, &x2, &mut ops)?;
+                    self.emit_unstable(v1, v2, r1, r2, x1, x2, &mut ops)?;
                 }
             }
         }
@@ -381,6 +403,19 @@ pub fn diff_with_script(
 ) -> Result<(DiffResult, EditScript), DiffError> {
     let result = engine.diff(r1, r2)?;
     let script = ScriptBuilder::new(engine).build(r1, r2, &result)?;
+    Ok((result, script))
+}
+
+/// [`diff_with_script`] over prepared runs, sharing Algorithm 3 tables and
+/// publishing pair costs through the optional cache.
+pub fn diff_with_script_prepared(
+    engine: &WorkflowDiff<'_>,
+    p1: &PreparedRun<'_>,
+    p2: &PreparedRun<'_>,
+    cache: Option<&dyn crate::cache::DiffCache>,
+) -> Result<(DiffResult, EditScript), DiffError> {
+    let result = engine.diff_prepared(p1, p2, cache)?;
+    let script = ScriptBuilder::new(engine).build_prepared(p1, p2, &result)?;
     Ok((result, script))
 }
 

@@ -1,0 +1,100 @@
+//! Error type shared by the matching substrates.
+//!
+//! The matchers are library code sitting under the differencing DP, so they
+//! must never panic on bad numeric input: a cost model that produces a `NaN`
+//! or an infinity surfaces as a [`MatchingError`] that the caller can report,
+//! instead of tearing down the whole process from deep inside a diff.
+
+use std::fmt;
+
+/// Errors raised by the matching algorithms on malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchingError {
+    /// A cost matrix row has the wrong length (or the matrix is not square
+    /// where a square matrix is required).
+    ShapeMismatch {
+        /// Human-readable description of the expected shape.
+        what: String,
+    },
+    /// A cost entry is `NaN` or infinite.
+    NonFiniteCost {
+        /// Which input carried the offending value (`"pair"`, `"left"`,
+        /// `"right"` or `"matrix"`).
+        what: &'static str,
+        /// Row (or flat) index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry (0 for vector inputs).
+        col: usize,
+    },
+}
+
+impl fmt::Display for MatchingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchingError::ShapeMismatch { what } => {
+                write!(f, "malformed cost input: {what}")
+            }
+            MatchingError::NonFiniteCost { what, row, col } => {
+                write!(f, "non-finite {what} cost at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatchingError {}
+
+/// Validates the shared "match or pay" input shape: `pair_cost` must be
+/// `left_unmatched.len() x right_unmatched.len()` and every cost (pair and
+/// unmatched) must be finite.  Used by the Hungarian, greedy and non-crossing
+/// matchers so their input contracts cannot drift apart.
+pub(crate) fn validate_unbalanced_inputs(
+    pair_cost: &[Vec<Option<f64>>],
+    left_unmatched: &[f64],
+    right_unmatched: &[f64],
+) -> Result<(), MatchingError> {
+    let n = left_unmatched.len();
+    let m = right_unmatched.len();
+    if pair_cost.len() != n {
+        return Err(MatchingError::ShapeMismatch {
+            what: format!("pair_cost has {} rows for {n} left items", pair_cost.len()),
+        });
+    }
+    for (i, row) in pair_cost.iter().enumerate() {
+        if row.len() != m {
+            return Err(MatchingError::ShapeMismatch {
+                what: format!("pair_cost row {i} has {} entries for {m} right items", row.len()),
+            });
+        }
+        for (j, c) in row.iter().enumerate() {
+            if let Some(c) = c {
+                if !c.is_finite() {
+                    return Err(MatchingError::NonFiniteCost { what: "pair", row: i, col: j });
+                }
+            }
+        }
+    }
+    for (i, c) in left_unmatched.iter().enumerate() {
+        if !c.is_finite() {
+            return Err(MatchingError::NonFiniteCost { what: "left", row: i, col: 0 });
+        }
+    }
+    for (j, c) in right_unmatched.iter().enumerate() {
+        if !c.is_finite() {
+            return Err(MatchingError::NonFiniteCost { what: "right", row: j, col: 0 });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offending_entry() {
+        let e = MatchingError::NonFiniteCost { what: "pair", row: 2, col: 3 };
+        assert!(e.to_string().contains("(2, 3)"));
+        let e = MatchingError::ShapeMismatch { what: "square matrix".into() };
+        assert!(e.to_string().contains("square"));
+    }
+}

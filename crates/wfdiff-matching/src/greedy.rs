@@ -7,6 +7,7 @@
 //! DESIGN.md.  The greedy matcher is deliberately *not* used by the core
 //! differencing algorithm.
 
+use crate::error::MatchingError;
 use crate::hungarian::UnbalancedAssignment;
 
 /// Greedy "match or pay" assignment with the same interface as
@@ -14,12 +15,14 @@ use crate::hungarian::UnbalancedAssignment;
 ///
 /// Repeatedly commits the cheapest available action (pair, delete-left or
 /// insert-right) until all items are resolved.  The result is feasible but in
-/// general suboptimal.
+/// general suboptimal.  Non-finite costs are rejected with a
+/// [`MatchingError`] instead of panicking inside the sort.
 pub fn greedy_assignment_with_unmatched(
     pair_cost: &[Vec<Option<f64>>],
     left_unmatched: &[f64],
     right_unmatched: &[f64],
-) -> UnbalancedAssignment {
+) -> Result<UnbalancedAssignment, MatchingError> {
+    crate::error::validate_unbalanced_inputs(pair_cost, left_unmatched, right_unmatched)?;
     let n = left_unmatched.len();
     let m = right_unmatched.len();
     let mut left_done = vec![false; n];
@@ -37,7 +40,7 @@ pub fn greedy_assignment_with_unmatched(
             }
         }
     }
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     for (c, i, j) in pairs {
         if left_done[i] || right_done[j] {
             continue;
@@ -61,7 +64,7 @@ pub fn greedy_assignment_with_unmatched(
             total += right_unmatched[j];
         }
     }
-    UnbalancedAssignment { cost: total, left_to_right, right_to_left }
+    Ok(UnbalancedAssignment { cost: total, left_to_right, right_to_left })
 }
 
 #[cfg(test)]
@@ -72,7 +75,7 @@ mod tests {
     #[test]
     fn greedy_is_feasible() {
         let pair = vec![vec![Some(1.0), Some(2.0)], vec![Some(2.0), Some(1.0)]];
-        let g = greedy_assignment_with_unmatched(&pair, &[5.0, 5.0], &[5.0, 5.0]);
+        let g = greedy_assignment_with_unmatched(&pair, &[5.0, 5.0], &[5.0, 5.0]).unwrap();
         assert_eq!(g.cost, 2.0);
         assert_eq!(g.left_to_right, vec![Some(0), Some(1)]);
     }
@@ -89,8 +92,8 @@ mod tests {
                 .collect();
             let del: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
             let ins: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
-            let g = greedy_assignment_with_unmatched(&pair, &del, &ins);
-            let h = assignment_with_unmatched(&pair, &del, &ins);
+            let g = greedy_assignment_with_unmatched(&pair, &del, &ins).unwrap();
+            let h = assignment_with_unmatched(&pair, &del, &ins).unwrap();
             assert!(g.cost + 1e-9 >= h.cost, "greedy {} < optimal {}", g.cost, h.cost);
         }
     }
@@ -102,8 +105,8 @@ mod tests {
         let pair = vec![vec![Some(1.0), Some(1.5)], vec![Some(1.4), Some(100.0)]];
         let del = vec![50.0, 50.0];
         let ins = vec![50.0, 50.0];
-        let g = greedy_assignment_with_unmatched(&pair, &del, &ins);
-        let h = assignment_with_unmatched(&pair, &del, &ins);
+        let g = greedy_assignment_with_unmatched(&pair, &del, &ins).unwrap();
+        let h = assignment_with_unmatched(&pair, &del, &ins).unwrap();
         assert!(h.cost < g.cost);
     }
 }

@@ -5,6 +5,8 @@
 //! The paper cites Kuhn's Hungarian method [34] for exactly this step of
 //! Algorithm 4.
 
+use crate::error::MatchingError;
+
 /// The result of an assignment: total cost plus, for every row, the column it
 /// was assigned to.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,16 +20,28 @@ pub struct Assignment {
 /// Solves the square assignment problem for `cost` (an `n × n` matrix), i.e.
 /// finds a permutation `σ` minimising `Σ cost[i][σ(i)]`.
 ///
-/// # Panics
-/// Panics if the matrix is not square or contains non-finite entries.
-pub fn solve(cost: &[Vec<f64>]) -> Assignment {
+/// Returns a [`MatchingError`] when the matrix is not square or contains
+/// non-finite entries; this is library code under the differencing DP and
+/// must not panic on a misbehaving cost model.
+pub fn solve(cost: &[Vec<f64>]) -> Result<Assignment, MatchingError> {
     let n = cost.len();
     if n == 0 {
-        return Assignment { cost: 0.0, row_to_col: Vec::new() };
+        return Ok(Assignment { cost: 0.0, row_to_col: Vec::new() });
     }
-    for row in cost {
-        assert_eq!(row.len(), n, "cost matrix must be square");
-        assert!(row.iter().all(|c| c.is_finite()), "costs must be finite");
+    for (i, row) in cost.iter().enumerate() {
+        if row.len() != n {
+            return Err(MatchingError::ShapeMismatch {
+                what: format!(
+                    "row {i} has {} entries, expected a square {n}×{n} matrix",
+                    row.len()
+                ),
+            });
+        }
+        for (j, c) in row.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(MatchingError::NonFiniteCost { what: "matrix", row: i, col: j });
+            }
+        }
     }
     // Potentials u (rows) and v (columns), 1-based internally as in the
     // classical presentation; p[j] = row matched to column j.
@@ -89,7 +103,7 @@ pub fn solve(cost: &[Vec<f64>]) -> Assignment {
         }
     }
     let total = (0..n).map(|i| cost[i][row_to_col[i]]).sum();
-    Assignment { cost: total, row_to_col }
+    Ok(Assignment { cost: total, row_to_col })
 }
 
 /// Result of an unbalanced assignment where items may stay unmatched.
@@ -115,23 +129,26 @@ pub struct UnbalancedAssignment {
 /// the first `F` node on the left, children of the second on the right, a `−`
 /// node absorbing deletions and a `+` node absorbing insertions.  It is solved
 /// by embedding into an `(n+m) × (n+m)` square assignment problem.
+///
+/// Forbidden pairs are embedded with a large finite sentinel so the Hungarian
+/// step stays numerically well-behaved, but the sentinel never reaches the
+/// reported [`UnbalancedAssignment::cost`]: the total is re-evaluated from the
+/// genuine pair and unmatched costs, and a forced sentinel assignment is
+/// reported as "both sides unmatched".
 pub fn assignment_with_unmatched(
     pair_cost: &[Vec<Option<f64>>],
     left_unmatched: &[f64],
     right_unmatched: &[f64],
-) -> UnbalancedAssignment {
+) -> Result<UnbalancedAssignment, MatchingError> {
+    crate::error::validate_unbalanced_inputs(pair_cost, left_unmatched, right_unmatched)?;
     let n = left_unmatched.len();
     let m = right_unmatched.len();
-    assert_eq!(pair_cost.len(), n, "pair_cost must have one row per left item");
-    for row in pair_cost {
-        assert_eq!(row.len(), m, "pair_cost rows must have one entry per right item");
-    }
     if n == 0 && m == 0 {
-        return UnbalancedAssignment {
+        return Ok(UnbalancedAssignment {
             cost: 0.0,
             left_to_right: Vec::new(),
             right_to_left: Vec::new(),
-        };
+        });
     }
     // "Forbidden" pairs get a cost large enough never to be chosen but still
     // finite so the Hungarian algorithm stays numerically well-behaved.
@@ -162,18 +179,21 @@ pub fn assignment_with_unmatched(
             };
         }
     }
-    let solved = solve(&cost);
+    let solved = solve(&cost)?;
     let mut left_to_right = vec![None; n];
     let mut right_to_left = vec![None; m];
     let mut total = 0.0f64;
     for i in 0..n {
         let j = solved.row_to_col[i];
-        if j < m && pair_cost[i][j].is_some() {
-            left_to_right[i] = Some(j);
-            right_to_left[j] = Some(i);
-            total += pair_cost[i][j].expect("checked above");
-        } else {
-            total += left_unmatched[i];
+        // A forced sentinel assignment (forbidden pair) is reported as "both
+        // sides unmatched" — the sentinel value itself never enters `total`.
+        match (j < m).then(|| pair_cost[i][j]).flatten() {
+            Some(c) => {
+                left_to_right[i] = Some(j);
+                right_to_left[j] = Some(i);
+                total += c;
+            }
+            None => total += left_unmatched[i],
         }
     }
     for j in 0..m {
@@ -181,7 +201,7 @@ pub fn assignment_with_unmatched(
             total += right_unmatched[j];
         }
     }
-    UnbalancedAssignment { cost: total, left_to_right, right_to_left }
+    Ok(UnbalancedAssignment { cost: total, left_to_right, right_to_left })
 }
 
 #[cfg(test)]
@@ -215,7 +235,7 @@ mod tests {
 
     #[test]
     fn empty_matrix() {
-        let a = solve(&[]);
+        let a = solve(&[]).unwrap();
         assert_eq!(a.cost, 0.0);
         assert!(a.row_to_col.is_empty());
     }
@@ -223,7 +243,7 @@ mod tests {
     #[test]
     fn identity_is_optimal_when_diagonal_is_cheapest() {
         let cost = vec![vec![1.0, 10.0, 10.0], vec![10.0, 1.0, 10.0], vec![10.0, 10.0, 1.0]];
-        let a = solve(&cost);
+        let a = solve(&cost).unwrap();
         assert_eq!(a.cost, 3.0);
         assert_eq!(a.row_to_col, vec![0, 1, 2]);
     }
@@ -231,7 +251,7 @@ mod tests {
     #[test]
     fn antidiagonal_forced() {
         let cost = vec![vec![5.0, 1.0], vec![1.0, 5.0]];
-        let a = solve(&cost);
+        let a = solve(&cost).unwrap();
         assert_eq!(a.cost, 2.0);
         assert_eq!(a.row_to_col, vec![1, 0]);
     }
@@ -245,7 +265,7 @@ mod tests {
             let cost: Vec<Vec<f64>> = (0..n)
                 .map(|_| (0..n).map(|_| rng.gen_range(0.0..20.0f64).round()).collect())
                 .collect();
-            let a = solve(&cost);
+            let a = solve(&cost).unwrap();
             let expected = brute_force_square(&cost);
             assert!(
                 (a.cost - expected).abs() < 1e-9,
@@ -267,7 +287,7 @@ mod tests {
         // Two left, one right: pairing (0,0) costs 1, deleting left costs 5,
         // inserting right costs 5.
         let pair = vec![vec![Some(1.0)], vec![Some(4.0)]];
-        let a = assignment_with_unmatched(&pair, &[5.0, 5.0], &[5.0]);
+        let a = assignment_with_unmatched(&pair, &[5.0, 5.0], &[5.0]).unwrap();
         assert_eq!(a.cost, 1.0 + 5.0);
         assert_eq!(a.left_to_right, vec![Some(0), None]);
         assert_eq!(a.right_to_left, vec![Some(0)]);
@@ -277,7 +297,7 @@ mod tests {
     fn unmatched_variant_can_refuse_expensive_pairs() {
         // Pairing costs more than delete + insert, so nothing is matched.
         let pair = vec![vec![Some(100.0)]];
-        let a = assignment_with_unmatched(&pair, &[2.0], &[3.0]);
+        let a = assignment_with_unmatched(&pair, &[2.0], &[3.0]).unwrap();
         assert_eq!(a.cost, 5.0);
         assert_eq!(a.left_to_right, vec![None]);
         assert_eq!(a.right_to_left, vec![None]);
@@ -286,7 +306,7 @@ mod tests {
     #[test]
     fn forbidden_pairs_are_never_used() {
         let pair = vec![vec![None, Some(2.0)], vec![None, Some(1.0)]];
-        let a = assignment_with_unmatched(&pair, &[1.0, 1.0], &[1.0, 1.0]);
+        let a = assignment_with_unmatched(&pair, &[1.0, 1.0], &[1.0, 1.0]).unwrap();
         // Best: match left1-right1 (1.0), delete left0 (1.0), insert right0 (1.0).
         assert_eq!(a.cost, 3.0);
         assert_eq!(a.left_to_right[0], None);
@@ -295,12 +315,12 @@ mod tests {
 
     #[test]
     fn unmatched_variant_with_empty_sides() {
-        let a = assignment_with_unmatched(&[], &[], &[2.0, 3.0]);
+        let a = assignment_with_unmatched(&[], &[], &[2.0, 3.0]).unwrap();
         assert_eq!(a.cost, 5.0);
         assert_eq!(a.right_to_left, vec![None, None]);
-        let b = assignment_with_unmatched(&[vec![], vec![]], &[1.0, 4.0], &[]);
+        let b = assignment_with_unmatched(&[vec![], vec![]], &[1.0, 4.0], &[]).unwrap();
         assert_eq!(b.cost, 5.0);
-        let c = assignment_with_unmatched(&[], &[], &[]);
+        let c = assignment_with_unmatched(&[], &[], &[]).unwrap();
         assert_eq!(c.cost, 0.0);
     }
 
@@ -326,7 +346,7 @@ mod tests {
                 .collect();
             let del: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
             let ins: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
-            let got = assignment_with_unmatched(&pair, &del, &ins);
+            let got = assignment_with_unmatched(&pair, &del, &ins).unwrap();
             let expected = brute_force_unbalanced(&pair, &del, &ins);
             assert!(
                 (got.cost - expected).abs() < 1e-9,

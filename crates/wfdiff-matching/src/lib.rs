@@ -17,17 +17,20 @@
 //! * [`greedy`] — a deliberately suboptimal greedy matcher used as an
 //!   ablation baseline in the benchmark harness.
 //!
-//! Costs are `f64`; all algorithms assume finite, non-negative costs (the
-//! paper's cost model guarantees non-negativity).
+//! Costs are `f64`; all algorithms require finite costs (the paper's cost
+//! model guarantees finite, non-negative values) and report a
+//! [`MatchingError`] — rather than panicking — when a cost model misbehaves.
 
 #![deny(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod error;
 pub mod greedy;
 pub mod hungarian;
 pub mod noncrossing;
 
+pub use error::MatchingError;
 pub use greedy::greedy_assignment_with_unmatched;
 pub use hungarian::{
     assignment_with_unmatched, solve as hungarian_solve, Assignment, UnbalancedAssignment,

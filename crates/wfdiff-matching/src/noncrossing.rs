@@ -8,6 +8,8 @@
 //! the paper notes this replaces the `O(n³)` Hungarian step and is why
 //! loop-heavy runs difference faster than fork-heavy ones (Figure 14).
 
+use crate::error::MatchingError;
+
 /// One decision of a non-crossing matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SeqMatching {
@@ -39,17 +41,17 @@ pub struct NonCrossingMatch {
 ///   (`None` = forbidden),
 /// * `left_unmatched[i]` — cost of leaving left `i` unmatched,
 /// * `right_unmatched[j]` — cost of leaving right `j` unmatched.
+///
+/// Malformed shapes and non-finite costs are rejected with a
+/// [`MatchingError`] instead of panicking.
 pub fn solve(
     pair_cost: &[Vec<Option<f64>>],
     left_unmatched: &[f64],
     right_unmatched: &[f64],
-) -> NonCrossingMatch {
+) -> Result<NonCrossingMatch, MatchingError> {
+    crate::error::validate_unbalanced_inputs(pair_cost, left_unmatched, right_unmatched)?;
     let n = left_unmatched.len();
     let m = right_unmatched.len();
-    assert_eq!(pair_cost.len(), n);
-    for row in pair_cost {
-        assert_eq!(row.len(), m);
-    }
     // dp[i][j]: minimum cost of resolving the first i left items and the first
     // j right items.
     let mut dp = vec![vec![f64::INFINITY; m + 1]; n + 1];
@@ -107,7 +109,7 @@ pub fn solve(
         }
     }
     script_rev.reverse();
-    NonCrossingMatch { cost: dp[n][m], script: script_rev, left_to_right, right_to_left }
+    Ok(NonCrossingMatch { cost: dp[n][m], script: script_rev, left_to_right, right_to_left })
 }
 
 #[cfg(test)]
@@ -116,14 +118,14 @@ mod tests {
 
     #[test]
     fn empty_sides() {
-        let r = solve(&[], &[], &[]);
+        let r = solve(&[], &[], &[]).unwrap();
         assert_eq!(r.cost, 0.0);
         assert!(r.script.is_empty());
     }
 
     #[test]
     fn only_insertions_when_left_is_empty() {
-        let r = solve(&[], &[], &[2.0, 3.0]);
+        let r = solve(&[], &[], &[2.0, 3.0]).unwrap();
         assert_eq!(r.cost, 5.0);
         assert_eq!(r.script, vec![SeqMatching::InsertRight(0), SeqMatching::InsertRight(1)]);
     }
@@ -131,7 +133,7 @@ mod tests {
     #[test]
     fn pairs_when_cheap() {
         let pair = vec![vec![Some(1.0), Some(9.0)], vec![Some(9.0), Some(1.0)]];
-        let r = solve(&pair, &[5.0, 5.0], &[5.0, 5.0]);
+        let r = solve(&pair, &[5.0, 5.0], &[5.0, 5.0]).unwrap();
         assert_eq!(r.cost, 2.0);
         assert_eq!(r.left_to_right, vec![Some(0), Some(1)]);
     }
@@ -141,7 +143,7 @@ mod tests {
         // Pairing (0,1) and (1,0) would cost 0 but crosses; the DP must pick a
         // non-crossing alternative.
         let pair = vec![vec![Some(10.0), Some(0.0)], vec![Some(0.0), Some(10.0)]];
-        let r = solve(&pair, &[1.0, 1.0], &[1.0, 1.0]);
+        let r = solve(&pair, &[1.0, 1.0], &[1.0, 1.0]).unwrap();
         // Best non-crossing: pair (0,1) with cost 0, delete left 1, insert right 0
         // => 0 + 1 + 1 = 2 (or symmetric).
         assert_eq!(r.cost, 2.0);
@@ -158,7 +160,7 @@ mod tests {
     #[test]
     fn forbidden_pairs_respected() {
         let pair = vec![vec![None]];
-        let r = solve(&pair, &[2.0], &[3.0]);
+        let r = solve(&pair, &[2.0], &[3.0]).unwrap();
         assert_eq!(r.cost, 5.0);
     }
 
@@ -184,7 +186,7 @@ mod tests {
                 .collect();
             let del: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
             let ins: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..10.0f64).round()).collect();
-            let got = solve(&pair, &del, &ins);
+            let got = solve(&pair, &del, &ins).unwrap();
             let expected = brute_force(&pair, &del, &ins);
             assert!((got.cost - expected).abs() < 1e-9, "got {} expected {}", got.cost, expected);
         }
@@ -212,7 +214,7 @@ mod tests {
     #[test]
     fn script_is_complete_and_ordered() {
         let pair = vec![vec![Some(1.0), Some(2.0), Some(3.0)]];
-        let r = solve(&pair, &[10.0], &[1.0, 1.0, 1.0]);
+        let r = solve(&pair, &[10.0], &[1.0, 1.0, 1.0]).unwrap();
         // All three right items and the single left item must be accounted for.
         let mut left_seen = 0;
         let mut right_seen = 0;

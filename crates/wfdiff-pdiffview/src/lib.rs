@@ -13,6 +13,9 @@
 //!   runs and edit scripts (the paper's prototype stored runs as XML),
 //! * [`session`] — differencing sessions that compute the distance, the
 //!   mapping and the edit script and let a caller step through the operations,
+//! * [`service`] — the batch diff engine: a store-backed [`DiffService`] with
+//!   a shared fingerprint-keyed cache and a worker pool for all-pairs and
+//!   batch differencing,
 //! * [`render`] — textual and Graphviz/DOT renderings of a diff (red deleted
 //!   paths on the source run, green inserted paths on the target run),
 //! * [`cluster`] — composite-module clustering and per-cluster difference
@@ -25,11 +28,13 @@
 pub mod cluster;
 pub mod io;
 pub mod render;
+pub mod service;
 pub mod session;
 pub mod store;
 
 pub use cluster::{ClusterDiff, Clustering};
 pub use io::{RunDescriptor, SpecDescriptor};
 pub use render::{render_diff_dot, render_diff_text};
+pub use service::{AllPairsResult, DiffService, DiffServiceBuilder, PairDistance, ServiceError};
 pub use session::DiffSession;
-pub use store::WorkflowStore;
+pub use store::{SpecSnapshot, StoreError, WorkflowStore};

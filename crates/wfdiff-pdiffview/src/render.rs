@@ -15,7 +15,7 @@ use wfdiff_sptree::NodeType;
 /// Edges covered by deletion operations are drawn red and bold in the source
 /// view; edges covered by insertion operations are drawn green and bold in the
 /// target view.
-pub fn render_diff_dot(session: &DiffSession<'_>) -> (String, String) {
+pub fn render_diff_dot(session: &DiffSession) -> (String, String) {
     let mut source_style =
         DotStyle::titled(format!("{}: source run (deleted paths in red)", session.spec().name()));
     source_style.show_node_ids = true;
@@ -54,7 +54,7 @@ pub fn render_diff_dot(session: &DiffSession<'_>) -> (String, String) {
 
 /// Renders a compact, human-readable textual diff: the overview line, the
 /// per-module change counts and the edit script.
-pub fn render_diff_text(session: &DiffSession<'_>) -> String {
+pub fn render_diff_text(session: &DiffSession) -> String {
     let mut out = String::new();
     out.push_str(&session.overview());
     out.push_str("\n\n");

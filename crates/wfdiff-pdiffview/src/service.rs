@@ -1,0 +1,513 @@
+//! The batch diff engine: a [`DiffService`] wraps a [`WorkflowStore`] and a
+//! shared fingerprint-keyed [`DiffCache`], and differences run pairs singly
+//! (`diff`), in explicit batches (`diff_batch`) or all-pairs
+//! (`diff_all_pairs`) across a scoped worker pool of plain `std` threads.
+//!
+//! The all-pairs workload is the paper's clustering scenario: PDiffView
+//! browses whole collections of runs of one specification, which needs the
+//! full distance matrix.  Three levers make that fast here:
+//!
+//! 1. every run is **prepared once per batch** (fingerprints + Algorithm 3
+//!    tables, the latter shared across runs through the cache),
+//! 2. subtree-pair DP values are **memoised across pairs and across calls**
+//!    by canonical fingerprint, so a warm cache answers repeated or
+//!    overlapping queries at the root, and
+//! 3. independent pairs are **differenced in parallel** on `threads` workers
+//!    pulling from an atomic work queue.
+//!
+//! Distances are bit-identical to the unmemoised [`WorkflowDiff`] path — the
+//! cache only short-circuits subproblems that are provably equal.
+
+use crate::session::DiffSession;
+use crate::store::WorkflowStore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use wfdiff_core::{
+    CacheStats, CostModel, DiffCache, DiffError, ShardedDiffCache, UnitCost, WorkflowDiff,
+};
+use wfdiff_sptree::{Run, Specification};
+
+/// Errors raised by the batch diff service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The named specification is not in the store.
+    UnknownSpec(String),
+    /// The named run is not stored for the specification.
+    UnknownRun {
+        /// The specification name.
+        spec: String,
+        /// The missing run name.
+        run: String,
+    },
+    /// The underlying differencing failed.
+    Diff(DiffError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSpec(name) => write!(f, "unknown specification {name:?}"),
+            ServiceError::UnknownRun { spec, run } => {
+                write!(f, "unknown run {run:?} for specification {spec:?}")
+            }
+            ServiceError::Diff(e) => write!(f, "diff failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Diff(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DiffError> for ServiceError {
+    fn from(value: DiffError) -> Self {
+        ServiceError::Diff(value)
+    }
+}
+
+/// One distance of a batch request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairDistance {
+    /// Source run name.
+    pub source: String,
+    /// Target run name.
+    pub target: String,
+    /// The edit distance.
+    pub distance: f64,
+}
+
+/// The full distance matrix of a specification's stored runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllPairsResult {
+    /// Run names in matrix order (the store's sorted order).
+    pub runs: Vec<String>,
+    /// Symmetric distance matrix; `matrix[i][j]` is the edit distance between
+    /// `runs[i]` and `runs[j]` (diagonal is zero).
+    pub matrix: Vec<Vec<f64>>,
+}
+
+impl AllPairsResult {
+    /// The distance between two named runs, if both are in the matrix.
+    pub fn distance(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.runs.iter().position(|r| r == a)?;
+        let j = self.runs.iter().position(|r| r == b)?;
+        Some(self.matrix[i][j])
+    }
+
+    /// Iterates over the strict upper triangle as (source, target, distance).
+    pub fn pairs(&self) -> impl Iterator<Item = (&str, &str, f64)> + '_ {
+        self.runs.iter().enumerate().flat_map(move |(i, a)| {
+            self.runs[i + 1..]
+                .iter()
+                .enumerate()
+                .map(move |(k, b)| (a.as_str(), b.as_str(), self.matrix[i][i + 1 + k]))
+        })
+    }
+}
+
+/// Builder-style configuration for [`DiffService`].
+pub struct DiffServiceBuilder {
+    store: Arc<WorkflowStore>,
+    cost: Arc<dyn CostModel>,
+    cache: Arc<dyn DiffCache>,
+    threads: usize,
+}
+
+impl DiffServiceBuilder {
+    /// Sets the cost model (default: [`UnitCost`]).
+    pub fn cost(mut self, cost: Arc<dyn CostModel>) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the shared diff cache (default: a [`ShardedDiffCache`]).
+    pub fn cache(mut self, cache: Arc<dyn DiffCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the worker-pool size for batch operations (default: the number of
+    /// available CPUs).  Clamped to at least 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> DiffService {
+        DiffService { store: self.store, cost: self.cost, cache: self.cache, threads: self.threads }
+    }
+}
+
+/// The batch diff engine; see the [module docs](self).
+pub struct DiffService {
+    store: Arc<WorkflowStore>,
+    cost: Arc<dyn CostModel>,
+    cache: Arc<dyn DiffCache>,
+    threads: usize,
+}
+
+impl DiffService {
+    /// Creates a service over `store` with the default configuration
+    /// (unit cost, fresh sharded cache, one worker per available CPU).
+    pub fn new(store: Arc<WorkflowStore>) -> Self {
+        DiffService::builder(store).build()
+    }
+
+    /// Starts configuring a service over `store`.
+    pub fn builder(store: Arc<WorkflowStore>) -> DiffServiceBuilder {
+        DiffServiceBuilder {
+            store,
+            cost: Arc::new(UnitCost),
+            cache: Arc::new(ShardedDiffCache::default()),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<WorkflowStore> {
+        &self.store
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &dyn CostModel {
+        self.cost.as_ref()
+    }
+
+    /// The worker-pool size used by batch operations.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A snapshot of the shared cache's effectiveness counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    fn lookup(
+        &self,
+        spec_name: &str,
+        run_names: &[&str],
+    ) -> Result<(Arc<Specification>, Vec<Arc<Run>>), ServiceError> {
+        // One consistent critical section; only the named runs are touched,
+        // so single-pair queries stay O(k log n) however many runs the
+        // specification has accumulated.
+        let (spec, resolved) = self
+            .store
+            .lookup_runs(spec_name, run_names)
+            .ok_or_else(|| ServiceError::UnknownSpec(spec_name.to_string()))?;
+        let runs = run_names
+            .iter()
+            .zip(resolved)
+            .map(|(&name, run)| {
+                run.ok_or_else(|| ServiceError::UnknownRun {
+                    spec: spec_name.to_string(),
+                    run: name.to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((spec, runs))
+    }
+
+    /// Computes the edit distance between two stored runs, sharing and
+    /// warming the service cache.
+    pub fn diff(&self, spec: &str, r1: &str, r2: &str) -> Result<PairDistance, ServiceError> {
+        let (spec_arc, runs) = self.lookup(spec, &[r1, r2])?;
+        let engine = WorkflowDiff::new(&spec_arc, self.cost.as_ref());
+        let cache = Some(self.cache.as_ref());
+        let p1 = engine.prepare(&runs[0], cache).map_err(ServiceError::from)?;
+        let p2 = engine.prepare(&runs[1], cache).map_err(ServiceError::from)?;
+        let distance = engine.distance_prepared(&p1, &p2, cache)?;
+        Ok(PairDistance { source: r1.to_string(), target: r2.to_string(), distance })
+    }
+
+    /// Opens a full differencing session (mapping + edit script) between two
+    /// stored runs, reusing the service's cost model and cache.
+    pub fn session(&self, spec: &str, r1: &str, r2: &str) -> Result<DiffSession, ServiceError> {
+        let (spec_arc, mut runs) = self.lookup(spec, &[r1, r2])?;
+        let target = runs.pop().expect("two runs resolved");
+        let source = runs.pop().expect("two runs resolved");
+        DiffSession::from_arcs(
+            spec_arc,
+            self.cost.as_ref(),
+            source,
+            target,
+            Some(self.cache.as_ref()),
+        )
+        .map_err(ServiceError::from)
+    }
+
+    /// Differences an explicit list of run-name pairs on the worker pool.
+    ///
+    /// The result vector is index-aligned with `pairs`.
+    pub fn diff_batch(
+        &self,
+        spec: &str,
+        pairs: &[(String, String)],
+    ) -> Result<Vec<PairDistance>, ServiceError> {
+        // Deduplicate run names so each distinct run is resolved and
+        // prepared exactly once, however often it repeats across pairs.
+        let mut names: Vec<&str> =
+            pairs.iter().flat_map(|(a, b)| [a.as_str(), b.as_str()]).collect();
+        names.sort_unstable();
+        names.dedup();
+        let index_of = |name: &str| {
+            names.binary_search(&name).expect("every pair name is in the deduplicated list")
+        };
+        let (spec_arc, runs) = self.lookup(spec, &names)?;
+        let engine = WorkflowDiff::new(&spec_arc, self.cost.as_ref());
+        let cache = self.cache.as_ref();
+        // Algorithm 3 preparation parallelises per distinct run.
+        let run_refs: Vec<&Arc<Run>> = runs.iter().collect();
+        let prepared = self.run_jobs(&run_refs, |r| engine.prepare(r, Some(cache)))?;
+        let jobs: Vec<(usize, usize)> =
+            pairs.iter().map(|(a, b)| (index_of(a), index_of(b))).collect();
+        let distances = self.run_jobs(&jobs, |&(i, j)| {
+            engine.distance_prepared(&prepared[i], &prepared[j], Some(cache))
+        })?;
+        Ok(pairs
+            .iter()
+            .zip(distances)
+            .map(|((a, b), distance)| PairDistance {
+                source: a.clone(),
+                target: b.clone(),
+                distance,
+            })
+            .collect())
+    }
+
+    /// Computes the full distance matrix over every run stored for `spec`.
+    pub fn diff_all_pairs(&self, spec: &str) -> Result<AllPairsResult, ServiceError> {
+        let (spec_arc, named_runs) =
+            self.store.snapshot(spec).ok_or_else(|| ServiceError::UnknownSpec(spec.to_string()))?;
+        let run_names: Vec<String> = named_runs.iter().map(|(n, _)| n.clone()).collect();
+        let engine = WorkflowDiff::new(&spec_arc, self.cost.as_ref());
+        let cache = self.cache.as_ref();
+        // Fingerprint + Algorithm 3 preparation parallelises per run.
+        let runs_only: Vec<&Arc<Run>> = named_runs.iter().map(|(_, r)| r).collect();
+        let prepared = self.run_jobs(&runs_only, |r| engine.prepare(r, Some(cache)))?;
+        let n = prepared.len();
+        let jobs: Vec<(usize, usize)> =
+            (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))).collect();
+        let distances = self.run_jobs(&jobs, |&(i, j)| {
+            engine.distance_prepared(&prepared[i], &prepared[j], Some(cache))
+        })?;
+        let mut matrix = vec![vec![0.0; n]; n];
+        for (&(i, j), d) in jobs.iter().zip(distances) {
+            matrix[i][j] = d;
+            matrix[j][i] = d;
+        }
+        Ok(AllPairsResult { runs: run_names, matrix })
+    }
+
+    /// Runs `work` over `jobs` on the scoped worker pool, preserving job
+    /// order in the result.  The first differencing error wins.
+    fn run_jobs<J: Sync, T: Send>(
+        &self,
+        jobs: &[J],
+        work: impl Fn(&J) -> Result<T, DiffError> + Sync,
+    ) -> Result<Vec<T>, ServiceError> {
+        let workers = self.threads.min(jobs.len()).max(1);
+        if workers == 1 {
+            return jobs.iter().map(|j| work(j).map_err(ServiceError::from)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out: Vec<(usize, Result<T, DiffError>)> = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= jobs.len() {
+                                break;
+                            }
+                            out.push((k, work(&jobs[k])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("diff workers do not panic")).collect()
+        });
+        let mut ordered: Vec<Option<T>> = (0..jobs.len()).map(|_| None).collect();
+        for (k, result) in results {
+            ordered[k] = Some(result.map_err(ServiceError::from)?);
+        }
+        Ok(ordered
+            .into_iter()
+            .map(|d| d.expect("every job index was claimed exactly once"))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfdiff_core::LengthCost;
+    use wfdiff_sptree::SpecificationBuilder;
+    use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_run3, fig2_specification};
+
+    fn seeded_store() -> Arc<WorkflowStore> {
+        let store = Arc::new(WorkflowStore::new());
+        let spec = store.insert_spec(fig2_specification()).unwrap();
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        store.insert_run("r2", fig2_run2(&spec)).unwrap();
+        store.insert_run("r3", fig2_run3(&spec)).unwrap();
+        store
+    }
+
+    #[test]
+    fn single_diff_matches_the_plain_engine() {
+        let store = seeded_store();
+        let service = DiffService::new(Arc::clone(&store));
+        let got = service.diff("fig2", "r1", "r2").unwrap();
+        assert_eq!(got.distance, 4.0);
+        let err = service.diff("fig2", "r1", "nope").unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownRun { .. }));
+        let err = service.diff("nope", "r1", "r2").unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownSpec(_)));
+    }
+
+    #[test]
+    fn all_pairs_matches_pairwise_fresh_engines_and_hits_cache_when_warm() {
+        let store = seeded_store();
+        let service = DiffService::builder(Arc::clone(&store)).threads(4).build();
+        let cold = service.diff_all_pairs("fig2").unwrap();
+        assert_eq!(cold.runs, vec!["r1", "r2", "r3"]);
+        // Distances are identical to the unmemoised engine.
+        let spec = store.spec("fig2").unwrap();
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        for (a, b, d) in cold.pairs() {
+            let r1 = store.run("fig2", a).unwrap();
+            let r2 = store.run("fig2", b).unwrap();
+            assert_eq!(d, engine.distance(&r1, &r2).unwrap(), "{a} vs {b}");
+        }
+        // Matrix is symmetric with a zero diagonal.
+        for i in 0..3 {
+            assert_eq!(cold.matrix[i][i], 0.0);
+            for j in 0..3 {
+                assert_eq!(cold.matrix[i][j], cold.matrix[j][i]);
+            }
+        }
+        // A warm repeat answers every pair from the cache: hits grow, misses
+        // do not.
+        let after_cold = service.cache_stats();
+        let warm = service.diff_all_pairs("fig2").unwrap();
+        let after_warm = service.cache_stats();
+        assert_eq!(warm, cold);
+        assert_eq!(after_warm.misses, after_cold.misses);
+        assert!(after_warm.hits > after_cold.hits);
+    }
+
+    #[test]
+    fn diff_batch_is_index_aligned_and_parallel_safe() {
+        let store = seeded_store();
+        let service = DiffService::builder(Arc::clone(&store)).threads(3).build();
+        let pairs = vec![
+            ("r1".to_string(), "r2".to_string()),
+            ("r2".to_string(), "r1".to_string()),
+            ("r1".to_string(), "r1".to_string()),
+            ("r2".to_string(), "r3".to_string()),
+        ];
+        let out = service.diff_batch("fig2", &pairs).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].distance, 4.0);
+        assert_eq!(out[1].distance, 4.0, "distance is symmetric");
+        assert_eq!(out[2].distance, 0.0);
+        assert_eq!(out[0].source, "r1");
+        assert_eq!(out[3].target, "r3");
+    }
+
+    #[test]
+    fn sessions_and_custom_cost_models_work_through_the_service() {
+        let store = seeded_store();
+        let service =
+            DiffService::builder(Arc::clone(&store)).cost(Arc::new(LengthCost)).threads(2).build();
+        let mut session = service.session("fig2", "r1", "r2").unwrap();
+        assert!(session.distance() > 0.0);
+        let total_steps = session.total_steps();
+        let mut seen = 0;
+        while session.step().is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen, total_steps);
+        // The session distance agrees with the service's cost-only path.
+        let d = service.diff("fig2", "r1", "r2").unwrap().distance;
+        assert_eq!(session.distance(), d);
+    }
+
+    #[test]
+    fn concurrent_diffs_inserts_and_removals_are_safe_and_unstale() {
+        // Two specifications under distinct names; one is repeatedly
+        // replaced (runs invalidated) while diff traffic runs against the
+        // other.  No stale runs may survive a replace, and diffs must keep
+        // returning the same distances throughout.
+        let store = Arc::new(WorkflowStore::new());
+        let stable = store.insert_spec(fig2_specification()).unwrap();
+        store.insert_run("r1", fig2_run1(&stable)).unwrap();
+        store.insert_run("r2", fig2_run2(&stable)).unwrap();
+        let service = Arc::new(DiffService::builder(Arc::clone(&store)).threads(2).build());
+
+        let churn_spec = || {
+            let mut b = SpecificationBuilder::new("churn");
+            b.path(&["a", "b", "c"]);
+            b.build().unwrap()
+        };
+        let churn_spec_v2 = || {
+            let mut b = SpecificationBuilder::new("churn");
+            b.path(&["a", "b", "c", "d"]);
+            b.build().unwrap()
+        };
+
+        let writer = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..100 {
+                    let spec = if i % 2 == 0 { churn_spec() } else { churn_spec_v2() };
+                    let (arc, _invalidated) = store.replace_spec(spec);
+                    // Runs inserted now belong to the current version.
+                    let run = arc.execute(&mut wfdiff_sptree::FullDecider).unwrap();
+                    store.insert_run("only", run).unwrap();
+                }
+                store.remove_spec("churn");
+            })
+        };
+        let differs: Vec<_> = (0..3)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    for _ in 0..30 {
+                        let d = service.diff("fig2", "r1", "r2").unwrap().distance;
+                        assert_eq!(d, 4.0);
+                        // The churn spec may or may not exist; when a snapshot
+                        // resolves, every run in it must belong to the exact
+                        // stored version (origins in range), which
+                        // diff_all_pairs exercises end to end.
+                        match service.diff_all_pairs("churn") {
+                            Ok(result) => {
+                                for (_, _, d) in result.pairs() {
+                                    assert!(d >= 0.0);
+                                }
+                            }
+                            Err(ServiceError::UnknownSpec(_)) => {}
+                            Err(ServiceError::UnknownRun { .. }) => {}
+                            Err(ServiceError::Diff(e)) => {
+                                panic!("stale spec/run pairing reached the engine: {e}")
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for d in differs {
+            d.join().unwrap();
+        }
+    }
+}

@@ -1,48 +1,82 @@
 //! Differencing sessions: compute a diff once, then step through its edit
 //! script the way the PDiffView GUI steps through operations.
+//!
+//! Sessions own shared handles ([`Arc`]) to their specification and runs, so
+//! they can be created directly from borrowed values
+//! ([`DiffSession::new`] clones) or — the cheap path — from the store-backed
+//! handles a [`crate::service::DiffService`] already holds
+//! ([`DiffSession::from_arcs`]), optionally sharing a
+//! [`DiffCache`] with the rest of the service.
 
-use wfdiff_core::script::diff_with_script;
+use std::sync::Arc;
+use wfdiff_core::script::diff_with_script_prepared;
 use wfdiff_core::{
-    CostModel, DiffError, DiffResult, EditScript, MappingSummary, PathOperation, WorkflowDiff,
+    CostModel, DiffCache, DiffError, DiffResult, EditScript, MappingSummary, PathOperation,
+    WorkflowDiff,
 };
 use wfdiff_sptree::{Run, Specification};
 
 /// A differencing session between two runs of the same specification.
-pub struct DiffSession<'a> {
-    spec: &'a Specification,
-    source: &'a Run,
-    target: &'a Run,
+pub struct DiffSession {
+    spec: Arc<Specification>,
+    source: Arc<Run>,
+    target: Arc<Run>,
     result: DiffResult,
     script: EditScript,
     cursor: usize,
 }
 
-impl<'a> DiffSession<'a> {
+impl DiffSession {
     /// Computes the diff and edit script for the pair of runs.
+    ///
+    /// The specification and runs are cloned into shared handles; when they
+    /// are already behind [`Arc`]s (e.g. coming out of a
+    /// [`crate::WorkflowStore`]) prefer [`DiffSession::from_arcs`].
     pub fn new(
-        spec: &'a Specification,
-        cost: &'a dyn CostModel,
-        source: &'a Run,
-        target: &'a Run,
+        spec: &Specification,
+        cost: &dyn CostModel,
+        source: &Run,
+        target: &Run,
     ) -> Result<Self, DiffError> {
-        let engine = WorkflowDiff::new(spec, cost);
-        let (result, script) = diff_with_script(&engine, source, target)?;
+        DiffSession::from_arcs(
+            Arc::new(spec.clone()),
+            cost,
+            Arc::new(source.clone()),
+            Arc::new(target.clone()),
+            None,
+        )
+    }
+
+    /// Computes the diff and edit script from shared handles, optionally
+    /// reusing (and warming) a shared diff cache.
+    pub fn from_arcs(
+        spec: Arc<Specification>,
+        cost: &dyn CostModel,
+        source: Arc<Run>,
+        target: Arc<Run>,
+        cache: Option<&dyn DiffCache>,
+    ) -> Result<Self, DiffError> {
+        let engine = WorkflowDiff::new(&spec, cost);
+        let p1 = engine.prepare(&source, cache)?;
+        let p2 = engine.prepare(&target, cache)?;
+        let (result, script) = diff_with_script_prepared(&engine, &p1, &p2, cache)?;
+        drop((p1, p2));
         Ok(DiffSession { spec, source, target, result, script, cursor: 0 })
     }
 
     /// The specification both runs belong to.
     pub fn spec(&self) -> &Specification {
-        self.spec
+        &self.spec
     }
 
     /// The source run (`R1`).
     pub fn source(&self) -> &Run {
-        self.source
+        &self.source
     }
 
     /// The target run (`R2`).
     pub fn target(&self) -> &Run {
-        self.target
+        &self.target
     }
 
     /// The edit distance.

@@ -2,14 +2,99 @@
 //!
 //! The PDiffView prototype lets users store and later re-open specifications
 //! and runs; this is the headless equivalent, also used by the benchmark
-//! harness to share generated workloads between experiments.
+//! harness to share generated workloads between experiments and by
+//! [`crate::service::DiffService`] as the source of truth for batch
+//! differencing.
+//!
+//! # Locking discipline
+//!
+//! The store holds two locks: `specs` and `runs`.  Any operation that needs
+//! both acquires them in that fixed order — **`specs` first, `runs` second**
+//! — and holds both for the whole mutation/read, so that
+//!
+//! * a reader can take a consistent [`WorkflowStore::snapshot`] (it never
+//!   observes runs of a specification that has been removed, nor a
+//!   specification whose runs are mid-replacement), and
+//! * writers cannot deadlock against each other (single lock order).
+//!
+//! Never acquire `specs` while holding `runs`.
+//!
+//! # Specification versions
+//!
+//! Runs are validated against the exact [`Specification`] stored at insert
+//! time: their annotated trees carry `origin` references **into that
+//! specification's tree arena**.  Re-inserting a *structurally different*
+//! specification under an existing name would silently strand those runs on a
+//! stale version — diffs computed against the new version would read
+//! out-of-range or wrong origins.  [`WorkflowStore::insert_spec`] therefore
+//! refuses such a replacement while runs exist (returning
+//! [`StoreError::SpecConflict`]), and [`WorkflowStore::replace_spec`]
+//! performs it atomically by invalidating (removing) the stale runs in the
+//! same critical section.
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 use wfdiff_sptree::{Run, Specification};
 
+/// Errors raised by store mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A structurally different specification was inserted under a name that
+    /// still has runs recorded against the stored version.  Remove the runs
+    /// first or use [`WorkflowStore::replace_spec`] to invalidate them.
+    SpecConflict {
+        /// The contested specification name.
+        name: String,
+        /// Number of runs recorded against the stored version.
+        runs: usize,
+    },
+    /// A run was inserted whose specification is not in the store.
+    MissingSpec {
+        /// The specification name the run references.
+        name: String,
+    },
+    /// A run was inserted that was validated against a different *version*
+    /// of the stored specification (same name, different structure).
+    SpecVersionMismatch {
+        /// The specification name.
+        name: String,
+        /// The rejected run's name.
+        run: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::SpecConflict { name, runs } => write!(
+                f,
+                "specification {name:?} differs from the stored version which still has {runs} \
+                 run(s); remove them or call replace_spec to invalidate them"
+            ),
+            StoreError::MissingSpec { name } => {
+                write!(f, "specification {name:?} is not stored; insert it first")
+            }
+            StoreError::SpecVersionMismatch { name, run } => write!(
+                f,
+                "run {run:?} was validated against a different version of specification \
+                 {name:?}; rebuild it against the stored version"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A consistent view of one specification and its runs, as returned by
+/// [`WorkflowStore::snapshot`].
+pub type SpecSnapshot = (Arc<Specification>, Vec<(String, Arc<Run>)>);
+
 /// A named collection of specifications and, per specification, named runs.
+///
+/// See the [module docs](self) for the locking discipline and the
+/// specification-versioning rules.
 #[derive(Default)]
 pub struct WorkflowStore {
     specs: RwLock<BTreeMap<String, Arc<Specification>>>,
@@ -22,11 +107,60 @@ impl WorkflowStore {
         WorkflowStore::default()
     }
 
-    /// Inserts (or replaces) a specification and returns its shared handle.
-    pub fn insert_spec(&self, spec: Specification) -> Arc<Specification> {
+    /// Inserts a specification and returns its shared handle.
+    ///
+    /// Replacing an existing specification of the same name succeeds when the
+    /// stored version is structurally identical (its runs remain valid) or
+    /// has no runs; otherwise the insert is refused with
+    /// [`StoreError::SpecConflict`] so stored runs can never reference a
+    /// stale specification version.  Use [`WorkflowStore::replace_spec`] to
+    /// force the replacement and invalidate the runs.
+    pub fn insert_spec(&self, spec: Specification) -> Result<Arc<Specification>, StoreError> {
         let arc = Arc::new(spec);
-        self.specs.write().insert(arc.name().to_string(), Arc::clone(&arc));
-        arc
+        let name = arc.name().to_string();
+        // Lock order: specs, then runs; both held across the check + insert
+        // so no run can be recorded against the old version mid-replacement.
+        let mut specs = self.specs.write();
+        let runs = self.runs.read();
+        if let Some(existing) = specs.get(&name) {
+            if existing.tree() != arc.tree() {
+                let run_count = runs.keys().filter(|(s, _)| *s == name).count();
+                if run_count > 0 {
+                    return Err(StoreError::SpecConflict { name, runs: run_count });
+                }
+            }
+        }
+        specs.insert(name, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Inserts a specification, force-replacing any stored version of the
+    /// same name and **invalidating** (removing) the runs recorded against a
+    /// structurally different old version.  Returns the new handle and the
+    /// names of the invalidated runs.
+    ///
+    /// The replacement is atomic: no reader can observe the new
+    /// specification together with the old version's runs.
+    pub fn replace_spec(&self, spec: Specification) -> (Arc<Specification>, Vec<String>) {
+        let arc = Arc::new(spec);
+        let name = arc.name().to_string();
+        let mut specs = self.specs.write();
+        let mut runs = self.runs.write();
+        let mut invalidated = Vec::new();
+        if let Some(existing) = specs.get(&name) {
+            if existing.tree() != arc.tree() {
+                runs.retain(|(s, r), _| {
+                    if *s == name {
+                        invalidated.push(r.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        specs.insert(name, Arc::clone(&arc));
+        (arc, invalidated)
     }
 
     /// Looks up a specification by name.
@@ -41,13 +175,28 @@ impl WorkflowStore {
 
     /// Inserts (or replaces) a run under the given name.
     ///
-    /// The run's specification must already be stored.
-    pub fn insert_run(&self, run_name: &str, run: Run) -> Option<Arc<Run>> {
-        self.spec(run.spec_name())?;
+    /// The run's specification must already be stored **and** the run must
+    /// have been validated against that exact version
+    /// ([`Run::spec_fingerprint`] must match), so a run built before a
+    /// [`WorkflowStore::replace_spec`] can never sneak back in against the
+    /// new version.  The checks and the insert happen under one critical
+    /// section so a concurrent [`WorkflowStore::remove_spec`] cannot
+    /// interleave and leave an orphan run behind.
+    pub fn insert_run(&self, run_name: &str, run: Run) -> Result<Arc<Run>, StoreError> {
         let key = (run.spec_name().to_string(), run_name.to_string());
+        let specs = self.specs.read();
+        let spec = specs
+            .get(run.spec_name())
+            .ok_or_else(|| StoreError::MissingSpec { name: run.spec_name().to_string() })?;
+        if spec.fingerprint() != run.spec_fingerprint() {
+            return Err(StoreError::SpecVersionMismatch {
+                name: run.spec_name().to_string(),
+                run: run_name.to_string(),
+            });
+        }
         let arc = Arc::new(run);
         self.runs.write().insert(key, Arc::clone(&arc));
-        Some(arc)
+        Ok(arc)
     }
 
     /// Looks up a run by specification and run name.
@@ -60,6 +209,44 @@ impl WorkflowStore {
         self.runs.read().keys().filter(|(s, _)| s == spec_name).map(|(_, r)| r.clone()).collect()
     }
 
+    /// Resolves a specification and a few named runs in one consistent
+    /// critical section (specs then runs lock), without materialising the
+    /// whole run collection the way [`WorkflowStore::snapshot`] does.
+    ///
+    /// Returns `None` when the specification is absent; missing runs resolve
+    /// to `None` in the per-name slots.
+    #[allow(clippy::type_complexity)]
+    pub fn lookup_runs(
+        &self,
+        spec_name: &str,
+        run_names: &[&str],
+    ) -> Option<(Arc<Specification>, Vec<Option<Arc<Run>>>)> {
+        let specs = self.specs.read();
+        let runs = self.runs.read();
+        let spec = specs.get(spec_name).cloned()?;
+        let resolved = run_names
+            .iter()
+            .map(|name| runs.get(&(spec_name.to_string(), (*name).to_string())).cloned())
+            .collect();
+        Some((spec, resolved))
+    }
+
+    /// A consistent view of one specification and all of its runs (sorted by
+    /// run name), taken under the store's lock order: either the
+    /// specification with exactly the runs recorded against it, or `None` if
+    /// the name is absent.
+    pub fn snapshot(&self, spec_name: &str) -> Option<SpecSnapshot> {
+        let specs = self.specs.read();
+        let runs = self.runs.read();
+        let spec = specs.get(spec_name).cloned()?;
+        let spec_runs = runs
+            .iter()
+            .filter(|((s, _), _)| s == spec_name)
+            .map(|((_, name), r)| (name.clone(), r.clone()))
+            .collect();
+        Some((spec, spec_runs))
+    }
+
     /// Removes a run; returns `true` if it existed.
     pub fn remove_run(&self, spec_name: &str, run_name: &str) -> bool {
         self.runs.write().remove(&(spec_name.to_string(), run_name.to_string())).is_some()
@@ -67,9 +254,15 @@ impl WorkflowStore {
 
     /// Removes a specification and all of its runs; returns `true` if the
     /// specification existed.
+    ///
+    /// The removal is atomic: both locks are taken (in the store's fixed
+    /// order) before either map is touched, so no reader ever observes runs
+    /// for a specification that is already gone.
     pub fn remove_spec(&self, spec_name: &str) -> bool {
-        let existed = self.specs.write().remove(spec_name).is_some();
-        self.runs.write().retain(|(s, _), _| s != spec_name);
+        let mut specs = self.specs.write();
+        let mut runs = self.runs.write();
+        let existed = specs.remove(spec_name).is_some();
+        runs.retain(|(s, _), _| s != spec_name);
         existed
     }
 
@@ -82,12 +275,13 @@ impl WorkflowStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wfdiff_sptree::SpecificationBuilder;
     use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
 
     #[test]
     fn store_and_retrieve_specs_and_runs() {
         let store = WorkflowStore::new();
-        let spec = store.insert_spec(fig2_specification());
+        let spec = store.insert_spec(fig2_specification()).unwrap();
         assert_eq!(store.spec_names(), vec!["fig2".to_string()]);
         store.insert_run("r1", fig2_run1(&spec)).unwrap();
         store.insert_run("r2", fig2_run2(&spec)).unwrap();
@@ -102,13 +296,30 @@ mod tests {
         let store = WorkflowStore::new();
         let spec = fig2_specification();
         let run = fig2_run1(&spec);
-        assert!(store.insert_run("orphan", run).is_none());
+        assert!(matches!(store.insert_run("orphan", run), Err(StoreError::MissingSpec { .. })));
+    }
+
+    #[test]
+    fn runs_built_against_a_replaced_spec_are_rejected() {
+        let store = WorkflowStore::new();
+        let old_spec = store.insert_spec(fig2_specification()).unwrap();
+        let stale_run = fig2_run1(&old_spec);
+        // Replace the (run-free) spec with a structurally different version
+        // under the same name; the stale run must now be refused.
+        store.insert_spec(other_spec_named_fig2()).unwrap();
+        assert!(matches!(
+            store.insert_run("stale", stale_run),
+            Err(StoreError::SpecVersionMismatch { .. })
+        ));
+        // A run built against the current version is accepted.
+        let fresh = store.spec("fig2").unwrap().execute(&mut wfdiff_sptree::FullDecider).unwrap();
+        store.insert_run("fresh", fresh).unwrap();
     }
 
     #[test]
     fn removal_cascades_from_spec_to_runs() {
         let store = WorkflowStore::new();
-        let spec = store.insert_spec(fig2_specification());
+        let spec = store.insert_spec(fig2_specification()).unwrap();
         store.insert_run("r1", fig2_run1(&spec)).unwrap();
         assert!(store.remove_run("fig2", "r1"));
         assert!(!store.remove_run("fig2", "r1"));
@@ -121,7 +332,7 @@ mod tests {
     #[test]
     fn store_is_shareable_across_threads() {
         let store = Arc::new(WorkflowStore::new());
-        let spec = store.insert_spec(fig2_specification());
+        let spec = store.insert_spec(fig2_specification()).unwrap();
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 let store = Arc::clone(&store);
@@ -135,5 +346,131 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(store.run_count(), 4);
+    }
+
+    fn other_spec_named_fig2() -> wfdiff_sptree::Specification {
+        let mut b = SpecificationBuilder::new("fig2");
+        b.path(&["1", "2", "6", "7"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reinserting_an_identical_spec_keeps_runs() {
+        let store = WorkflowStore::new();
+        let spec = store.insert_spec(fig2_specification()).unwrap();
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        // Same structure: the runs stay valid and stay stored.
+        store.insert_spec(fig2_specification()).unwrap();
+        assert_eq!(store.run_count(), 1);
+    }
+
+    #[test]
+    fn replacing_a_spec_with_runs_is_refused() {
+        let store = WorkflowStore::new();
+        let spec = store.insert_spec(fig2_specification()).unwrap();
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        let err = store.insert_spec(other_spec_named_fig2()).unwrap_err();
+        assert_eq!(err, StoreError::SpecConflict { name: "fig2".into(), runs: 1 });
+        // The stored version and its run are untouched.
+        assert!(store.run("fig2", "r1").is_some());
+        assert_eq!(store.spec("fig2").unwrap().stats().edges, spec.stats().edges);
+    }
+
+    #[test]
+    fn replacing_a_spec_without_runs_succeeds() {
+        let store = WorkflowStore::new();
+        store.insert_spec(fig2_specification()).unwrap();
+        let replaced = store.insert_spec(other_spec_named_fig2()).unwrap();
+        assert_eq!(store.spec("fig2").unwrap().stats().edges, replaced.stats().edges);
+    }
+
+    #[test]
+    fn replace_spec_invalidates_stale_runs() {
+        let store = WorkflowStore::new();
+        let spec = store.insert_spec(fig2_specification()).unwrap();
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        store.insert_run("r2", fig2_run2(&spec)).unwrap();
+        let (new_spec, invalidated) = store.replace_spec(other_spec_named_fig2());
+        assert_eq!(invalidated, vec!["r1".to_string(), "r2".to_string()]);
+        assert_eq!(store.run_count(), 0, "stale runs are gone");
+        assert_eq!(store.spec("fig2").unwrap().stats().edges, new_spec.stats().edges);
+        // Replacing with an identical structure never invalidates.
+        let (_, invalidated) = store.replace_spec(other_spec_named_fig2());
+        assert!(invalidated.is_empty());
+    }
+
+    #[test]
+    fn arena_permuted_spec_builds_are_distinct_versions() {
+        // The same DAG with its parallel branches declared in a different
+        // order: equivalent canonical trees, different arena layouts.  Runs
+        // reference spec nodes by arena id, so the two builds must count as
+        // different versions.
+        let build = |order: [&str; 2]| {
+            let mut b = SpecificationBuilder::new("perm");
+            b.path(&["s", order[0], "t"]);
+            b.path(&["s", order[1], "t"]);
+            b.build().unwrap()
+        };
+        let spec_ab = build(["a", "b"]);
+        let spec_ba = build(["b", "a"]);
+        assert!(spec_ab.tree().equivalent(spec_ba.tree()), "same canonical structure");
+        assert_ne!(spec_ab.tree(), spec_ba.tree(), "different arena layouts");
+        assert_ne!(spec_ab.fingerprint(), spec_ba.fingerprint());
+
+        let store = WorkflowStore::new();
+        let first = store.insert_spec(spec_ab).unwrap();
+        let stale_run = first.execute(&mut wfdiff_sptree::FullDecider).unwrap();
+        // Replacing with the permuted build succeeds (no runs yet) …
+        store.insert_spec(spec_ba).unwrap();
+        // … and the run built against the first build is now refused.
+        assert!(matches!(
+            store.insert_run("stale", stale_run),
+            Err(StoreError::SpecVersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_consistent_under_concurrent_removal() {
+        // A writer repeatedly inserts the spec + a run and atomically removes
+        // the spec; readers must never see runs without their specification.
+        let store = Arc::new(WorkflowStore::new());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let spec = store.insert_spec(fig2_specification()).unwrap();
+                    store.insert_run("r1", fig2_run1(&spec)).unwrap();
+                    store.remove_spec("fig2");
+                    // The removal cascaded atomically.
+                    assert!(store.snapshot("fig2").is_none());
+                    assert_eq!(store.run_names("fig2"), Vec::<String>::new());
+                }
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut observed = 0usize;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        if let Some((spec, runs)) = store.snapshot("fig2") {
+                            observed += 1;
+                            for (_, run) in runs {
+                                assert_eq!(run.spec_name(), spec.name());
+                            }
+                        }
+                    }
+                    observed
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
     }
 }

@@ -106,6 +106,7 @@ pub fn execute(spec: &Specification, decider: &mut dyn ExecutionDecider) -> Resu
     out.validate_run_tree()?;
     Ok(Run::from_parts(
         spec.name().to_string(),
+        spec.fingerprint(),
         materialized.graph,
         materialized.source,
         materialized.sink,

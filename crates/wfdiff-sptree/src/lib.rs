@@ -29,6 +29,7 @@
 pub mod canonical;
 pub mod error;
 pub mod execution;
+pub mod fingerprint;
 pub mod laminar;
 pub mod lengths;
 pub mod materialize;
@@ -39,6 +40,7 @@ pub mod tree;
 
 pub use error::SpTreeError;
 pub use execution::{ExecutionDecider, FullDecider, MinimalDecider};
+pub use fingerprint::{Fingerprint, TreeFingerprints};
 pub use node::{NodeType, TreeId, TreeNode};
 pub use run::Run;
 pub use spec::{ControlKind, ControlSubgraph, Specification, SpecificationBuilder};

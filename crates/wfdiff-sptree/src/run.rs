@@ -25,6 +25,7 @@ use wfdiff_graph::{validate_run_against_graph, EdgeId, Label, LabeledDigraph, No
 #[derive(Debug, Clone)]
 pub struct Run {
     spec_name: String,
+    spec_fp: crate::Fingerprint,
     graph: LabeledDigraph,
     source: NodeId,
     sink: NodeId,
@@ -46,6 +47,7 @@ impl Run {
         let tree = replay(spec, &graph, &ctree)?;
         Ok(Run {
             spec_name: spec.name().to_string(),
+            spec_fp: spec.fingerprint(),
             graph,
             source: hom.run_source,
             sink: hom.run_sink,
@@ -57,17 +59,24 @@ impl Run {
     /// and by the edit-script applier, which construct the tree directly).
     pub(crate) fn from_parts(
         spec_name: String,
+        spec_fp: crate::Fingerprint,
         graph: LabeledDigraph,
         source: NodeId,
         sink: NodeId,
         tree: AnnotatedTree,
     ) -> Run {
-        Run { spec_name, graph, source, sink, tree }
+        Run { spec_name, spec_fp, graph, source, sink, tree }
     }
 
     /// Name of the specification this run belongs to.
     pub fn spec_name(&self) -> &str {
         &self.spec_name
+    }
+
+    /// Fingerprint of the exact specification *version* this run was
+    /// validated against; see [`crate::Specification::fingerprint`].
+    pub fn spec_fingerprint(&self) -> crate::Fingerprint {
+        self.spec_fp
     }
 
     /// The run graph (including implicit loop back-edges).

@@ -86,6 +86,9 @@ pub struct Specification {
     loop_back: HashMap<(Label, Label), usize>,
     /// Tree node of each control annotation (the inserted `F`/`L` node).
     control_tree_nodes: Vec<TreeId>,
+    /// Lazily computed arena-identity fingerprint of the annotated tree; used
+    /// to detect stale runs after a specification is replaced.
+    fp: std::sync::OnceLock<crate::Fingerprint>,
 }
 
 impl Specification {
@@ -159,7 +162,26 @@ impl Specification {
             }
         }
 
-        Ok(Specification { name, sp, controls: records, tree, loop_back, control_tree_nodes })
+        Ok(Specification {
+            name,
+            sp,
+            controls: records,
+            tree,
+            loop_back,
+            control_tree_nodes,
+            fp: std::sync::OnceLock::new(),
+        })
+    }
+
+    /// The **arena-identity** fingerprint of the annotated specification
+    /// tree (cached after the first call); see
+    /// [`crate::fingerprint::arena_fingerprint`].  Two specifications share
+    /// a fingerprint iff their trees are equal as stored — equivalent trees
+    /// built with a different parallel-branch order do **not**, because run
+    /// trees reference specification nodes by arena id and are therefore not
+    /// portable between such builds.
+    pub fn fingerprint(&self) -> crate::Fingerprint {
+        *self.fp.get_or_init(|| crate::fingerprint::arena_fingerprint(&self.tree))
     }
 
     /// The specification name.

@@ -12,7 +12,7 @@ use pdiffview::workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
 fn main() {
     // Store the Figure 2 specification and its two runs.
     let store = WorkflowStore::new();
-    let spec = store.insert_spec(fig2_specification());
+    let spec = store.insert_spec(fig2_specification()).expect("fresh store");
     store.insert_run("R1", fig2_run1(&spec)).unwrap();
     store.insert_run("R2", fig2_run2(&spec)).unwrap();
     println!("stored specifications: {:?}", store.spec_names());

@@ -41,10 +41,11 @@ pub use wfdiff_workloads as workloads;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use wfdiff_core::{
-        CostModel, DiffResult, EditScript, LengthCost, PowerCost, UnitCost, WorkflowDiff,
+        CostModel, DiffCache, DiffResult, EditScript, LengthCost, PowerCost, ShardedDiffCache,
+        UnitCost, WorkflowDiff,
     };
     pub use wfdiff_graph::{Label, LabeledDigraph, SpGraph};
-    pub use wfdiff_pdiffview::{DiffSession, WorkflowStore};
+    pub use wfdiff_pdiffview::{DiffService, DiffSession, WorkflowStore};
     pub use wfdiff_sptree::{
         ExecutionDecider, FullDecider, MinimalDecider, Run, Specification, SpecificationBuilder,
     };

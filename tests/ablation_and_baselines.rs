@@ -55,8 +55,8 @@ fn greedy_fork_matching_is_never_better_than_hungarian() {
             .collect();
         let del: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..9.0f64).round()).collect();
         let ins: Vec<f64> = (0..m).map(|_| rng.gen_range(0.0..9.0f64).round()).collect();
-        let optimal = assignment_with_unmatched(&pair, &del, &ins);
-        let greedy = greedy_assignment_with_unmatched(&pair, &del, &ins);
+        let optimal = assignment_with_unmatched(&pair, &del, &ins).expect("finite costs");
+        let greedy = greedy_assignment_with_unmatched(&pair, &del, &ins).expect("finite costs");
         assert!(greedy.cost + 1e-9 >= optimal.cost);
     }
 }

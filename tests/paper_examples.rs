@@ -102,7 +102,7 @@ fn protein_annotation_runs_difference_cleanly() {
 #[test]
 fn store_and_session_work_through_the_umbrella_crate() {
     let store = WorkflowStore::new();
-    let spec = store.insert_spec(fig2_specification());
+    let spec = store.insert_spec(fig2_specification()).expect("fresh store");
     store.insert_run("R1", fig2_run1(&spec)).unwrap();
     store.insert_run("R2", fig2_run2(&spec)).unwrap();
     let r1 = store.run("fig2", "R1").unwrap();
