@@ -1,0 +1,58 @@
+//! Measures the persistence subsystem: save/load wall time and the
+//! first-query latency of a cold-loaded vs warm-started `DiffService` on the
+//! Fig. 12 (branch-choice) and Fig. 14 (fork/loop) generated workloads.
+//! Writes `warm_start.csv`.
+//!
+//! Usage: `warm_start [runs] [spec_edges] [store_dir]`
+//! (defaults: 50 runs, 100-edge specifications, a directory under the
+//! system temp dir).
+
+use std::path::PathBuf;
+use wfdiff_bench::batch::BatchConfig;
+use wfdiff_bench::csvout::{fmt, write_csv};
+use wfdiff_bench::warmstart::{render, run};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let edges: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let dir: PathBuf = args.get(3).map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("wfdiff-warm-start-{}", std::process::id()))
+    });
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut all_match = true;
+    for config in [BatchConfig::fig12(edges, runs), BatchConfig::fig14(edges, runs)] {
+        let row = run(&config, &dir.join(&config.label));
+        print!("{}", render(&row));
+        println!();
+        all_match &= row.distances_match;
+        rows.push(vec![
+            row.label.clone(),
+            row.runs.to_string(),
+            fmt(row.save_ms),
+            fmt(row.load_ms),
+            fmt(row.cold_diff_ms),
+            fmt(row.warm_start_ms),
+            fmt(row.warm_diff_ms),
+            fmt(row.first_query_speedup()),
+        ]);
+    }
+    write_csv(
+        "warm_start.csv",
+        &[
+            "workload",
+            "runs",
+            "save_ms",
+            "load_ms",
+            "cold_diff_ms",
+            "warm_start_ms",
+            "warm_diff_ms",
+            "first_query_speedup",
+        ],
+        &rows,
+    )
+    .expect("write warm_start.csv");
+    eprintln!("wrote warm_start.csv (store directories under {})", dir.display());
+    assert!(all_match, "persisted distances diverged from the in-memory store");
+}

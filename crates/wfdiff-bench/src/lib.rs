@@ -16,6 +16,7 @@ pub mod fig12;
 pub mod fig14;
 pub mod fig16;
 pub mod table1;
+pub mod warmstart;
 
 /// Measures the wall-clock time of a closure in milliseconds.
 pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {

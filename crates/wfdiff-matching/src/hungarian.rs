@@ -2,7 +2,7 @@
 //! unbalanced "match-or-pay" variant used when pairing fork copies.
 //!
 //! The implementation is the classical `O(n³)` potential-based formulation.
-//! The paper cites Kuhn's Hungarian method [34] for exactly this step of
+//! The paper cites Kuhn's Hungarian method \[34\] for exactly this step of
 //! Algorithm 4.
 
 use crate::error::MatchingError;

@@ -9,6 +9,9 @@
 //! This crate provides the same capabilities without a GUI:
 //!
 //! * [`store`] — a thread-safe in-memory store of specifications and runs,
+//! * [`persist`] — durable, versioned on-disk persistence for the store
+//!   (crash-safe saves, fully validated loads) and the
+//!   [`DiffService::warm_start`] cache-priming path,
 //! * [`io`] — JSON import/export and a simple XML export of specifications,
 //!   runs and edit scripts (the paper's prototype stored runs as XML),
 //! * [`session`] — differencing sessions that compute the distance, the
@@ -27,14 +30,18 @@
 
 pub mod cluster;
 pub mod io;
+pub mod persist;
 pub mod render;
 pub mod service;
 pub mod session;
 pub mod store;
 
 pub use cluster::{ClusterDiff, Clustering};
-pub use io::{RunDescriptor, SpecDescriptor};
+pub use io::{RunDescriptor, SpecDescriptor, DESCRIPTOR_FORMAT};
+pub use persist::{PersistError, SaveSummary, STORE_FORMAT};
 pub use render::{render_diff_dot, render_diff_text};
-pub use service::{AllPairsResult, DiffService, DiffServiceBuilder, PairDistance, ServiceError};
+pub use service::{
+    AllPairsResult, DiffService, DiffServiceBuilder, PairDistance, ServiceError, WarmStartReport,
+};
 pub use session::DiffSession;
 pub use store::{SpecSnapshot, StoreError, WorkflowStore};

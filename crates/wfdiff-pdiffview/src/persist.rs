@@ -1,0 +1,1034 @@
+//! Durable on-disk persistence for [`WorkflowStore`] (versioned format,
+//! crash-safe writes, fully validated loads).
+//!
+//! The PDiffView prototype is a *persistent* provenance database:
+//! specifications and runs are stored as documents and differenced on
+//! demand.  This module gives the in-memory [`WorkflowStore`] that
+//! durability.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <dir>/
+//!   manifest.json                    # StoreManifest: format version + spec index
+//!   specs/<slug>-<fp8>/spec.json     # spec document: version, fingerprint, SpecDescriptor
+//!   specs/<slug>-<fp8>/runs/<n>.json # one self-describing run document per run
+//! ```
+//!
+//! * The **manifest** is the root of truth: only specification directories it
+//!   lists are loaded, so stray or orphaned directories are ignored.
+//! * Each specification directory is keyed by a slug of the name plus the
+//!   first 8 hex digits of the spec's **canonical persistent fingerprint**
+//!   (the arena fingerprint of the specification *as rebuilt from its
+//!   descriptor* — a deterministic function of the document, so load can
+//!   verify it byte-for-byte).  A structurally changed spec therefore lands
+//!   in a *fresh* directory and the old one stays intact until the manifest
+//!   rename commits the switch.
+//! * Runs are **not** listed in the manifest: every `runs/*.json` document
+//!   carries its own name and the fingerprint of the spec version it belongs
+//!   to.  Appending a run to a live store directory is a single atomic file
+//!   creation — no index rewrite.
+//!
+//! # Crash safety
+//!
+//! Every file is written to a temporary sibling and atomically
+//! `rename(2)`d into place, and the manifest is written **last**.  A crash
+//! mid-save leaves the previous manifest pointing at the previous (still
+//! complete) spec directories; at worst a fingerprint-identical spec
+//! directory has gained or lost some run files, all of which remain valid
+//! for that exact spec version.
+//!
+//! Saves from one process are serialised internally (a per-store lock).
+//! **Concurrent saves into one directory from different processes are not
+//! coordinated** — their garbage-collection passes could delete each
+//! other's spec directories; give each writer its own directory or add
+//! external locking.  Concurrent *loaders* are always safe: they only see
+//! whatever manifest rename committed last.
+//!
+//! # Validation on load
+//!
+//! [`WorkflowStore::load_from_dir`] trusts nothing it reads: format
+//! versions, fingerprints (manifest vs spec document vs rebuilt
+//! specification vs run documents), directory names, control edge indices
+//! and run node indices are all checked, and every failure surfaces as a
+//! [`PersistError`] naming the offending file — never a panic.  See
+//! [`PersistError`] for recovery semantics.
+
+use crate::io::{RunDescriptor, SpecDescriptor};
+use crate::store::{StoreError, WorkflowStore};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use wfdiff_sptree::{Fingerprint, SpTreeError};
+
+/// Version tag of the store directory format written by this module.
+///
+/// Version 1 is the initial layout described in the [module docs](self).
+/// Loaders reject any other version rather than guessing; bump this constant
+/// whenever the layout or document schemas change incompatibly.
+pub const STORE_FORMAT: u32 = 1;
+
+/// Errors raised while persisting or loading a store directory.
+///
+/// # Recovery semantics
+///
+/// A `PersistError` from [`WorkflowStore::load_from_dir`] means the store
+/// directory (or one document in it) could not be trusted; **nothing is
+/// partially loaded** — the failed load returns no store.  The variants tell
+/// the operator what to do:
+///
+/// * [`PersistError::Io`] — the directory is unreadable or mid-copy; retry
+///   or fix permissions.  No data interpretation happened.
+/// * [`PersistError::Json`] / [`PersistError::Format`] — a document is
+///   corrupt, hand-edited, truncated or from an incompatible format version.
+///   Restore the file from a good copy or delete the offending run document
+///   (spec documents are load-bearing; run documents are individually
+///   disposable).
+/// * [`PersistError::Tree`] — a document parsed but describes an invalid
+///   specification or run (bad edge/node indices, non-SP graph, run that
+///   does not replay).  Same recovery as corrupt documents.
+/// * [`PersistError::Store`] — documents were individually valid but
+///   mutually inconsistent (e.g. two spec directories claiming one name).
+///
+/// A `PersistError` from [`WorkflowStore::save_to_dir`] means the directory
+/// may hold a partial new save.  The previous manifest and every spec
+/// document it references are untouched unless the final manifest rename
+/// succeeded; run documents inside a spec directory whose version did not
+/// change may however already have been rewritten or pruned to the new run
+/// set (each individually valid for that spec version — see the
+/// crash-safety notes in the [module docs](self)).
+#[derive(Debug)]
+pub enum PersistError {
+    /// A filesystem operation failed.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// What the operation was trying to do.
+        context: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A document failed to parse as JSON (or to serialise).
+    Json {
+        /// The offending document.
+        path: PathBuf,
+        /// The underlying JSON error.
+        source: serde_json::Error,
+    },
+    /// A document parsed but its framing is wrong: unsupported format
+    /// version, fingerprint mismatch, name mismatch or unsafe path.
+    Format {
+        /// The offending document or directory entry.
+        path: PathBuf,
+        /// What was wrong.
+        what: String,
+    },
+    /// A document described an invalid specification or run.
+    Tree {
+        /// The offending document.
+        path: PathBuf,
+        /// The underlying rebuild/validation error.
+        source: SpTreeError,
+    },
+    /// The rebuilt documents could not be inserted into one coherent store.
+    Store {
+        /// The underlying store error.
+        source: StoreError,
+    },
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, context, source } => {
+                write!(f, "{context} {}: {source}", path.display())
+            }
+            PersistError::Json { path, source } => {
+                write!(f, "invalid JSON in {}: {source}", path.display())
+            }
+            PersistError::Format { path, what } => {
+                write!(f, "malformed store document {}: {what}", path.display())
+            }
+            PersistError::Tree { path, source } => {
+                write!(f, "invalid specification/run in {}: {source}", path.display())
+            }
+            PersistError::Store { source } => write!(f, "inconsistent store contents: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            PersistError::Json { source, .. } => Some(source),
+            PersistError::Tree { source, .. } => Some(source),
+            PersistError::Store { source } => Some(source),
+            PersistError::Format { .. } => None,
+        }
+    }
+}
+
+impl From<StoreError> for PersistError {
+    fn from(source: StoreError) -> Self {
+        PersistError::Store { source }
+    }
+}
+
+/// What [`WorkflowStore::save_to_dir`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveSummary {
+    /// Number of specifications persisted.
+    pub specs: usize,
+    /// Number of runs persisted (across all specifications).
+    pub runs: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Document schemas
+// ---------------------------------------------------------------------------
+
+/// `manifest.json`: the root of truth for a store directory.
+#[derive(Debug, Serialize, Deserialize)]
+struct StoreManifest {
+    /// Store directory format version; see [`STORE_FORMAT`].
+    format: u32,
+    /// One entry per persisted specification.
+    specs: Vec<ManifestSpec>,
+}
+
+/// One manifest entry.
+#[derive(Debug, Serialize, Deserialize)]
+struct ManifestSpec {
+    /// Specification name (authoritative; directory names are only slugs).
+    name: String,
+    /// Directory under `specs/` holding the spec document and its runs.
+    dir: String,
+    /// Canonical persistent fingerprint (hex) of the specification.
+    fingerprint: String,
+}
+
+/// `spec.json`: a specification document.
+#[derive(Debug, Serialize, Deserialize)]
+struct SpecDocument {
+    /// Store format version the document was written under.
+    format: u32,
+    /// Canonical persistent fingerprint (hex); must match the manifest entry
+    /// and the specification rebuilt from `spec`.
+    fingerprint: String,
+    /// The specification itself.
+    spec: SpecDescriptor,
+}
+
+/// `runs/<n>.json`: a self-describing run document.
+#[derive(Debug, Serialize, Deserialize)]
+struct RunDocument {
+    /// Store format version the document was written under.
+    format: u32,
+    /// Run name within its specification.
+    name: String,
+    /// Canonical persistent fingerprint (hex) of the specification version
+    /// this run was validated against.
+    spec_fingerprint: String,
+    /// The run itself.
+    run: RunDescriptor,
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+fn io_err(path: &Path, context: &'static str, source: std::io::Error) -> PersistError {
+    PersistError::Io { path: path.to_path_buf(), context, source }
+}
+
+fn format_err(path: &Path, what: impl Into<String>) -> PersistError {
+    PersistError::Format { path: path.to_path_buf(), what: what.into() }
+}
+
+fn parse_fingerprint(path: &Path, hex: &str) -> Result<Fingerprint, PersistError> {
+    u128::from_str_radix(hex, 16)
+        .map(Fingerprint)
+        .map_err(|_| format_err(path, format!("unparsable fingerprint {hex:?}")))
+}
+
+/// Turns an arbitrary name into a safe, human-recognisable file-name stem.
+/// Uniqueness is provided by the caller (fingerprint suffix / counter), not
+/// by the slug itself.
+fn slug(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .take(48)
+        .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '_' })
+        .collect();
+    // A leading dot would make the entry hidden (and "." / ".." unsafe).
+    if out.is_empty() || out.starts_with('.') {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// FNV-1a over a name, as 16 hex digits.  Appended to run-file slugs so that
+/// a run's file name is a function of the run name *alone*: re-saving a
+/// changed run set overwrites surviving runs in place instead of shifting
+/// documents between file names (a shift would open a crash window in which
+/// two files carry the same run name and the store refuses to load).  The
+/// full 64-bit hash keeps same-slug collisions — which would fall back to a
+/// position-dependent bump — out of practical reach.
+fn name_hash(name: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Rejects manifest `dir` values that could escape the store directory.
+fn check_dir_component(manifest_path: &Path, dir: &str) -> Result<(), PersistError> {
+    // `:` covers Windows drive-relative prefixes like `C:evil`, which
+    // `Path::join` would resolve outside the store root.
+    let unsafe_component = dir.is_empty()
+        || dir == "."
+        || dir == ".."
+        || dir.contains('/')
+        || dir.contains('\\')
+        || dir.contains(':')
+        || dir.contains('\0');
+    if unsafe_component {
+        return Err(format_err(
+            manifest_path,
+            format!("spec directory entry {dir:?} is not a plain directory name"),
+        ));
+    }
+    Ok(())
+}
+
+/// Serialises `value` and atomically replaces `path` with it (write to a
+/// temporary sibling, then `rename`).  Byte-identical documents are left
+/// untouched: the content of every document is a deterministic function of
+/// the store state, so skipping unchanged files keeps a re-save's durable
+/// writes (each a write + fsync + rename) proportional to the delta rather
+/// than to the whole store.
+fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), PersistError> {
+    use std::io::Write;
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|source| PersistError::Json { path: path.to_path_buf(), source })?;
+    if fs::read_to_string(path).is_ok_and(|existing| existing == json) {
+        return Ok(());
+    }
+    // The temp name carries the process id and a counter so two writers
+    // (e.g. a service save racing a store_tool import from another process)
+    // never truncate each other's in-flight temp file; saves within one
+    // process are additionally serialised by the store's save lock.
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".{}-{seq}.tmp", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    // The data must be on stable storage *before* the rename is: journalling
+    // filesystems may otherwise persist the rename ahead of the data blocks
+    // and a power loss would leave a committed-looking but truncated file.
+    let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, "writing", e))?;
+    file.write_all(json.as_bytes()).map_err(|e| io_err(&tmp, "writing", e))?;
+    file.sync_all().map_err(|e| io_err(&tmp, "syncing", e))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| io_err(path, "committing", e))?;
+    // Make the rename itself durable by syncing the parent directory.
+    // Best-effort: not every platform lets a directory be opened and synced,
+    // and a failure here only weakens durability, never atomicity.
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T, PersistError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err(path, "reading", e))?;
+    serde_json::from_str(&text)
+        .map_err(|source| PersistError::Json { path: path.to_path_buf(), source })
+}
+
+/// The canonical persistent fingerprint of a descriptor: the arena
+/// fingerprint of the specification it deterministically rebuilds into.
+/// (The in-memory original may have been built with a different arena
+/// layout; what load can verify is the rebuilt identity, so that is what
+/// gets recorded.)
+fn canonical_fingerprint(
+    path: &Path,
+    descriptor: &SpecDescriptor,
+) -> Result<(Fingerprint, wfdiff_sptree::Specification), PersistError> {
+    let rebuilt = descriptor
+        .to_specification()
+        .map_err(|source| PersistError::Tree { path: path.to_path_buf(), source })?;
+    Ok((rebuilt.fingerprint(), rebuilt))
+}
+
+// ---------------------------------------------------------------------------
+// Save / load
+// ---------------------------------------------------------------------------
+
+impl WorkflowStore {
+    /// Persists a consistent snapshot of the whole store into `dir`,
+    /// creating it if needed (see the [module docs](self) for the layout).
+    ///
+    /// The write is crash-safe: all spec and run documents are written (each
+    /// atomically via rename) before the manifest — the commit point — is
+    /// renamed into place.  Re-saving over an existing store directory
+    /// reuses fingerprint-identical spec directories, prunes run documents
+    /// that no longer exist in the store, and garbage-collects spec
+    /// directories the new manifest no longer references.
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<SaveSummary, PersistError> {
+        // One save at a time per store: interleaved saves could prune each
+        // other's freshly written documents or garbage-collect a directory
+        // the other's manifest is about to reference.  (Writers in other
+        // *processes* must coordinate externally — see the module docs.)
+        let _guard = self.save_lock.lock();
+        let dir = dir.as_ref();
+        // Refuse to clobber a store this build cannot read: the
+        // garbage-collection pass below would otherwise silently destroy a
+        // newer-format (or foreign) store's spec directories.  Only the
+        // `format` field is probed, so the guard also fires for future
+        // manifest schemas this build cannot fully parse.  An absent or
+        // JSON-invalid manifest is fine — an empty target, or a corrupt
+        // store being repaired by a fresh save (delete `manifest.json` to
+        // force a save past this guard).
+        #[derive(Deserialize)]
+        struct FormatProbe {
+            #[serde(default)]
+            format: u32,
+        }
+        let manifest_path = dir.join("manifest.json");
+        if let Ok(text) = fs::read_to_string(&manifest_path) {
+            if let Ok(existing) = serde_json::from_str::<FormatProbe>(&text) {
+                if existing.format != STORE_FORMAT {
+                    return Err(format_err(
+                        &manifest_path,
+                        format!(
+                            "refusing to overwrite a store of format {} (this build writes \
+                             format {STORE_FORMAT}); save into a fresh directory instead",
+                            existing.format
+                        ),
+                    ));
+                }
+            }
+        }
+        let specs_root = dir.join("specs");
+        fs::create_dir_all(&specs_root).map_err(|e| io_err(&specs_root, "creating", e))?;
+
+        let snapshot = self.snapshot_all();
+        let mut manifest = StoreManifest { format: STORE_FORMAT, specs: Vec::new() };
+        let mut total_runs = 0usize;
+        let mut used_dirs = std::collections::BTreeSet::new();
+
+        for (name, (spec, runs)) in &snapshot {
+            let descriptor = SpecDescriptor::from_specification(spec);
+            // Error-context label only: the real directory name needs the
+            // fingerprint, which is what this step computes, so a rebuild
+            // failure is reported against the slug prefix of the spec.
+            let spec_json_path = specs_root.join(slug(name));
+            // The descriptor → specification rebuild behind
+            // `canonical_fingerprint` repeats the full SP decomposition;
+            // memoise its result per in-memory spec version so repeated
+            // saves of an unchanged store stay cheap.
+            let cached = self.persist_fp_cache.lock().get(&spec.fingerprint()).copied();
+            let fp = match cached {
+                Some(fp) => fp,
+                None => {
+                    let (fp, _) = canonical_fingerprint(&spec_json_path, &descriptor)?;
+                    self.persist_fp_cache.lock().insert(spec.fingerprint(), fp);
+                    fp
+                }
+            };
+            let fp_hex = fp.to_string();
+            // Distinct names can share a slug (and even a structure), so the
+            // directory name gets a counter on collision.  A candidate is
+            // also bumped when it already exists on disk holding a spec
+            // document for a *different name or version* (the 8-hex dir
+            // suffix is only a prefix of the full fingerprint): overwriting
+            // a committed directory before the new manifest lands would
+            // break the crash-safety guarantee (the old manifest must keep
+            // pointing at intact directories).  The snapshot is name-sorted,
+            // keeping the assignment stable across saves of the same spec
+            // set.
+            let base = format!("{}-{}", slug(name), &fp_hex[..8]);
+            let mut dir_name = base.clone();
+            let mut bump = 1usize;
+            loop {
+                if used_dirs.contains(&dir_name) {
+                    bump += 1;
+                    dir_name = format!("{base}-{bump}");
+                    continue;
+                }
+                let existing = specs_root.join(&dir_name).join("spec.json");
+                let occupied = match fs::read_to_string(&existing) {
+                    // Absent spec.json: the slot is free.
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+                    // Any other read failure (permissions, fd exhaustion, …)
+                    // must abort: guessing "free" could overwrite a
+                    // committed directory owned by another spec.
+                    Err(e) => return Err(io_err(&existing, "probing", e)),
+                    Ok(text) => match serde_json::from_str::<SpecDocument>(&text) {
+                        Ok(doc) => doc.spec.name != *name || doc.fingerprint != fp_hex,
+                        // Corrupt spec.json: no loadable state can
+                        // reference this directory, so it is reclaimable.
+                        Err(_) => false,
+                    },
+                };
+                if occupied {
+                    bump += 1;
+                    dir_name = format!("{base}-{bump}");
+                    continue;
+                }
+                break;
+            }
+            used_dirs.insert(dir_name.clone());
+            let spec_dir = specs_root.join(&dir_name);
+            let runs_dir = spec_dir.join("runs");
+            fs::create_dir_all(&runs_dir).map_err(|e| io_err(&runs_dir, "creating", e))?;
+
+            let spec_path = spec_dir.join("spec.json");
+            write_json_atomic(
+                &spec_path,
+                &SpecDocument {
+                    format: STORE_FORMAT,
+                    fingerprint: fp_hex.clone(),
+                    spec: descriptor,
+                },
+            )?;
+
+            // One document per run.  The file name is a function of the run
+            // name alone (slug + name hash, bumped deterministically on the
+            // residual hash collision), so a re-save with a changed run set
+            // rewrites surviving runs in place — a crash between the writes
+            // and the prune can leave extra or missing documents but never
+            // two documents claiming one run name.  The authoritative run
+            // name lives inside the document.
+            let mut written = std::collections::BTreeSet::new();
+            for (run_name, run) in runs.iter() {
+                let base = format!("{}-{}", slug(run_name), name_hash(run_name));
+                let mut file = format!("{base}.json");
+                let mut bump = 1usize;
+                while written.contains(&file) {
+                    bump += 1;
+                    file = format!("{base}-{bump}.json");
+                }
+                let run_path = runs_dir.join(&file);
+                write_json_atomic(
+                    &run_path,
+                    &RunDocument {
+                        format: STORE_FORMAT,
+                        name: run_name.clone(),
+                        spec_fingerprint: fp_hex.clone(),
+                        run: RunDescriptor::from_run(run),
+                    },
+                )?;
+                written.insert(file);
+                total_runs += 1;
+            }
+            // Prune run documents from a previous save of this same spec
+            // version that are no longer in the store, plus `.tmp` leftovers
+            // of writes that crashed mid-flight (our own temp files were
+            // all renamed away by this point).
+            for entry in fs::read_dir(&runs_dir).map_err(|e| io_err(&runs_dir, "listing", e))? {
+                let entry = entry.map_err(|e| io_err(&runs_dir, "listing", e))?;
+                let file_name = entry.file_name().to_string_lossy().into_owned();
+                let stale_doc = file_name.ends_with(".json") && !written.contains(&file_name);
+                if stale_doc || file_name.ends_with(".tmp") {
+                    let stale = entry.path();
+                    fs::remove_file(&stale).map_err(|e| io_err(&stale, "pruning", e))?;
+                }
+            }
+
+            manifest.specs.push(ManifestSpec {
+                name: name.clone(),
+                dir: dir_name,
+                fingerprint: fp_hex,
+            });
+        }
+
+        // Commit point: the manifest rename atomically switches loaders from
+        // the previous state to this one.
+        write_json_atomic(&dir.join("manifest.json"), &manifest)?;
+
+        // Garbage-collect spec directories the new manifest does not
+        // reference (left over from replaced spec versions), plus `.tmp`
+        // leftovers of crashed manifest/spec.json writes (the runs/ sweep
+        // above covers run documents).  Failures here are ignored: the
+        // store is already committed and orphans are inert.
+        let sweep_tmp = |d: &Path| {
+            if let Ok(entries) = fs::read_dir(d) {
+                for entry in entries.flatten() {
+                    if entry.file_name().to_string_lossy().ends_with(".tmp") {
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
+            }
+        };
+        sweep_tmp(dir);
+        if let Ok(entries) = fs::read_dir(&specs_root) {
+            let live: std::collections::BTreeSet<&str> =
+                manifest.specs.iter().map(|s| s.dir.as_str()).collect();
+            for entry in entries.flatten() {
+                if !live.contains(entry.file_name().to_string_lossy().as_ref()) {
+                    let _ = fs::remove_dir_all(entry.path());
+                } else {
+                    sweep_tmp(&entry.path());
+                }
+            }
+        }
+
+        Ok(SaveSummary { specs: manifest.specs.len(), runs: total_runs })
+    }
+
+    /// Loads a store previously written by [`WorkflowStore::save_to_dir`],
+    /// validating every document (see the [module docs](self)); corrupt,
+    /// truncated, hand-edited or version-mismatched input returns a
+    /// [`PersistError`] instead of panicking or loading garbage.
+    pub fn load_from_dir(dir: impl AsRef<Path>) -> Result<WorkflowStore, PersistError> {
+        let dir = dir.as_ref();
+        let manifest_path = dir.join("manifest.json");
+        let manifest: StoreManifest = read_json(&manifest_path)?;
+        if manifest.format != STORE_FORMAT {
+            return Err(format_err(
+                &manifest_path,
+                format!(
+                    "store format {} is not supported by this build (expected {STORE_FORMAT})",
+                    manifest.format
+                ),
+            ));
+        }
+
+        let store = WorkflowStore::new();
+        let mut seen_spec_names = std::collections::BTreeSet::new();
+        for entry in &manifest.specs {
+            check_dir_component(&manifest_path, &entry.dir)?;
+            if !seen_spec_names.insert(entry.name.clone()) {
+                return Err(format_err(
+                    &manifest_path,
+                    format!("specification {:?} is listed more than once", entry.name),
+                ));
+            }
+            let spec_dir = dir.join("specs").join(&entry.dir);
+            let spec_path = spec_dir.join("spec.json");
+            let manifest_fp = parse_fingerprint(&manifest_path, &entry.fingerprint)?;
+
+            let doc: SpecDocument = read_json(&spec_path)?;
+            if doc.format != STORE_FORMAT {
+                return Err(format_err(
+                    &spec_path,
+                    format!("document format {} (expected {STORE_FORMAT})", doc.format),
+                ));
+            }
+            let doc_fp = parse_fingerprint(&spec_path, &doc.fingerprint)?;
+            if doc_fp != manifest_fp {
+                return Err(format_err(
+                    &spec_path,
+                    format!(
+                        "fingerprint {} disagrees with the manifest entry {} — the document \
+                         was swapped or the manifest is stale",
+                        doc.fingerprint, entry.fingerprint
+                    ),
+                ));
+            }
+            let (rebuilt_fp, spec) = canonical_fingerprint(&spec_path, &doc.spec)?;
+            if rebuilt_fp != doc_fp {
+                return Err(format_err(
+                    &spec_path,
+                    format!(
+                        "specification content rebuilds to fingerprint {rebuilt_fp}, not the \
+                         recorded {doc_fp} — the document was corrupted or hand-edited"
+                    ),
+                ));
+            }
+            if spec.name() != entry.name {
+                return Err(format_err(
+                    &spec_path,
+                    format!(
+                        "specification is named {:?} but the manifest lists it as {:?}",
+                        spec.name(),
+                        entry.name
+                    ),
+                ));
+            }
+            let spec_arc = store.insert_spec(spec)?;
+
+            // Runs: every *.json in runs/ is a self-describing document.  A
+            // missing runs directory is a spec with no runs, not an error.
+            let runs_dir = spec_dir.join("runs");
+            let mut run_files: Vec<PathBuf> = match fs::read_dir(&runs_dir) {
+                Ok(entries) => entries
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+                    .collect(),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                Err(e) => return Err(io_err(&runs_dir, "listing", e)),
+            };
+            run_files.sort();
+            let mut seen_run_names = std::collections::BTreeSet::new();
+            for run_path in run_files {
+                let doc: RunDocument = read_json(&run_path)?;
+                if doc.format != STORE_FORMAT {
+                    return Err(format_err(
+                        &run_path,
+                        format!("document format {} (expected {STORE_FORMAT})", doc.format),
+                    ));
+                }
+                let run_fp = parse_fingerprint(&run_path, &doc.spec_fingerprint)?;
+                if run_fp != manifest_fp {
+                    // The PR-2 spec-version machinery, at the persistence
+                    // layer: a run document saved against a different
+                    // version of this specification must not sneak in.
+                    return Err(format_err(
+                        &run_path,
+                        format!(
+                            "run {:?} was saved against specification version {run_fp}, but \
+                             the stored specification is version {manifest_fp}; the run \
+                             predates a spec replacement and must be regenerated",
+                            doc.name
+                        ),
+                    ));
+                }
+                if doc.run.spec != entry.name {
+                    return Err(format_err(
+                        &run_path,
+                        format!(
+                            "run {:?} claims specification {:?}, but lives under {:?}",
+                            doc.name, doc.run.spec, entry.name
+                        ),
+                    ));
+                }
+                if !seen_run_names.insert(doc.name.clone()) {
+                    // Two documents claiming one run name would silently
+                    // shadow each other (last file wins); refuse instead —
+                    // mutually inconsistent documents must fail the load.
+                    return Err(format_err(
+                        &run_path,
+                        format!(
+                            "run name {:?} appears in more than one document of this \
+                             specification; delete one of the duplicates",
+                            doc.name
+                        ),
+                    ));
+                }
+                let run = doc
+                    .run
+                    .to_run(&spec_arc)
+                    .map_err(|source| PersistError::Tree { path: run_path.clone(), source })?;
+                store.insert_run(&doc.name, run)?;
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::DiffService;
+    use std::sync::Arc;
+    use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_run3, fig2_specification};
+
+    /// A scratch directory that cleans up after itself.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let path =
+                std::env::temp_dir().join(format!("wfdiff-persist-{tag}-{}", std::process::id()));
+            let _ = fs::remove_dir_all(&path);
+            fs::create_dir_all(&path).unwrap();
+            TempDir(path)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn seeded_store() -> Arc<WorkflowStore> {
+        let store = Arc::new(WorkflowStore::new());
+        let spec = store.insert_spec(fig2_specification()).unwrap();
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        store.insert_run("r2", fig2_run2(&spec)).unwrap();
+        store.insert_run("r3", fig2_run3(&spec)).unwrap();
+        store
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_distances() {
+        let dir = TempDir::new("roundtrip");
+        let store = seeded_store();
+        let summary = store.save_to_dir(dir.path()).unwrap();
+        assert_eq!(summary, SaveSummary { specs: 1, runs: 3 });
+
+        let loaded = Arc::new(WorkflowStore::load_from_dir(dir.path()).unwrap());
+        assert_eq!(loaded.spec_names(), vec!["fig2".to_string()]);
+        assert_eq!(loaded.run_count(), 3);
+
+        let before = DiffService::new(Arc::clone(&store)).diff_all_pairs("fig2").unwrap();
+        let after = DiffService::new(Arc::clone(&loaded)).diff_all_pairs("fig2").unwrap();
+        assert_eq!(before.runs, after.runs);
+        assert_eq!(before.matrix, after.matrix, "distances survive persistence exactly");
+    }
+
+    #[test]
+    fn resave_prunes_removed_runs_and_replaced_specs() {
+        let dir = TempDir::new("resave");
+        let store = seeded_store();
+        store.save_to_dir(dir.path()).unwrap();
+
+        store.remove_run("fig2", "r2");
+        let summary = store.save_to_dir(dir.path()).unwrap();
+        assert_eq!(summary.runs, 2);
+        let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+        assert_eq!(loaded.run_names("fig2"), vec!["r1".to_string(), "r3".to_string()]);
+
+        // Replace the spec (new fingerprint → new directory); the old spec
+        // directory is garbage-collected after the manifest commit.
+        let mut b = wfdiff_sptree::SpecificationBuilder::new("fig2");
+        b.path(&["1", "2", "6", "7"]);
+        store.replace_spec(b.build().unwrap());
+        store.save_to_dir(dir.path()).unwrap();
+        let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+        assert_eq!(loaded.run_count(), 0);
+        let dirs: Vec<_> = fs::read_dir(dir.path().join("specs"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(dirs.len(), 1, "the replaced spec version's directory was collected");
+    }
+
+    #[test]
+    fn appended_run_documents_are_picked_up_without_a_manifest_rewrite() {
+        let dir = TempDir::new("append");
+        let store = seeded_store();
+        store.save_to_dir(dir.path()).unwrap();
+
+        // Simulate an external appender: write one more run document into
+        // the spec's runs directory, touching nothing else.
+        let manifest: StoreManifest = read_json(&dir.path().join("manifest.json")).unwrap();
+        let spec_dir = dir.path().join("specs").join(&manifest.specs[0].dir);
+        let spec = store.spec("fig2").unwrap();
+        let doc = RunDocument {
+            format: STORE_FORMAT,
+            name: "appended".to_string(),
+            spec_fingerprint: manifest.specs[0].fingerprint.clone(),
+            run: RunDescriptor::from_run(&fig2_run1(&spec)),
+        };
+        write_json_atomic(&spec_dir.join("runs").join("zz-appended.json"), &doc).unwrap();
+
+        let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+        assert_eq!(loaded.run_count(), 4);
+        assert!(loaded.run("fig2", "appended").is_some());
+    }
+
+    #[test]
+    fn corrupt_documents_are_rejected_with_context() {
+        let dir = TempDir::new("corrupt");
+        let store = seeded_store();
+        store.save_to_dir(dir.path()).unwrap();
+        let manifest: StoreManifest = read_json(&dir.path().join("manifest.json")).unwrap();
+        let spec_dir = dir.path().join("specs").join(&manifest.specs[0].dir);
+
+        // Truncated spec document → JSON error naming the file.
+        let spec_path = spec_dir.join("spec.json");
+        let original = fs::read_to_string(&spec_path).unwrap();
+        fs::write(&spec_path, &original[..original.len() / 2]).unwrap();
+        let err = WorkflowStore::load_from_dir(dir.path()).unwrap_err();
+        assert!(matches!(err, PersistError::Json { .. }), "got {err}");
+        assert!(err.to_string().contains("spec.json"));
+        fs::write(&spec_path, &original).unwrap();
+
+        // Hand-edited spec content → fingerprint mismatch.
+        fs::write(&spec_path, original.replace("\"1\"", "\"1x\"")).unwrap();
+        let err = WorkflowStore::load_from_dir(dir.path()).unwrap_err();
+        assert!(matches!(err, PersistError::Format { .. }), "got {err}");
+        assert!(err.to_string().contains("fingerprint"));
+        fs::write(&spec_path, &original).unwrap();
+
+        // Out-of-range node index in a run document → SpTreeError with the
+        // file attached, not a panic.
+        let run_path = fs::read_dir(spec_dir.join("runs"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "json"))
+            .unwrap();
+        let run_text = fs::read_to_string(&run_path).unwrap();
+        let mut doc: RunDocument = serde_json::from_str(&run_text).unwrap();
+        doc.run.edges.push((9999, 0));
+        fs::write(&run_path, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+        let err = WorkflowStore::load_from_dir(dir.path()).unwrap_err();
+        assert!(matches!(err, PersistError::Tree { .. }), "got {err}");
+        fs::write(&run_path, &run_text).unwrap();
+
+        // Stale run from another spec version → version mismatch.
+        let mut doc: RunDocument = serde_json::from_str(&run_text).unwrap();
+        doc.spec_fingerprint = format!("{:032x}", 0xdead_beefu128);
+        fs::write(&run_path, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+        let err = WorkflowStore::load_from_dir(dir.path()).unwrap_err();
+        assert!(err.to_string().contains("spec replacement"), "got {err}");
+        fs::write(&run_path, &run_text).unwrap();
+
+        // The repaired directory loads again.
+        assert_eq!(WorkflowStore::load_from_dir(dir.path()).unwrap().run_count(), 3);
+    }
+
+    #[test]
+    fn unsupported_versions_and_unsafe_dirs_are_rejected() {
+        let dir = TempDir::new("versions");
+        seeded_store().save_to_dir(dir.path()).unwrap();
+        let manifest_path = dir.path().join("manifest.json");
+        let original = fs::read_to_string(&manifest_path).unwrap();
+
+        fs::write(&manifest_path, original.replace("\"format\": 1", "\"format\": 99")).unwrap();
+        let err = WorkflowStore::load_from_dir(dir.path()).unwrap_err();
+        assert!(err.to_string().contains("format 99"));
+        // Saving over a store of another format is refused too: the save's
+        // garbage-collection would destroy data this build cannot load.
+        let err = seeded_store().save_to_dir(dir.path()).unwrap_err();
+        assert!(err.to_string().contains("refusing to overwrite"), "got {err}");
+
+        // A manifest smuggling a path-traversal directory entry is refused
+        // — including Windows drive-relative prefixes.
+        for evil in ["../outside", "C:evil", "a/b", "a\\b", ""] {
+            let mut manifest: StoreManifest = serde_json::from_str(&original).unwrap();
+            manifest.specs[0].dir = evil.to_string();
+            fs::write(&manifest_path, serde_json::to_string_pretty(&manifest).unwrap()).unwrap();
+            let err = WorkflowStore::load_from_dir(dir.path()).unwrap_err();
+            assert!(err.to_string().contains("plain directory name"), "{evil:?}: got {err}");
+        }
+
+        // Missing manifest: not a store directory.
+        fs::remove_file(&manifest_path).unwrap();
+        assert!(matches!(WorkflowStore::load_from_dir(dir.path()), Err(PersistError::Io { .. })));
+    }
+
+    #[test]
+    fn run_file_names_are_stable_across_resaves() {
+        // File names must be a function of the run name alone: if removing
+        // a run shifted the other runs' documents to different file names,
+        // a crash between the rewrite and the prune would leave two
+        // documents with one run name and the store would refuse to load.
+        let dir = TempDir::new("stable-names");
+        let store = seeded_store();
+        store.save_to_dir(dir.path()).unwrap();
+        let manifest: StoreManifest = read_json(&dir.path().join("manifest.json")).unwrap();
+        let runs_dir = dir.path().join("specs").join(&manifest.specs[0].dir).join("runs");
+        let files = |dir: &Path| -> std::collections::BTreeSet<String> {
+            fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect()
+        };
+        let before = files(&runs_dir);
+        assert_eq!(before.len(), 3);
+
+        store.remove_run("fig2", "r2");
+        store.save_to_dir(dir.path()).unwrap();
+        let after = files(&runs_dir);
+        assert_eq!(after.len(), 2);
+        assert!(after.is_subset(&before), "surviving runs kept their file names: {after:?}");
+    }
+
+    #[test]
+    fn crashed_tmp_files_are_swept_by_the_next_save() {
+        let dir = TempDir::new("tmp-sweep");
+        let store = seeded_store();
+        store.save_to_dir(dir.path()).unwrap();
+        let manifest: StoreManifest = read_json(&dir.path().join("manifest.json")).unwrap();
+        let runs_dir = dir.path().join("specs").join(&manifest.specs[0].dir).join("runs");
+        // A write that crashed between create and rename leaves a .tmp file.
+        let orphan = runs_dir.join("gone-00000000.json.tmp");
+        fs::write(&orphan, "{").unwrap();
+        store.save_to_dir(dir.path()).unwrap();
+        assert!(!orphan.exists(), "stale tmp files are swept");
+        assert_eq!(WorkflowStore::load_from_dir(dir.path()).unwrap().run_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_run_documents_fail_the_load() {
+        let dir = TempDir::new("dup-run");
+        let store = seeded_store();
+        store.save_to_dir(dir.path()).unwrap();
+        let manifest: StoreManifest = read_json(&dir.path().join("manifest.json")).unwrap();
+        let spec_dir = dir.path().join("specs").join(&manifest.specs[0].dir);
+        // An appended document reusing the name "r1" must not silently
+        // shadow the original r1 (its file sorts last and would win).
+        let spec = store.spec("fig2").unwrap();
+        let doc = RunDocument {
+            format: STORE_FORMAT,
+            name: "r1".to_string(),
+            spec_fingerprint: manifest.specs[0].fingerprint.clone(),
+            run: RunDescriptor::from_run(&fig2_run2(&spec)),
+        };
+        write_json_atomic(&spec_dir.join("runs").join("zz-dup.json"), &doc).unwrap();
+        let err = WorkflowStore::load_from_dir(dir.path()).unwrap_err();
+        assert!(matches!(err, PersistError::Format { .. }), "got {err}");
+        assert!(err.to_string().contains("more than one document"), "got {err}");
+    }
+
+    #[test]
+    fn save_never_overwrites_a_directory_owned_by_another_spec() {
+        // "pipeline v1" and "pipeline_v1" share a slug; give them the same
+        // structure so they also share a fingerprint — and therefore compete
+        // for the same directory name.
+        let dir = TempDir::new("dir-owner");
+        let build = |name: &str| {
+            let mut b = wfdiff_sptree::SpecificationBuilder::new(name);
+            b.path(&["a", "b", "c"]);
+            b.build().unwrap()
+        };
+        let store = WorkflowStore::new();
+        store.insert_spec(build("pipeline v1")).unwrap();
+        store.insert_spec(build("pipeline_v1")).unwrap();
+        store.save_to_dir(dir.path()).unwrap();
+        let manifest: StoreManifest = read_json(&dir.path().join("manifest.json")).unwrap();
+        let dir_of = |m: &StoreManifest, name: &str| {
+            m.specs.iter().find(|s| s.name == name).unwrap().dir.clone()
+        };
+        let kept_dir = dir_of(&manifest, "pipeline_v1");
+        assert_ne!(kept_dir, dir_of(&manifest, "pipeline v1"));
+
+        // Removing the first claimant must not let the survivor migrate
+        // into (and overwrite) the first one's still-committed directory.
+        store.remove_spec("pipeline v1");
+        store.save_to_dir(dir.path()).unwrap();
+        let manifest: StoreManifest = read_json(&dir.path().join("manifest.json")).unwrap();
+        assert_eq!(dir_of(&manifest, "pipeline_v1"), kept_dir);
+        assert_eq!(WorkflowStore::load_from_dir(dir.path()).unwrap().spec_names().len(), 1);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let dir = TempDir::new("empty");
+        let store = WorkflowStore::new();
+        assert_eq!(store.save_to_dir(dir.path()).unwrap(), SaveSummary { specs: 0, runs: 0 });
+        let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+        assert!(loaded.spec_names().is_empty());
+    }
+
+    #[test]
+    fn slugs_tame_hostile_names() {
+        let dir = TempDir::new("slugs");
+        let store = WorkflowStore::new();
+        let mut b = wfdiff_sptree::SpecificationBuilder::new("../we ird/√name");
+        b.path(&["a", "b"]);
+        let spec = store.insert_spec(b.build().unwrap()).unwrap();
+        store
+            .insert_run("run/with/slashes", spec.execute(&mut wfdiff_sptree::FullDecider).unwrap())
+            .unwrap();
+        store.save_to_dir(dir.path()).unwrap();
+        let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+        assert_eq!(loaded.spec_names(), vec!["../we ird/√name".to_string()]);
+        assert!(loaded.run("../we ird/√name", "run/with/slashes").is_some());
+    }
+}

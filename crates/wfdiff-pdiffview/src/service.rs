@@ -70,6 +70,15 @@ impl From<DiffError> for ServiceError {
     }
 }
 
+/// What a [`DiffService::warm_start`] pass prepared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStartReport {
+    /// Number of specifications whose runs were prepared.
+    pub specs: usize,
+    /// Number of runs replayed through `prepare`.
+    pub runs: usize,
+}
+
 /// One distance of a batch request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PairDistance {
@@ -212,6 +221,32 @@ impl DiffService {
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok((spec, runs))
+    }
+
+    /// Primes the shared cache from the store's current contents: every run
+    /// of every specification is replayed through the engine's `prepare`
+    /// path on the worker pool, so the Algorithm-3 deletion tables for every
+    /// distinct subtree fingerprint are resident before the first query.
+    ///
+    /// This is the companion of [`WorkflowStore::load_from_dir`]: after a
+    /// process restart, `load` + `warm_start` moves the per-run preparation
+    /// cost out of the first `diff`/`diff_all_pairs` call (which then only
+    /// pays for the pair DP).  Calling it on a store that is already warm is
+    /// harmless — preparation hits the cache and returns immediately.
+    ///
+    /// [`WorkflowStore::load_from_dir`]: crate::store::WorkflowStore::load_from_dir
+    pub fn warm_start(&self) -> Result<WarmStartReport, ServiceError> {
+        let snapshot = self.store.snapshot_all();
+        let mut report = WarmStartReport { specs: 0, runs: 0 };
+        for (_, (spec, named_runs)) in &snapshot {
+            report.specs += 1;
+            let engine = WorkflowDiff::new(spec, self.cost.as_ref());
+            let cache = self.cache.as_ref();
+            let runs: Vec<&Arc<Run>> = named_runs.iter().map(|(_, r)| r).collect();
+            self.run_jobs(&runs, |r| engine.prepare(r, Some(cache)).map(|_| ()))?;
+            report.runs += runs.len();
+        }
+        Ok(report)
     }
 
     /// Computes the edit distance between two stored runs, sharing and
@@ -403,6 +438,29 @@ mod tests {
         assert_eq!(warm, cold);
         assert_eq!(after_warm.misses, after_cold.misses);
         assert!(after_warm.hits > after_cold.hits);
+    }
+
+    #[test]
+    fn warm_start_primes_the_cache_for_the_first_query() {
+        let store = seeded_store();
+        // Cold reference service for the expected distances.
+        let cold = DiffService::new(Arc::clone(&store)).diff_all_pairs("fig2").unwrap();
+
+        let service = DiffService::builder(Arc::clone(&store)).threads(2).build();
+        let report = service.warm_start().unwrap();
+        assert_eq!(report, WarmStartReport { specs: 1, runs: 3 });
+        let after_warm = service.cache_stats();
+
+        // The first query after a warm start prepares nothing new: every
+        // per-subtree deletion table is already resident, so cache misses do
+        // not grow during preparation (only the pair DP may add entries).
+        let first = service.diff_all_pairs("fig2").unwrap();
+        assert_eq!(first.matrix, cold.matrix);
+        assert!(service.cache_stats().hits > after_warm.hits);
+
+        // Warming an already-warm service is a no-op that only adds hits.
+        let again = service.warm_start().unwrap();
+        assert_eq!(again, report);
     }
 
     #[test]

@@ -95,10 +95,31 @@ pub type SpecSnapshot = (Arc<Specification>, Vec<(String, Arc<Run>)>);
 ///
 /// See the [module docs](self) for the locking discipline and the
 /// specification-versioning rules.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct WorkflowStore {
     specs: RwLock<BTreeMap<String, Arc<Specification>>>,
     runs: RwLock<BTreeMap<(String, String), Arc<Run>>>,
+    /// Serialises [`WorkflowStore::save_to_dir`] calls (two interleaved
+    /// saves could tear each other's temp files and garbage-collection);
+    /// held for the whole save, never while `specs`/`runs` are locked.
+    pub(crate) save_lock: parking_lot::Mutex<()>,
+    /// Memoised persistent fingerprints, keyed by in-memory arena
+    /// fingerprint: both are deterministic functions of the specification,
+    /// so repeated saves skip the full descriptor → specification rebuild.
+    /// Bounded by the number of distinct spec versions ever saved.
+    pub(crate) persist_fp_cache: parking_lot::Mutex<
+        std::collections::HashMap<wfdiff_sptree::Fingerprint, wfdiff_sptree::Fingerprint>,
+    >,
+}
+
+/// Iterates one specification's runs in O(log n + k) by ranging over the
+/// `(spec, run)`-keyed map instead of scanning it.
+fn runs_of<'a>(
+    runs: &'a BTreeMap<(String, String), Arc<Run>>,
+    spec_name: &str,
+) -> impl Iterator<Item = (&'a (String, String), &'a Arc<Run>)> {
+    let owned = spec_name.to_string();
+    runs.range((owned.clone(), String::new())..).take_while(move |((s, _), _)| *s == owned)
 }
 
 impl WorkflowStore {
@@ -124,7 +145,7 @@ impl WorkflowStore {
         let runs = self.runs.read();
         if let Some(existing) = specs.get(&name) {
             if existing.tree() != arc.tree() {
-                let run_count = runs.keys().filter(|(s, _)| *s == name).count();
+                let run_count = runs_of(&runs, &name).count();
                 if run_count > 0 {
                     return Err(StoreError::SpecConflict { name, runs: run_count });
                 }
@@ -206,7 +227,7 @@ impl WorkflowStore {
 
     /// Names of the runs stored for a specification.
     pub fn run_names(&self, spec_name: &str) -> Vec<String> {
-        self.runs.read().keys().filter(|(s, _)| s == spec_name).map(|(_, r)| r.clone()).collect()
+        runs_of(&self.runs.read(), spec_name).map(|((_, r), _)| r.clone()).collect()
     }
 
     /// Resolves a specification and a few named runs in one consistent
@@ -239,12 +260,31 @@ impl WorkflowStore {
         let specs = self.specs.read();
         let runs = self.runs.read();
         let spec = specs.get(spec_name).cloned()?;
-        let spec_runs = runs
-            .iter()
-            .filter(|((s, _), _)| s == spec_name)
-            .map(|((_, name), r)| (name.clone(), r.clone()))
-            .collect();
+        let spec_runs =
+            runs_of(&runs, spec_name).map(|((_, name), r)| (name.clone(), r.clone())).collect();
         Some((spec, spec_runs))
+    }
+
+    /// A consistent view of **every** stored specification and its runs,
+    /// sorted by specification name (and runs by run name), taken in one
+    /// critical section under the store's lock order.
+    ///
+    /// This is the snapshot [`WorkflowStore::save_to_dir`] persists and
+    /// [`crate::service::DiffService::warm_start`] replays: because both
+    /// maps are read under the same lock acquisition, no concurrent writer
+    /// can interleave a spec replacement between two specifications of the
+    /// snapshot.
+    pub fn snapshot_all(&self) -> Vec<(String, SpecSnapshot)> {
+        let specs = self.specs.read();
+        let runs = self.runs.read();
+        specs
+            .iter()
+            .map(|(name, spec)| {
+                let spec_runs: Vec<(String, Arc<Run>)> =
+                    runs_of(&runs, name).map(|((_, r), run)| (r.clone(), run.clone())).collect();
+                (name.clone(), (Arc::clone(spec), spec_runs))
+            })
+            .collect()
     }
 
     /// Removes a run; returns `true` if it existed.

@@ -13,7 +13,10 @@
 //!   algorithm and minimum-cost edit scripts (Algorithms 3, 4 and 6),
 //! * [`workloads`] — the paper's reference workflows and random workload
 //!   generators,
-//! * [`pdiffview`] — the headless provenance-difference viewer.
+//! * [`pdiffview`] — the headless provenance-difference viewer: the
+//!   workflow store (with durable, versioned on-disk persistence in
+//!   `pdiffview::persist`), diff sessions, the batch diff service and its
+//!   warm-start path, rendering and clustering.
 //!
 //! # Quickstart
 //!

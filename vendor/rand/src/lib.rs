@@ -1,4 +1,4 @@
-//! Offline shim for the subset of [`rand`] 0.8 used by this workspace.
+//! Offline shim for the subset of `rand` 0.8 used by this workspace.
 //!
 //! Provides the `RngCore` / `Rng` / `SeedableRng` traits with `gen`,
 //! `gen_range`, `gen_bool` and `seq::SliceRandom::shuffle`.  The statistical
