@@ -1,0 +1,80 @@
+//! Criterion bench for the networked diff server: single-client round-trip
+//! latency of the hot endpoints (`/healthz`, cache-warm `/diff`) over a real
+//! loopback socket, isolating the HTTP + JSON + dispatch overhead the serve
+//! layer adds on top of the in-process `DiffService` call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use wfdiff_bench::batch::{generate_workload, BatchConfig};
+use wfdiff_pdiffview::serve::{ServeConfig, Server};
+use wfdiff_pdiffview::{DiffService, WorkflowStore};
+
+fn request(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, path: &str) -> String {
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+        .expect("write request");
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status line");
+    assert!(status.contains("200"), "{status}");
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header line");
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    String::from_utf8(body).expect("utf-8 body")
+}
+
+fn bench_serve_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_roundtrip");
+    group.sample_size(20);
+
+    let config = BatchConfig::fig14(40, 10);
+    let (spec, runs) = generate_workload(&config);
+    let spec_name = spec.name().to_string();
+    let store = Arc::new(WorkflowStore::new());
+    store.insert_spec(spec).expect("fresh store");
+    for (i, run) in runs.into_iter().enumerate() {
+        store.insert_run(&format!("run{i:03}"), run).expect("spec stored");
+    }
+    let service = Arc::new(DiffService::builder(store).threads(2).build());
+    // In-process baseline for comparison, and cache warm-up in one.
+    service.diff_all_pairs(&spec_name).expect("warm-up");
+    let handle = Server::bind(service.clone(), ServeConfig { threads: 2, ..Default::default() })
+        .expect("bind")
+        .start()
+        .expect("start");
+
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+
+    group.bench_function("inprocess_warm_diff", |b| {
+        b.iter(|| service.diff(&spec_name, "run000", "run001").expect("diff"))
+    });
+    group.bench_function("http_healthz", |b| {
+        b.iter(|| request(&mut stream, &mut reader, "/healthz"))
+    });
+    let diff_path = format!("/diff?spec={}&a=run000&b=run001", spec_name.replace(' ', "%20"));
+    group.bench_function("http_warm_diff", |b| {
+        b.iter(|| request(&mut stream, &mut reader, &diff_path))
+    });
+
+    drop((stream, reader));
+    handle.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_roundtrip);
+criterion_main!(benches);

@@ -1,12 +1,13 @@
 //! Measures the batch diff engine: cold-vs-warm-cache and 1-vs-N-thread
 //! `diff_all_pairs` throughput against the serial unmemoised baseline, on the
 //! Fig. 12 (branch-choice) and Fig. 14 (fork/loop) generated workloads.
-//! Writes `batch_diff.csv`.
+//! Writes `batch_diff.csv` and machine-readable `BENCH_batch_diff.json`.
 //!
 //! Usage: `batch_diff [runs] [spec_edges] [threads...]`
 //! (defaults: 50 runs, 100-edge specifications, 1 and all available CPUs).
 
 use wfdiff_bench::batch::{render, run, BatchConfig};
+use wfdiff_bench::benchjson::{write_bench_json, BatchReportJson};
 use wfdiff_bench::csvout::{fmt, write_csv};
 
 fn main() {
@@ -17,6 +18,7 @@ fn main() {
         args[3.min(args.len())..].iter().filter_map(|s| s.parse().ok()).collect();
 
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut reports: Vec<BatchReportJson> = Vec::new();
     let mut all_match = true;
     for mut config in [BatchConfig::fig12(edges, runs), BatchConfig::fig14(edges, runs)] {
         if !threads.is_empty() {
@@ -26,6 +28,7 @@ fn main() {
         print!("{}", render(&report));
         println!();
         all_match &= report.distances_match;
+        reports.push(BatchReportJson::from(&report));
         for p in &report.points {
             rows.push(vec![
                 report.label.clone(),
@@ -58,6 +61,7 @@ fn main() {
         &rows,
     )
     .expect("write batch_diff.csv");
-    eprintln!("wrote batch_diff.csv");
+    write_bench_json("BENCH_batch_diff.json", &reports).expect("write BENCH_batch_diff.json");
+    eprintln!("wrote batch_diff.csv and BENCH_batch_diff.json");
     assert!(all_match, "memoised distances diverged from the unmemoised baseline");
 }

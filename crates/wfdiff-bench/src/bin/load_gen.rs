@@ -1,0 +1,81 @@
+//! Closed-loop load generator against a live in-process `wfdiff_serve`
+//! server: mixed read/diff/insert traffic from 1..N keep-alive clients over
+//! real loopback sockets, with every served distance checked against a
+//! local recompute.  Writes `load_gen.csv` and machine-readable
+//! `BENCH_serve.json`.
+//!
+//! Usage: `load_gen [runs] [spec_edges] [requests_per_client] [clients...]`
+//! (defaults: 50 runs, 60-edge specification, 25 requests per client,
+//! client counts 1 2 4).
+//!
+//! Exits non-zero if any protocol error or distance mismatch occurred.
+
+use wfdiff_bench::benchjson::write_bench_json;
+use wfdiff_bench::csvout::{fmt, write_csv};
+use wfdiff_bench::loadgen::{render, run, LoadGenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let edges: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let requests: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(25);
+    let clients: Vec<usize> =
+        args[4.min(args.len())..].iter().filter_map(|s| s.parse().ok()).collect();
+
+    let mut config = LoadGenConfig::new(runs, edges);
+    config.requests_per_client = requests;
+    if !clients.is_empty() {
+        config.clients = clients;
+    }
+
+    let report = run(&config);
+    print!("{}", render(&report));
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for round in &report.rounds {
+        for op in &round.ops {
+            rows.push(vec![
+                report.label.clone(),
+                round.clients.to_string(),
+                op.op.clone(),
+                op.count.to_string(),
+                fmt(round.wall_ms),
+                fmt(round.throughput_rps),
+                op.p50_us.to_string(),
+                op.p90_us.to_string(),
+                op.p99_us.to_string(),
+                op.max_us.to_string(),
+                round.protocol_errors.to_string(),
+                round.distance_mismatches.to_string(),
+            ]);
+        }
+    }
+    write_csv(
+        "load_gen.csv",
+        &[
+            "workload",
+            "clients",
+            "op",
+            "count",
+            "wall_ms",
+            "throughput_rps",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "max_us",
+            "protocol_errors",
+            "distance_mismatches",
+        ],
+        &rows,
+    )
+    .expect("write load_gen.csv");
+    write_bench_json("BENCH_serve.json", &report).expect("write BENCH_serve.json");
+    eprintln!("wrote load_gen.csv and BENCH_serve.json");
+
+    assert_eq!(report.protocol_errors(), 0, "the load run hit protocol errors");
+    assert_eq!(
+        report.distance_mismatches(),
+        0,
+        "served distances diverged from the local recompute"
+    );
+}

@@ -1,7 +1,7 @@
 //! Measures the persistence subsystem: save/load wall time and the
 //! first-query latency of a cold-loaded vs warm-started `DiffService` on the
 //! Fig. 12 (branch-choice) and Fig. 14 (fork/loop) generated workloads.
-//! Writes `warm_start.csv`.
+//! Writes `warm_start.csv` and machine-readable `BENCH_warm_start.json`.
 //!
 //! Usage: `warm_start [runs] [spec_edges] [store_dir]`
 //! (defaults: 50 runs, 100-edge specifications, a directory under the
@@ -9,6 +9,7 @@
 
 use std::path::PathBuf;
 use wfdiff_bench::batch::BatchConfig;
+use wfdiff_bench::benchjson::{write_bench_json, WarmStartJson};
 use wfdiff_bench::csvout::{fmt, write_csv};
 use wfdiff_bench::warmstart::{render, run};
 
@@ -21,12 +22,14 @@ fn main() {
     });
 
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut reports: Vec<WarmStartJson> = Vec::new();
     let mut all_match = true;
     for config in [BatchConfig::fig12(edges, runs), BatchConfig::fig14(edges, runs)] {
         let row = run(&config, &dir.join(&config.label));
         print!("{}", render(&row));
         println!();
         all_match &= row.distances_match;
+        reports.push(WarmStartJson::from(&row));
         rows.push(vec![
             row.label.clone(),
             row.runs.to_string(),
@@ -53,6 +56,10 @@ fn main() {
         &rows,
     )
     .expect("write warm_start.csv");
-    eprintln!("wrote warm_start.csv (store directories under {})", dir.display());
+    write_bench_json("BENCH_warm_start.json", &reports).expect("write BENCH_warm_start.json");
+    eprintln!(
+        "wrote warm_start.csv and BENCH_warm_start.json (store directories under {})",
+        dir.display()
+    );
     assert!(all_match, "persisted distances diverged from the in-memory store");
 }

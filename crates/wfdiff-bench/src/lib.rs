@@ -10,11 +10,13 @@
 //! binary accepts arguments to scale the workload up to the paper's settings.
 
 pub mod batch;
+pub mod benchjson;
 pub mod csvout;
 pub mod fig11;
 pub mod fig12;
 pub mod fig14;
 pub mod fig16;
+pub mod loadgen;
 pub mod table1;
 pub mod warmstart;
 

@@ -1,0 +1,566 @@
+//! The `load_gen` experiment: closed-loop, multi-client load generation
+//! against a live `wfdiff-pdiffview` diff server over real TCP sockets.
+//!
+//! The scenario is the ROADMAP's "remote client" family: a server process
+//! loads a persisted store, warm-starts its cache and serves mixed traffic —
+//! store reads (`GET /specs`, `GET /specs/{slug}/runs`), cache-backed diffs
+//! (`GET /diff`) and durable run inserts (`POST /runs`) — to 1..N concurrent
+//! clients.  Each round:
+//!
+//! 1. a fresh store (one generated specification, `runs` runs) is saved to a
+//!    scratch directory, loaded back and served by an in-process
+//!    [`Server`] on an ephemeral loopback
+//!    port (real sockets, real persistence — only the process boundary is
+//!    elided),
+//! 2. `clients` closed-loop worker threads each open one keep-alive
+//!    connection and issue `requests_per_client` requests drawn from the
+//!    configured mix, measuring per-request latency,
+//! 3. every `GET /diff` distance is checked against a **local recompute**
+//!    (an independent in-process [`DiffService`] over the same workload);
+//!    any divergence counts in [`LoadRound::distance_mismatches`],
+//! 4. any non-2xx response or framing failure counts in
+//!    [`LoadRound::protocol_errors`].
+//!
+//! A healthy run reports **zero** protocol errors and **zero** mismatches;
+//! the `load_gen` binary exits non-zero otherwise and writes the full report
+//! as machine-readable `BENCH_serve.json`.
+
+use crate::batch::{generate_workload, BatchConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use wfdiff_pdiffview::serve::{ServeConfig, Server};
+use wfdiff_pdiffview::{DiffService, RunDescriptor, WorkflowStore};
+use wfdiff_sptree::Run;
+use wfdiff_workloads::runs::generate_run;
+
+/// Configuration of one load-generation experiment.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Workload label for the report.
+    pub label: String,
+    /// Number of runs in the served collection.
+    pub runs: usize,
+    /// Specification size in edges.
+    pub spec_edges: usize,
+    /// Requests each client issues per round.
+    pub requests_per_client: usize,
+    /// Client counts to measure, one round per entry.
+    pub clients: Vec<usize>,
+    /// Server worker-pool size (HTTP workers and diff threads).
+    pub server_threads: usize,
+    /// Relative weights of the (read, diff, insert) operations in the mix.
+    pub mix: [u32; 3],
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LoadGenConfig {
+    /// The default mixed workload over a Fig. 14-style store.
+    pub fn new(runs: usize, spec_edges: usize) -> Self {
+        LoadGenConfig {
+            label: format!("serve(r={runs},e={spec_edges})"),
+            runs,
+            spec_edges,
+            requests_per_client: 25,
+            clients: vec![1, 2, 4],
+            server_threads: 4,
+            mix: [2, 5, 1],
+            seed: 0x5E17E,
+        }
+    }
+}
+
+/// Latency percentiles of one operation class in one round.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpStats {
+    /// Operation name (`read`, `diff` or `insert`).
+    pub op: String,
+    /// Number of requests issued.
+    pub count: usize,
+    /// Median latency in microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+    /// Worst observed latency in microseconds.
+    pub max_us: u64,
+}
+
+/// One measured client count.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadRound {
+    /// Number of concurrent closed-loop clients.
+    pub clients: usize,
+    /// Total requests completed across all clients.
+    pub requests: usize,
+    /// Wall time of the whole round in milliseconds.
+    pub wall_ms: f64,
+    /// Aggregate throughput in requests per second.
+    pub throughput_rps: f64,
+    /// Non-2xx responses and framing/transport failures (must be 0).
+    pub protocol_errors: usize,
+    /// Served distances that diverged from the local recompute (must be 0).
+    pub distance_mismatches: usize,
+    /// Per-operation latency percentiles.
+    pub ops: Vec<OpStats>,
+}
+
+/// The full result of one experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    /// Workload label.
+    pub label: String,
+    /// Number of runs in the served collection.
+    pub runs: usize,
+    /// Specification size in edges.
+    pub spec_edges: usize,
+    /// Requests per client per round.
+    pub requests_per_client: usize,
+    /// Server worker-pool size.
+    pub server_threads: usize,
+    /// Operation mix weights (read, diff, insert).
+    pub mix: Vec<u32>,
+    /// One entry per measured client count.
+    pub rounds: Vec<LoadRound>,
+}
+
+impl ServeBenchReport {
+    /// Sum of protocol errors across rounds.
+    pub fn protocol_errors(&self) -> usize {
+        self.rounds.iter().map(|r| r.protocol_errors).sum()
+    }
+
+    /// Sum of distance mismatches across rounds.
+    pub fn distance_mismatches(&self) -> usize {
+        self.rounds.iter().map(|r| r.distance_mismatches).sum()
+    }
+}
+
+/// What one client thread measured.
+struct ClientResult {
+    /// `(op index, latency in microseconds)` per completed request.
+    latencies: Vec<(usize, u64)>,
+    protocol_errors: usize,
+    distance_mismatches: usize,
+}
+
+const OPS: [&str; 3] = ["read", "diff", "insert"];
+
+/// Runs the experiment: one server + client fleet per configured client
+/// count, against freshly saved copies of the same generated workload.
+pub fn run(config: &LoadGenConfig) -> ServeBenchReport {
+    let (spec, runs) = generate_workload(&batch_config(config));
+    let spec_name = spec.name().to_string();
+
+    // Local recompute: an independent service over the identical workload.
+    // The served distances must match these entries exactly.
+    let local_store = Arc::new(WorkflowStore::new());
+    let local_spec = local_store.insert_spec(spec.clone()).expect("fresh store has no conflict");
+    for (i, run) in runs.iter().enumerate() {
+        local_store.insert_run(&run_name(i), run.clone()).expect("spec is stored");
+    }
+    let reference = DiffService::new(Arc::clone(&local_store))
+        .diff_all_pairs(&spec_name)
+        .expect("valid workload");
+
+    let mut rounds = Vec::new();
+    for &clients in &config.clients {
+        rounds.push(run_round(config, &spec_name, &local_spec, &runs, &reference, clients));
+    }
+
+    ServeBenchReport {
+        label: config.label.clone(),
+        runs: runs.len(),
+        spec_edges: config.spec_edges,
+        requests_per_client: config.requests_per_client,
+        server_threads: config.server_threads,
+        mix: config.mix.to_vec(),
+        rounds,
+    }
+}
+
+fn batch_config(config: &LoadGenConfig) -> BatchConfig {
+    let mut b = BatchConfig::fig14(config.spec_edges, config.runs);
+    b.label = config.label.clone();
+    b.seed = config.seed;
+    b
+}
+
+fn run_name(i: usize) -> String {
+    format!("run{i:03}")
+}
+
+fn run_round(
+    config: &LoadGenConfig,
+    spec_name: &str,
+    local_spec: &Arc<wfdiff_sptree::Specification>,
+    runs: &[Run],
+    reference: &wfdiff_pdiffview::AllPairsResult,
+    clients: usize,
+) -> LoadRound {
+    // A fresh durable store per round, served exactly like production:
+    // save → load (full validation) → warm start → serve with persistence.
+    let dir = scratch_dir(clients);
+    let staging = Arc::new(WorkflowStore::new());
+    staging.insert_spec(local_spec.as_ref().clone()).expect("fresh store has no conflict");
+    for (i, run) in runs.iter().enumerate() {
+        staging.insert_run(&run_name(i), run.clone()).expect("spec is stored");
+    }
+    staging.save_to_dir(&dir).expect("save succeeds");
+    let served = Arc::new(WorkflowStore::load_from_dir(&dir).expect("load succeeds"));
+    let service = Arc::new(DiffService::builder(served).threads(config.server_threads).build());
+    service.warm_start().expect("warm start succeeds");
+    let server = Server::bind(
+        service,
+        ServeConfig {
+            threads: config.server_threads,
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let handle = server.start().expect("spawn workers");
+    let addr = handle.addr();
+
+    let started = Instant::now();
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|idx| {
+                let spec_name = spec_name.to_string();
+                scope.spawn(move || {
+                    client_loop(config, &spec_name, local_spec, runs, reference, addr, clients, idx)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("clients do not panic")).collect()
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Aggregate.
+    let mut per_op: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    let mut protocol_errors = 0;
+    let mut distance_mismatches = 0;
+    let mut requests = 0;
+    for r in results {
+        requests += r.latencies.len();
+        protocol_errors += r.protocol_errors;
+        distance_mismatches += r.distance_mismatches;
+        for (op, us) in r.latencies {
+            per_op[op].push(us);
+        }
+    }
+    let ops = OPS
+        .iter()
+        .zip(per_op.iter_mut())
+        .filter(|(_, lat)| !lat.is_empty())
+        .map(|(name, lat)| {
+            lat.sort_unstable();
+            OpStats {
+                op: (*name).to_string(),
+                count: lat.len(),
+                p50_us: percentile(lat, 50.0),
+                p90_us: percentile(lat, 90.0),
+                p99_us: percentile(lat, 99.0),
+                max_us: *lat.last().expect("non-empty"),
+            }
+        })
+        .collect();
+
+    LoadRound {
+        clients,
+        requests,
+        wall_ms,
+        throughput_rps: if wall_ms > 0.0 { requests as f64 / (wall_ms / 1e3) } else { 0.0 },
+        protocol_errors,
+        distance_mismatches,
+        ops,
+    }
+}
+
+/// Index into a **sorted** latency vector at percentile `p`.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn client_loop(
+    config: &LoadGenConfig,
+    spec_name: &str,
+    local_spec: &Arc<wfdiff_sptree::Specification>,
+    runs: &[Run],
+    reference: &wfdiff_pdiffview::AllPairsResult,
+    addr: std::net::SocketAddr,
+    clients: usize,
+    idx: usize,
+) -> ClientResult {
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(config.seed ^ ((clients as u64) << 32) ^ (idx as u64 + 1));
+    let mut result =
+        ClientResult { latencies: Vec::new(), protocol_errors: 0, distance_mismatches: 0 };
+    let mut client = match HttpClient::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            result.protocol_errors += config.requests_per_client;
+            return result;
+        }
+    };
+    let total_weight: u32 = config.mix.iter().sum::<u32>().max(1);
+    let run_gen = BatchConfig::fig14(config.spec_edges, config.runs).run_gen;
+
+    for i in 0..config.requests_per_client {
+        let roll = rng.gen_range(0..total_weight);
+        let op = if roll < config.mix[0] {
+            0
+        } else if roll < config.mix[0] + config.mix[1] {
+            1
+        } else {
+            2
+        };
+        let started = Instant::now();
+        let outcome = match op {
+            0 => {
+                // Alternate the two snapshot reads.
+                let path = if i % 2 == 0 {
+                    "/specs".to_string()
+                } else {
+                    format!("/specs/{}/runs", encode(spec_name))
+                };
+                client.request("GET", &path, None).map(|(status, _)| status == 200)
+            }
+            1 => {
+                let a = rng.gen_range(0..runs.len());
+                let b = rng.gen_range(0..runs.len());
+                let path = format!(
+                    "/diff?spec={}&a={}&b={}",
+                    encode(spec_name),
+                    encode(&run_name(a)),
+                    encode(&run_name(b))
+                );
+                client.request("GET", &path, None).map(|(status, body)| {
+                    if status != 200 {
+                        return false;
+                    }
+                    match parse_distance(&body) {
+                        // Served distances must be bit-identical to the
+                        // local recompute: the JSON float round-trips
+                        // exactly.  Look the pair up by *name* — the
+                        // all-pairs matrix is in sorted-run-name order,
+                        // which diverges from generation order once names
+                        // stop zero-padding (>= 1000 runs).
+                        Some(d) => {
+                            let expected = reference
+                                .distance(&run_name(a), &run_name(b))
+                                .expect("queried runs are in the reference matrix");
+                            if d != expected {
+                                result.distance_mismatches += 1;
+                            }
+                            true
+                        }
+                        None => false,
+                    }
+                })
+            }
+            _ => {
+                let fresh = generate_run(local_spec, &run_gen, &mut rng);
+                let descriptor = RunDescriptor::from_run(&fresh);
+                let body = format!(
+                    "{{\"name\": \"lg-{clients}-{idx}-{i}\", \"run\": {}}}",
+                    descriptor.to_json()
+                );
+                client.request("POST", "/runs", Some(&body)).map(|(status, _)| status == 201)
+            }
+        };
+        let us = started.elapsed().as_micros() as u64;
+        match outcome {
+            Ok(true) => result.latencies.push((op, us)),
+            Ok(false) => result.protocol_errors += 1,
+            Err(_) => {
+                result.protocol_errors += 1;
+                // The connection is unusable after a transport error;
+                // reconnect and keep the round going.
+                match HttpClient::connect(addr) {
+                    Ok(c) => client = c,
+                    Err(_) => {
+                        result.protocol_errors += config.requests_per_client - i - 1;
+                        return result;
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Extracts the `distance` field from a `/diff` response body.
+fn parse_distance(body: &str) -> Option<f64> {
+    /// Probe: unknown fields are ignored by the deserializer.
+    #[derive(serde::Deserialize)]
+    struct Probe {
+        distance: f64,
+    }
+    serde_json::from_str::<Probe>(body).ok().map(|p| p.distance)
+}
+
+/// Percent-encodes a path/query component (RFC 3986 unreserved set).
+fn encode(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~') {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+fn scratch_dir(round: usize) -> PathBuf {
+    std::env::temp_dir().join(format!("wfdiff-loadgen-{}-{round}", std::process::id()))
+}
+
+/// A minimal keep-alive HTTP/1.1 client over one `TcpStream`.
+struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    fn connect(addr: std::net::SocketAddr) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient { reader: BufReader::new(stream), writer })
+    }
+
+    /// Issues one request and returns `(status, body)`.
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+
+        let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what);
+        let mut status_line = String::new();
+        if self.reader.read_line(&mut status_line)? == 0 {
+            return Err(bad("connection closed before the status line"));
+        }
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("connection closed mid-headers"));
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length =
+                        value.trim().parse().map_err(|_| bad("unparsable Content-Length"))?;
+                }
+            }
+        }
+        let mut buf = vec![0u8; content_length];
+        self.reader.read_exact(&mut buf)?;
+        String::from_utf8(buf).map(|body| (status, body)).map_err(|_| bad("non-UTF-8 body"))
+    }
+}
+
+/// Renders a report as an aligned text table.
+pub fn render(report: &ServeBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "load_gen — {} ({} runs, {} req/client, {} server worker(s), mix r{}:d{}:i{})\n",
+        report.label,
+        report.runs,
+        report.requests_per_client,
+        report.server_threads,
+        report.mix[0],
+        report.mix[1],
+        report.mix[2],
+    ));
+    out.push_str("clients   requests     wall_ms       rps   errors   mismatches\n");
+    for r in &report.rounds {
+        out.push_str(&format!(
+            "{:>7} {:>10} {:>11.2} {:>9.1} {:>8} {:>12}\n",
+            r.clients,
+            r.requests,
+            r.wall_ms,
+            r.throughput_rps,
+            r.protocol_errors,
+            r.distance_mismatches,
+        ));
+        for op in &r.ops {
+            out.push_str(&format!(
+                "        {:>7} x {:<7} p50 {:>7}us   p90 {:>7}us   p99 {:>7}us   max {:>7}us\n",
+                op.count, op.op, op.p50_us, op.p90_us, op.p99_us, op.max_us
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_load_run_is_clean_and_verified() {
+        let mut config = LoadGenConfig::new(6, 30);
+        config.clients = vec![1, 2];
+        config.requests_per_client = 12;
+        config.server_threads = 2;
+        let report = run(&config);
+        assert_eq!(report.rounds.len(), 2);
+        assert_eq!(report.protocol_errors(), 0, "{report:?}");
+        assert_eq!(report.distance_mismatches(), 0, "{report:?}");
+        for round in &report.rounds {
+            assert_eq!(round.requests, round.clients * config.requests_per_client);
+            assert!(round.throughput_rps > 0.0);
+        }
+        let text = render(&report);
+        assert!(text.contains("load_gen"));
+        // The report serialises for BENCH_serve.json.
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"throughput_rps\""));
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sorted = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&sorted, 50.0), 6);
+        assert_eq!(percentile(&sorted, 99.0), 10);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 90.0), 7);
+    }
+}

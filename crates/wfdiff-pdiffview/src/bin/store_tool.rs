@@ -1,4 +1,5 @@
-//! `store_tool` — export, import and verify PDiffView store directories.
+//! `store_tool` — export, import, verify and query PDiffView store
+//! directories.
 //!
 //! ```text
 //! store_tool export <dir> [specs] [runs-per-spec] [seed]
@@ -11,9 +12,23 @@
 //!
 //! store_tool verify <dir>
 //!     Load the store at <dir>, warm-start a DiffService over it and
-//!     difference every run pair of every specification; exits non-zero if
-//!     anything fails validation.
+//!     difference every run pair of every specification.
+//!
+//! store_tool diff <dir> <spec> <run-a> <run-b>
+//!     Load the store at <dir> and print the edit distance of one pair to
+//!     stdout — rendered exactly like the diff server's JSON `distance`
+//!     field, so shell pipelines can compare the two byte-for-byte.
 //! ```
+//!
+//! # Exit codes
+//!
+//! Scripted callers (CI smoke steps) can tell misuse from data problems:
+//!
+//! * `0` — success,
+//! * `1` — **data error**: the store failed to load/save/verify (corrupt or
+//!   version-mismatched documents, I/O failures, non-metric distances),
+//! * `2` — **usage error**: unknown subcommand, missing argument or an
+//!   unparsable numeric argument; the usage string is printed to stderr.
 //!
 //! Every load goes through [`WorkflowStore::load_from_dir`], so corrupt or
 //! hand-edited documents are reported with their file path instead of
@@ -28,41 +43,76 @@ use wfdiff_pdiffview::{DiffService, WorkflowStore};
 use wfdiff_workloads::generator::{random_specification, SpecGenConfig};
 use wfdiff_workloads::runs::{generate_run, RunGenConfig};
 
+const USAGE: &str = "usage: store_tool export <dir> [specs] [runs-per-spec] [seed]\n\
+                     \u{20}      store_tool import <src> <dst>\n\
+                     \u{20}      store_tool verify <dir>\n\
+                     \u{20}      store_tool diff <dir> <spec> <run-a> <run-b>";
+
+/// A failure, split by who caused it: the invocation or the data.
+enum ToolError {
+    /// Bad invocation: exits 2 with the usage string.
+    Usage(String),
+    /// The store (or the filesystem) is at fault: exits 1.
+    Data(String),
+}
+
+impl From<String> for ToolError {
+    fn from(message: String) -> Self {
+        ToolError::Data(message)
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("export") => export(&args[1..]),
         Some("import") => import(&args[1..]),
         Some("verify") => verify(&args[1..]),
-        _ => {
-            eprintln!(
-                "usage: store_tool export <dir> [specs] [runs-per-spec] [seed]\n\
-                 \u{20}      store_tool import <src> <dst>\n\
-                 \u{20}      store_tool verify <dir>"
-            );
+        Some("diff") => diff(&args[1..]),
+        Some(other) => Err(ToolError::Usage(format!("unknown subcommand {other:?}"))),
+        None => Err(ToolError::Usage("no subcommand given".to_string())),
+    };
+    match result {
+        Ok(()) => {}
+        Err(ToolError::Usage(message)) => {
+            eprintln!("store_tool: {message}\n{USAGE}");
             std::process::exit(2);
         }
-    };
-    if let Err(message) = result {
-        eprintln!("store_tool: {message}");
-        std::process::exit(1);
+        Err(ToolError::Data(message)) => {
+            eprintln!("store_tool: {message}");
+            std::process::exit(1);
+        }
     }
 }
 
-fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
-    args.get(i).map(String::as_str).ok_or_else(|| format!("missing argument: {what}"))
+fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, ToolError> {
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| ToolError::Usage(format!("missing argument: {what}")))
 }
 
-fn parse_or<T: std::str::FromStr>(args: &[String], i: usize, default: T) -> T {
-    args.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+/// Parses an optional numeric argument; an argument that is present but
+/// unparsable is a usage error, not a silent fallback to the default.
+fn parse_or<T: std::str::FromStr>(
+    args: &[String],
+    i: usize,
+    what: &str,
+    default: T,
+) -> Result<T, ToolError> {
+    match args.get(i) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| ToolError::Usage(format!("argument {what} is not a number: {raw:?}"))),
+    }
 }
 
 /// Builds a seeded synthetic store and saves it.
-fn export(args: &[String]) -> Result<(), String> {
+fn export(args: &[String]) -> Result<(), ToolError> {
     let dir = arg(args, 0, "target directory")?;
-    let specs: usize = parse_or(args, 1, 2);
-    let runs: usize = parse_or(args, 2, 5);
-    let seed: u64 = parse_or(args, 3, 0x5704E);
+    let specs: usize = parse_or(args, 1, "specs", 2)?;
+    let runs: usize = parse_or(args, 2, "runs-per-spec", 5)?;
+    let seed: u64 = parse_or(args, 3, "seed", 0x5704E)?;
 
     let store = WorkflowStore::new();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -86,7 +136,7 @@ fn export(args: &[String]) -> Result<(), String> {
 }
 
 /// Loads a store (validated) and re-saves it elsewhere.
-fn import(args: &[String]) -> Result<(), String> {
+fn import(args: &[String]) -> Result<(), ToolError> {
     let src = arg(args, 0, "source directory")?;
     let dst = arg(args, 1, "target directory")?;
     let store = WorkflowStore::load_from_dir(src).map_err(|e| e.to_string())?;
@@ -99,7 +149,7 @@ fn import(args: &[String]) -> Result<(), String> {
 }
 
 /// Loads a store, warms a service over it and differences every pair.
-fn verify(args: &[String]) -> Result<(), String> {
+fn verify(args: &[String]) -> Result<(), ToolError> {
     let dir = arg(args, 0, "store directory")?;
     let store = Arc::new(WorkflowStore::load_from_dir(dir).map_err(|e| e.to_string())?);
     let names = store.spec_names();
@@ -112,7 +162,9 @@ fn verify(args: &[String]) -> Result<(), String> {
         let mut max = 0.0f64;
         for (_, _, d) in result.pairs() {
             if !d.is_finite() || d < 0.0 {
-                return Err(format!("specification {name:?}: non-metric distance {d}"));
+                return Err(ToolError::Data(format!(
+                    "specification {name:?}: non-metric distance {d}"
+                )));
             }
             max = max.max(d);
         }
@@ -122,5 +174,23 @@ fn verify(args: &[String]) -> Result<(), String> {
         );
     }
     println!("store at {dir} verifies clean");
+    Ok(())
+}
+
+/// Loads a store and prints one pair's distance, JSON-formatted.
+fn diff(args: &[String]) -> Result<(), ToolError> {
+    let dir = arg(args, 0, "store directory")?;
+    let spec = arg(args, 1, "specification name")?;
+    let a = arg(args, 2, "first run name")?;
+    let b = arg(args, 3, "second run name")?;
+    let store = Arc::new(WorkflowStore::load_from_dir(dir).map_err(|e| e.to_string())?);
+    let service = DiffService::new(store);
+    let pair = service.diff(spec, a, b).map_err(|e| e.to_string())?;
+    // Render through the JSON serializer so the output is byte-identical to
+    // the `distance` field a diff server returns for the same pair.
+    println!(
+        "{}",
+        serde_json::to_string(&pair.distance).map_err(|e| ToolError::Data(e.to_string()))?
+    );
     Ok(())
 }

@@ -1,0 +1,71 @@
+//! `wfdiff_serve` — serve a persisted PDiffView store over HTTP.
+//!
+//! ```text
+//! wfdiff_serve <store-dir> [addr] [threads]
+//!     Load the store directory at <store-dir> (full validation), warm-start
+//!     a DiffService over it and serve queries on [addr] (default
+//!     127.0.0.1:7411) with [threads] workers (default: available CPUs).
+//! ```
+//!
+//! Endpoints, limits and the error model are documented on
+//! [`wfdiff_pdiffview::serve`].  Runs inserted through `POST /runs` are
+//! appended durably to `<store-dir>`.
+//!
+//! Exit codes: `2` for usage errors (wrong arguments), `1` when the store
+//! fails to load or the address cannot be bound.
+
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::io::Write as _;
+use std::sync::Arc;
+use wfdiff_pdiffview::serve::{ServeConfig, Server};
+use wfdiff_pdiffview::{DiffService, WorkflowStore};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.len() > 3 || args[0].starts_with('-') {
+        eprintln!("usage: wfdiff_serve <store-dir> [addr] [threads]");
+        std::process::exit(2);
+    }
+    let dir = args[0].clone();
+    let addr = args.get(1).cloned().unwrap_or_else(|| "127.0.0.1:7411".to_string());
+    let threads = match args.get(2) {
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("wfdiff_serve: thread count must be a positive integer, got {raw:?}");
+                eprintln!("usage: wfdiff_serve <store-dir> [addr] [threads]");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    if let Err(message) = serve(&dir, &addr, threads) {
+        eprintln!("wfdiff_serve: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn serve(dir: &str, addr: &str, threads: usize) -> Result<(), String> {
+    let store = Arc::new(WorkflowStore::load_from_dir(dir).map_err(|e| e.to_string())?);
+    let service = Arc::new(DiffService::builder(store).threads(threads).build());
+    let report = service.warm_start().map_err(|e| e.to_string())?;
+    let config = ServeConfig {
+        addr: addr.to_string(),
+        threads,
+        store_dir: Some(dir.into()),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(service, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "wfdiff_serve listening on http://{bound} ({} spec(s), {} run(s) warm, {threads} worker(s))",
+        report.specs, report.runs
+    );
+    // The address line is what scripts wait for; make sure it is not stuck
+    // in a pipe buffer when stdout is not a terminal.
+    let _ = std::io::stdout().flush();
+    server.start().map_err(|e| e.to_string())?.join();
+    Ok(())
+}

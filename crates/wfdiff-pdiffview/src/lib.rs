@@ -22,7 +22,11 @@
 //! * [`render`] — textual and Graphviz/DOT renderings of a diff (red deleted
 //!   paths on the source run, green inserted paths on the target run),
 //! * [`cluster`] — composite-module clustering and per-cluster difference
-//!   summaries for zooming into large provenance graphs.
+//!   summaries for zooming into large provenance graphs,
+//! * [`serve`] — a dependency-free HTTP/1.1 front-end (bounded worker pool
+//!   over `std::net`) that serves store snapshots, run inserts, single/batch
+//!   diffs and cluster summaries to remote clients; see the `wfdiff_serve`
+//!   binary.
 
 #![deny(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
@@ -32,6 +36,7 @@ pub mod cluster;
 pub mod io;
 pub mod persist;
 pub mod render;
+pub mod serve;
 pub mod service;
 pub mod session;
 pub mod store;
@@ -40,6 +45,7 @@ pub use cluster::{ClusterDiff, Clustering};
 pub use io::{RunDescriptor, SpecDescriptor, DESCRIPTOR_FORMAT};
 pub use persist::{PersistError, SaveSummary, STORE_FORMAT};
 pub use render::{render_diff_dot, render_diff_text};
+pub use serve::{ServeConfig, Server, ServerHandle};
 pub use service::{
     AllPairsResult, DiffService, DiffServiceBuilder, PairDistance, ServiceError, WarmStartReport,
 };

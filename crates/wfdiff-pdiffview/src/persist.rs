@@ -583,6 +583,131 @@ impl WorkflowStore {
         Ok(SaveSummary { specs: manifest.specs.len(), runs: total_runs })
     }
 
+    /// Appends one run as a single atomic run document to an existing store
+    /// directory, without rewriting the manifest or any other document —
+    /// the persistence path of the diff server's `POST /runs` endpoint.
+    ///
+    /// The run must already be stored in (and validated by) this store, and
+    /// the directory must hold the **same specification version**: the
+    /// manifest entry for `run.spec_name()` must carry the canonical
+    /// persistent fingerprint of the stored specification.  A directory
+    /// holding a different version (or not holding the specification at
+    /// all) is refused with [`PersistError::Format`] — run a full
+    /// [`WorkflowStore::save_to_dir`] instead.
+    ///
+    /// The write shares the save path's crash-safety properties: the
+    /// document is written to a temp sibling, fsynced and renamed into
+    /// place, and the file name is the same deterministic function of the
+    /// run name that `save_to_dir` uses, so a later full save rewrites the
+    /// appended document in place.  Appends take the store's save lock, so
+    /// they cannot interleave with (or be pruned by) an in-flight save from
+    /// this process.
+    pub fn append_run_to_dir(
+        &self,
+        dir: impl AsRef<Path>,
+        run_name: &str,
+        run: &wfdiff_sptree::Run,
+    ) -> Result<PathBuf, PersistError> {
+        let _guard = self.save_lock.lock();
+        let dir = dir.as_ref();
+        let spec = self.spec(run.spec_name()).ok_or_else(|| PersistError::Store {
+            source: StoreError::MissingSpec { name: run.spec_name().to_string() },
+        })?;
+        if spec.fingerprint() != run.spec_fingerprint() {
+            return Err(PersistError::Store {
+                source: StoreError::SpecVersionMismatch {
+                    name: run.spec_name().to_string(),
+                    run: run_name.to_string(),
+                },
+            });
+        }
+
+        // The manifest entry records the *persistent* fingerprint (of the
+        // spec as rebuilt from its descriptor); map the in-memory version
+        // to it, memoised exactly like `save_to_dir`.
+        let manifest_path = dir.join("manifest.json");
+        let manifest: StoreManifest = read_json(&manifest_path)?;
+        if manifest.format != STORE_FORMAT {
+            return Err(format_err(
+                &manifest_path,
+                format!(
+                    "store format {} is not supported by this build (expected {STORE_FORMAT})",
+                    manifest.format
+                ),
+            ));
+        }
+        let descriptor = SpecDescriptor::from_specification(&spec);
+        let cached = self.persist_fp_cache.lock().get(&spec.fingerprint()).copied();
+        let fp = match cached {
+            Some(fp) => fp,
+            None => {
+                let (fp, _) = canonical_fingerprint(&manifest_path, &descriptor)?;
+                self.persist_fp_cache.lock().insert(spec.fingerprint(), fp);
+                fp
+            }
+        };
+        let fp_hex = fp.to_string();
+        let entry = manifest.specs.iter().find(|s| s.name == spec.name()).ok_or_else(|| {
+            format_err(
+                &manifest_path,
+                format!(
+                    "specification {:?} is not in the store directory; run a full save first",
+                    spec.name()
+                ),
+            )
+        })?;
+        if entry.fingerprint != fp_hex {
+            return Err(format_err(
+                &manifest_path,
+                format!(
+                    "the directory holds specification {:?} at version {}, but the store has \
+                     version {fp_hex}; run a full save instead of appending",
+                    spec.name(),
+                    entry.fingerprint
+                ),
+            ));
+        }
+        check_dir_component(&manifest_path, &entry.dir)?;
+        let runs_dir = dir.join("specs").join(&entry.dir).join("runs");
+        fs::create_dir_all(&runs_dir).map_err(|e| io_err(&runs_dir, "creating", e))?;
+
+        // Same naming scheme as `save_to_dir`: slug + name hash, bumped past
+        // any existing document that belongs to a *different* run name (a
+        // residual hash collision); a document with the same name is simply
+        // replaced in place.
+        let base = format!("{}-{}", slug(run_name), name_hash(run_name));
+        let mut file = format!("{base}.json");
+        let mut bump = 1usize;
+        loop {
+            let candidate = runs_dir.join(&file);
+            let occupied = match fs::read_to_string(&candidate) {
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+                Err(e) => return Err(io_err(&candidate, "probing", e)),
+                Ok(text) => match serde_json::from_str::<RunDocument>(&text) {
+                    Ok(doc) => doc.name != run_name,
+                    // Corrupt document: nothing loadable owns this slot.
+                    Err(_) => false,
+                },
+            };
+            if !occupied {
+                break;
+            }
+            bump += 1;
+            file = format!("{base}-{bump}.json");
+        }
+        let run_path = runs_dir.join(&file);
+        write_json_atomic(
+            &run_path,
+            &RunDocument {
+                format: STORE_FORMAT,
+                name: run_name.to_string(),
+                spec_fingerprint: fp_hex,
+                run: RunDescriptor::from_run(run),
+            },
+        )?;
+        Ok(run_path)
+    }
+
     /// Loads a store previously written by [`WorkflowStore::save_to_dir`],
     /// validating every document (see the [module docs](self)); corrupt,
     /// truncated, hand-edited or version-mismatched input returns a
@@ -1005,6 +1130,66 @@ mod tests {
         let manifest: StoreManifest = read_json(&dir.path().join("manifest.json")).unwrap();
         assert_eq!(dir_of(&manifest, "pipeline_v1"), kept_dir);
         assert_eq!(WorkflowStore::load_from_dir(dir.path()).unwrap().spec_names().len(), 1);
+    }
+
+    #[test]
+    fn appended_runs_survive_a_reload_and_a_resave() {
+        let dir = TempDir::new("append-api");
+        let store = seeded_store();
+        store.save_to_dir(dir.path()).unwrap();
+
+        // Append through the public API (the server's POST /runs path).
+        let spec = store.spec("fig2").unwrap();
+        let run = store.insert_run("r4", fig2_run1(&spec)).unwrap();
+        let path = store.append_run_to_dir(dir.path(), "r4", &run).unwrap();
+        assert!(path.exists());
+
+        let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+        assert_eq!(loaded.run_count(), 4);
+        assert!(loaded.run("fig2", "r4").is_some());
+
+        // A later full save rewrites the appended document in place (same
+        // deterministic file name), not beside it.
+        store.save_to_dir(dir.path()).unwrap();
+        assert!(path.exists(), "full save keeps the appended run's file name");
+        assert_eq!(WorkflowStore::load_from_dir(dir.path()).unwrap().run_count(), 4);
+
+        // Re-appending the same run name replaces the document.
+        let again = store.append_run_to_dir(dir.path(), "r4", &run).unwrap();
+        assert_eq!(again, path);
+        assert_eq!(WorkflowStore::load_from_dir(dir.path()).unwrap().run_count(), 4);
+    }
+
+    #[test]
+    fn appends_into_foreign_or_stale_directories_are_refused() {
+        let dir = TempDir::new("append-refuse");
+        let store = seeded_store();
+        let spec = store.spec("fig2").unwrap();
+        let run = store.insert_run("r4", fig2_run1(&spec)).unwrap();
+
+        // No manifest at all: not a store directory.
+        let err = store.append_run_to_dir(dir.path(), "r4", &run).unwrap_err();
+        assert!(matches!(err, PersistError::Io { .. }), "got {err}");
+
+        // A directory holding a *different* version of the spec.
+        let other = Arc::new(WorkflowStore::new());
+        let mut b = wfdiff_sptree::SpecificationBuilder::new("fig2");
+        b.path(&["1", "2", "6", "7"]);
+        other.insert_spec(b.build().unwrap()).unwrap();
+        other.save_to_dir(dir.path()).unwrap();
+        let err = store.append_run_to_dir(dir.path(), "r4", &run).unwrap_err();
+        assert!(err.to_string().contains("full save"), "got {err}");
+
+        // A directory without the specification.
+        let empty_dir = TempDir::new("append-empty");
+        Arc::new(WorkflowStore::new()).save_to_dir(empty_dir.path()).unwrap();
+        let err = store.append_run_to_dir(empty_dir.path(), "r4", &run).unwrap_err();
+        assert!(err.to_string().contains("not in the store directory"), "got {err}");
+
+        // A run whose spec is not in the *store* any more.
+        store.remove_spec("fig2");
+        let err = store.append_run_to_dir(dir.path(), "r4", &run).unwrap_err();
+        assert!(matches!(err, PersistError::Store { .. }), "got {err}");
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! JSON wire types of the diff server and the error-to-status mapping.
+//!
+//! Every response body — success or failure — is a JSON document.  Failures
+//! use one shape everywhere:
+//!
+//! ```json
+//! {"error": "unknown specification \"nope\"", "kind": "unknown_spec"}
+//! ```
+//!
+//! `kind` is a stable machine-readable tag; `error` is the human-readable
+//! message of the underlying store/diff/persist error.  The HTTP status
+//! encodes the class of failure:
+//!
+//! | status | meaning |
+//! |--------|---------|
+//! | 400    | malformed request: bad JSON, bad escapes, missing parameters, invalid run structure, unreadable descriptor format |
+//! | 404    | unknown endpoint, specification or run |
+//! | 405    | known endpoint, wrong method |
+//! | 409    | conflict: the run was built or asserted against a different specification version, or the run name is already taken |
+//! | 413    | body larger than the server's configured limit |
+//! | 500    | internal failure: diff engine invariant or persistence I/O |
+
+use crate::io::RunDescriptor;
+use crate::persist::PersistError;
+use crate::service::ServiceError;
+use crate::store::StoreError;
+use serde::{Deserialize, Serialize};
+use wfdiff_core::DiffError;
+use wfdiff_sptree::SpTreeError;
+
+// ---------------------------------------------------------------------------
+// Success bodies
+// ---------------------------------------------------------------------------
+
+/// `GET /healthz` response.
+#[derive(Debug, Serialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server can answer at all.
+    pub status: String,
+    /// Number of specifications in the store.
+    pub specs: usize,
+    /// Number of runs in the store (across all specifications).
+    pub runs: usize,
+    /// Worker threads serving diff traffic.
+    pub threads: usize,
+}
+
+/// One entry of the `GET /specs` listing.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SpecEntry {
+    /// Specification name.
+    pub name: String,
+    /// The stored version's fingerprint (hex) — what
+    /// [`InsertRunRequest::spec_fingerprint`] may assert against.
+    pub fingerprint: String,
+    /// Number of runs stored for this specification.
+    pub runs: usize,
+}
+
+/// `GET /specs` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SpecsResponse {
+    /// All stored specifications, sorted by name.
+    pub specs: Vec<SpecEntry>,
+}
+
+/// `GET /specs/{name}/runs` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RunsResponse {
+    /// The specification name.
+    pub spec: String,
+    /// Run names, sorted.
+    pub runs: Vec<String>,
+}
+
+/// `POST /runs` request body.
+#[derive(Debug, Deserialize)]
+pub struct InsertRunRequest {
+    /// Name to store the run under.
+    pub name: String,
+    /// Optional version assertion: when non-empty, the insert is refused
+    /// with `409` unless it equals the stored specification's fingerprint
+    /// (as listed by `GET /specs`).  Clients that exported runs against a
+    /// known version use this to fail fast after a spec replacement.
+    #[serde(default)]
+    pub spec_fingerprint: String,
+    /// The run itself; `run.spec` names the target specification.
+    pub run: RunDescriptor,
+}
+
+/// `POST /runs` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct InsertRunResponse {
+    /// The specification the run was stored under.
+    pub spec: String,
+    /// The stored run name.
+    pub name: String,
+    /// Whether the run was also appended to the server's store directory
+    /// (`false` when the server runs without persistence).
+    pub persisted: bool,
+}
+
+/// `GET /diff` response (also one element of a batch response).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct DiffResponse {
+    /// The specification name.
+    pub spec: String,
+    /// Source run name.
+    pub source: String,
+    /// Target run name.
+    pub target: String,
+    /// The edit distance.
+    pub distance: f64,
+}
+
+/// `POST /diff/batch` request body.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BatchDiffRequest {
+    /// The specification whose runs are differenced.
+    pub spec: String,
+    /// Run-name pairs; the response is index-aligned with this list.
+    pub pairs: Vec<(String, String)>,
+}
+
+/// `POST /diff/batch` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct BatchDiffResponse {
+    /// The specification name.
+    pub spec: String,
+    /// One distance per requested pair, in request order.
+    pub distances: Vec<DiffResponse>,
+}
+
+/// One composite module of a `GET /cluster` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ClusterEntry {
+    /// Composite-module name.
+    pub cluster: String,
+    /// Edit-script deletions touching the module.
+    pub deletions: usize,
+    /// Edit-script insertions touching the module.
+    pub insertions: usize,
+}
+
+/// `GET /cluster` response: the per-composite-module difference summary,
+/// hotspots (most-changed) first.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ClusterResponse {
+    /// The specification name.
+    pub spec: String,
+    /// Source run name.
+    pub source: String,
+    /// Target run name.
+    pub target: String,
+    /// The prefix separator the clustering grouped labels by.
+    pub separator: String,
+    /// The edit distance of the underlying session.
+    pub distance: f64,
+    /// Changed composite modules, ordered by total change (descending).
+    pub clusters: Vec<ClusterEntry>,
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// A failure that maps onto an HTTP status and a JSON error body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable tag (`unknown_spec`, `invalid_json`, ...).
+    pub kind: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// The serialised shape of an error response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Human-readable message.
+    pub error: String,
+    /// Stable machine-readable tag.
+    pub kind: String,
+}
+
+impl ApiError {
+    /// Builds an error with an explicit status and kind.
+    pub fn new(status: u16, kind: &'static str, message: impl Into<String>) -> Self {
+        ApiError { status, kind, message: message.into() }
+    }
+
+    /// 400 with the given kind.
+    pub fn bad_request(kind: &'static str, message: impl Into<String>) -> Self {
+        ApiError::new(400, kind, message)
+    }
+
+    /// 404 for an unknown endpoint.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        ApiError::new(404, "unknown_endpoint", message)
+    }
+
+    /// 405 for a known endpoint hit with the wrong method.
+    pub fn method_not_allowed(method: &str, path: &str) -> Self {
+        ApiError::new(405, "method_not_allowed", format!("{method} is not supported on {path}"))
+    }
+
+    /// A 400 for a missing query parameter.
+    pub fn missing_param(name: &str) -> Self {
+        ApiError::bad_request("missing_parameter", format!("query parameter {name:?} is required"))
+    }
+
+    /// The JSON body for this error.
+    pub fn body(&self) -> String {
+        serde_json::to_string(&ErrorBody {
+            error: self.message.clone(),
+            kind: self.kind.to_string(),
+        })
+        .unwrap_or_else(|_| "{\"error\":\"error serialisation failed\"}".to_string())
+    }
+}
+
+impl From<ServiceError> for ApiError {
+    fn from(e: ServiceError) -> Self {
+        match &e {
+            ServiceError::UnknownSpec(_) => ApiError::new(404, "unknown_spec", e.to_string()),
+            ServiceError::UnknownRun { .. } => ApiError::new(404, "unknown_run", e.to_string()),
+            ServiceError::Diff(DiffError::SpecVersionMismatch { .. }) => {
+                ApiError::new(409, "spec_version_mismatch", e.to_string())
+            }
+            ServiceError::Diff(_) => ApiError::new(500, "diff_failed", e.to_string()),
+        }
+    }
+}
+
+impl From<StoreError> for ApiError {
+    fn from(e: StoreError) -> Self {
+        match &e {
+            StoreError::MissingSpec { .. } => ApiError::new(404, "unknown_spec", e.to_string()),
+            StoreError::SpecVersionMismatch { .. } => {
+                ApiError::new(409, "spec_version_mismatch", e.to_string())
+            }
+            StoreError::SpecConflict { .. } => ApiError::new(409, "spec_conflict", e.to_string()),
+            StoreError::DuplicateRun { .. } => ApiError::new(409, "run_exists", e.to_string()),
+        }
+    }
+}
+
+impl From<SpTreeError> for ApiError {
+    fn from(e: SpTreeError) -> Self {
+        ApiError::new(400, "invalid_run", e.to_string())
+    }
+}
+
+impl From<PersistError> for ApiError {
+    fn from(e: PersistError) -> Self {
+        ApiError::new(500, "persist_failed", e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_are_json_with_kind_and_message() {
+        let e = ApiError::new(404, "unknown_spec", "unknown specification \"x\"");
+        let body: ErrorBody = serde_json::from_str(&e.body()).unwrap();
+        assert_eq!(body.kind, "unknown_spec");
+        assert!(body.error.contains("unknown specification"));
+    }
+
+    #[test]
+    fn service_errors_map_to_the_documented_statuses() {
+        let e: ApiError = ServiceError::UnknownSpec("x".into()).into();
+        assert_eq!((e.status, e.kind), (404, "unknown_spec"));
+        let e: ApiError = ServiceError::UnknownRun { spec: "x".into(), run: "r".into() }.into();
+        assert_eq!((e.status, e.kind), (404, "unknown_run"));
+        let e: ApiError =
+            ServiceError::Diff(DiffError::SpecVersionMismatch { spec: "x".into() }).into();
+        assert_eq!((e.status, e.kind), (409, "spec_version_mismatch"));
+        let e: ApiError =
+            StoreError::SpecVersionMismatch { name: "x".into(), run: "r".into() }.into();
+        assert_eq!(e.status, 409);
+        let e: ApiError = StoreError::MissingSpec { name: "x".into() }.into();
+        assert_eq!(e.status, 404);
+    }
+}

@@ -1,0 +1,383 @@
+//! Endpoint implementations: routing a parsed [`Request`] onto the
+//! [`DiffService`]/[`WorkflowStore`](crate::store::WorkflowStore) stack and
+//! rendering JSON responses.
+//!
+//! Handlers never panic on client input: every failure is an [`ApiError`]
+//! carrying the HTTP status, and [`route`] converts both outcomes into a
+//! `(status, body)` pair for the connection loop to write.
+
+use super::api::*;
+use super::http::Request;
+use crate::cluster::{ClusterDiff, Clustering};
+use crate::service::DiffService;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Ceiling on the number of pairs a single `POST /diff/batch` may request;
+/// larger batches are rejected with `400` so one request cannot monopolise
+/// the worker pool.
+pub const MAX_BATCH_PAIRS: usize = 4096;
+
+/// Everything a handler needs: the diff service (which owns the store) and,
+/// when the server persists inserts, the store directory.
+pub struct AppState {
+    /// The batch diff engine the server fronts.
+    pub service: Arc<DiffService>,
+    /// When set, `POST /runs` appends an atomic run document here.
+    pub store_dir: Option<PathBuf>,
+}
+
+/// Dispatches a request to its handler and renders the outcome as
+/// `(status, JSON body)`.  Unknown paths get `404`, known paths with the
+/// wrong method get `405`.
+pub fn route(state: &AppState, req: &Request) -> (u16, String) {
+    let segments: Vec<&str> = req.segments.iter().map(String::as_str).collect();
+    let result = match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(state),
+        ("GET", ["specs"]) => specs(state),
+        ("GET", ["specs", name, "runs"]) => spec_runs(state, name),
+        ("POST", ["runs"]) => insert_run(state, req),
+        ("GET", ["diff"]) => diff(state, req),
+        ("POST", ["diff", "batch"]) => diff_batch(state, req),
+        ("GET", ["cluster"]) => cluster(state, req),
+        // Known endpoints hit with the wrong method.
+        (_, ["healthz" | "specs" | "diff" | "cluster"])
+        | (_, ["specs", _, "runs"])
+        | (_, ["runs"])
+        | (_, ["diff", "batch"]) => Err(ApiError::method_not_allowed(&req.method, &req.raw_path)),
+        _ => Err(ApiError::not_found(format!("no endpoint at {:?}", req.raw_path))),
+    };
+    match result {
+        Ok((status, body)) => (status, body),
+        Err(e) => (e.status, e.body()),
+    }
+}
+
+fn json<T: serde::Serialize>(status: u16, value: &T) -> Result<(u16, String), ApiError> {
+    serde_json::to_string(value)
+        .map(|body| (status, body))
+        .map_err(|e| ApiError::new(500, "serialisation_failed", e.to_string()))
+}
+
+fn healthz(state: &AppState) -> Result<(u16, String), ApiError> {
+    let store = state.service.store();
+    json(
+        200,
+        &HealthResponse {
+            status: "ok".to_string(),
+            specs: store.spec_names().len(),
+            runs: store.run_count(),
+            threads: state.service.threads(),
+        },
+    )
+}
+
+fn specs(state: &AppState) -> Result<(u16, String), ApiError> {
+    let snapshot = state.service.store().snapshot_all();
+    let specs = snapshot
+        .iter()
+        .map(|(name, (spec, runs))| SpecEntry {
+            name: name.clone(),
+            fingerprint: spec.fingerprint().to_string(),
+            runs: runs.len(),
+        })
+        .collect();
+    json(200, &SpecsResponse { specs })
+}
+
+fn spec_runs(state: &AppState, name: &str) -> Result<(u16, String), ApiError> {
+    let (_, runs) = state.service.store().snapshot(name).ok_or_else(|| {
+        ApiError::new(404, "unknown_spec", format!("unknown specification {name:?}"))
+    })?;
+    json(
+        200,
+        &RunsResponse { spec: name.to_string(), runs: runs.into_iter().map(|(n, _)| n).collect() },
+    )
+}
+
+/// `POST /runs`: validate the descriptor against the stored specification,
+/// publish the run in the store and (when the server owns a store directory)
+/// append it durably.
+///
+/// A name that is already stored is refused with `409` (the insert is
+/// **create-only** — atomically, via [`WorkflowStore::insert_run_new`], so
+/// concurrent same-name posts cannot clobber each other).  The store insert
+/// happens first — it is the authoritative version check — and a failed
+/// durable append rolls back exactly the run this request created, so a
+/// `500` response never leaves the run half-committed and never destroys
+/// previously committed state.
+///
+/// [`WorkflowStore::insert_run_new`]: crate::store::WorkflowStore::insert_run_new
+fn insert_run(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
+    let body: InsertRunRequest = parse_body(&req.body)?;
+    let spec_name = body.run.spec.clone();
+    let store = Arc::clone(state.service.store());
+    let spec = store.spec(&spec_name).ok_or_else(|| {
+        ApiError::new(404, "unknown_spec", format!("unknown specification {spec_name:?}"))
+    })?;
+    if !body.spec_fingerprint.is_empty() && body.spec_fingerprint != spec.fingerprint().to_string()
+    {
+        return Err(ApiError::new(
+            409,
+            "spec_version_mismatch",
+            format!(
+                "request asserts specification version {}, but the stored version is {}",
+                body.spec_fingerprint,
+                spec.fingerprint()
+            ),
+        ));
+    }
+    let run = body.run.to_run(&spec)?;
+    let run_arc = store.insert_run_new(&body.name, run)?;
+    let mut persisted = false;
+    if let Some(dir) = &state.store_dir {
+        if let Err(e) = store.append_run_to_dir(dir, &body.name, &run_arc) {
+            store.remove_run(&spec_name, &body.name);
+            return Err(e.into());
+        }
+        persisted = true;
+    }
+    json(201, &InsertRunResponse { spec: spec_name, name: body.name, persisted })
+}
+
+fn diff(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
+    let spec = req.query_param("spec").ok_or_else(|| ApiError::missing_param("spec"))?;
+    let a = req.query_param("a").ok_or_else(|| ApiError::missing_param("a"))?;
+    let b = req.query_param("b").ok_or_else(|| ApiError::missing_param("b"))?;
+    let pair = state.service.diff(spec, a, b)?;
+    json(
+        200,
+        &DiffResponse {
+            spec: spec.to_string(),
+            source: pair.source,
+            target: pair.target,
+            distance: pair.distance,
+        },
+    )
+}
+
+fn diff_batch(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
+    let body: BatchDiffRequest = parse_body(&req.body)?;
+    if body.pairs.len() > MAX_BATCH_PAIRS {
+        return Err(ApiError::bad_request(
+            "batch_too_large",
+            format!("{} pairs exceed the limit of {MAX_BATCH_PAIRS} per request", body.pairs.len()),
+        ));
+    }
+    let distances = state.service.diff_batch(&body.spec, &body.pairs)?;
+    json(
+        200,
+        &BatchDiffResponse {
+            spec: body.spec.clone(),
+            distances: distances
+                .into_iter()
+                .map(|p| DiffResponse {
+                    spec: body.spec.clone(),
+                    source: p.source,
+                    target: p.target,
+                    distance: p.distance,
+                })
+                .collect(),
+        },
+    )
+}
+
+fn cluster(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
+    let spec_name = req.query_param("spec").ok_or_else(|| ApiError::missing_param("spec"))?;
+    let a = req.query_param("a").ok_or_else(|| ApiError::missing_param("a"))?;
+    let b = req.query_param("b").ok_or_else(|| ApiError::missing_param("b"))?;
+    let separator = req.query_param("separator").unwrap_or("_");
+    let mut chars = separator.chars();
+    let sep = match (chars.next(), chars.next()) {
+        (Some(c), None) => c,
+        _ => {
+            return Err(ApiError::bad_request(
+                "invalid_separator",
+                format!("separator must be a single character, got {separator:?}"),
+            ))
+        }
+    };
+    let spec = state.service.store().spec(spec_name).ok_or_else(|| {
+        ApiError::new(404, "unknown_spec", format!("unknown specification {spec_name:?}"))
+    })?;
+    let clustering = Clustering::by_prefix(&spec, sep);
+    let session = state.service.session(spec_name, a, b)?;
+    let diff = ClusterDiff::compute(&session, &clustering);
+    let clusters = diff
+        .hotspots()
+        .iter()
+        .map(|(name, _)| {
+            let (deletions, insertions) = diff.changes[*name];
+            ClusterEntry { cluster: (*name).to_string(), deletions, insertions }
+        })
+        .collect();
+    json(
+        200,
+        &ClusterResponse {
+            spec: spec_name.to_string(),
+            source: a.to_string(),
+            target: b.to_string(),
+            separator: sep.to_string(),
+            distance: session.distance(),
+            clusters,
+        },
+    )
+}
+
+fn parse_body<T: for<'de> serde::Deserialize<'de>>(body: &str) -> Result<T, ApiError> {
+    if body.is_empty() {
+        return Err(ApiError::bad_request("invalid_json", "request requires a JSON body"));
+    }
+    serde_json::from_str(body)
+        .map_err(|e| ApiError::bad_request("invalid_json", format!("invalid JSON body: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::RunDescriptor;
+    use crate::store::WorkflowStore;
+    use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
+
+    fn request(method: &str, target: &str, body: &str) -> Request {
+        let (path, query) = target.split_once('?').unwrap_or((target, ""));
+        Request {
+            method: method.to_string(),
+            raw_path: path.to_string(),
+            segments: path.split('/').filter(|s| !s.is_empty()).map(String::from).collect(),
+            query: query
+                .split('&')
+                .filter(|s| !s.is_empty())
+                .map(|kv| {
+                    let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                    (k.to_string(), v.to_string())
+                })
+                .collect(),
+            body: body.to_string(),
+            keep_alive: true,
+        }
+    }
+
+    fn state() -> AppState {
+        let store = Arc::new(WorkflowStore::new());
+        let spec = store.insert_spec(fig2_specification()).unwrap();
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        store.insert_run("r2", fig2_run2(&spec)).unwrap();
+        AppState { service: Arc::new(DiffService::new(store)), store_dir: None }
+    }
+
+    #[test]
+    fn routing_covers_success_and_error_paths() {
+        let state = state();
+        let (status, body) = route(&state, &request("GET", "/healthz", ""));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\""));
+
+        let (status, _) = route(&state, &request("GET", "/specs", ""));
+        assert_eq!(status, 200);
+        let (status, body) = route(&state, &request("GET", "/specs/fig2/runs", ""));
+        assert_eq!(status, 200);
+        let runs: RunsResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(runs.runs, vec!["r1", "r2"]);
+
+        let (status, _) = route(&state, &request("GET", "/specs/nope/runs", ""));
+        assert_eq!(status, 404);
+        let (status, _) = route(&state, &request("DELETE", "/healthz", ""));
+        assert_eq!(status, 405);
+        let (status, _) = route(&state, &request("GET", "/nowhere", ""));
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn diff_endpoint_returns_the_service_distance() {
+        let state = state();
+        let (status, body) = route(&state, &request("GET", "/diff?spec=fig2&a=r1&b=r2", ""));
+        assert_eq!(status, 200, "{body}");
+        let diff: DiffResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(diff.distance, 4.0);
+        // Missing parameter and unknown names.
+        let (status, _) = route(&state, &request("GET", "/diff?spec=fig2&a=r1", ""));
+        assert_eq!(status, 400);
+        let (status, _) = route(&state, &request("GET", "/diff?spec=fig2&a=r1&b=zz", ""));
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn batch_endpoint_is_index_aligned_and_bounded() {
+        let state = state();
+        let req_body = serde_json::to_string(&BatchDiffRequest {
+            spec: "fig2".to_string(),
+            pairs: vec![("r1".to_string(), "r2".to_string()), ("r1".to_string(), "r1".to_string())],
+        })
+        .unwrap();
+        let (status, body) = route(&state, &request("POST", "/diff/batch", &req_body));
+        assert_eq!(status, 200, "{body}");
+        let out: BatchDiffResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(out.distances.len(), 2);
+        assert_eq!(out.distances[0].distance, 4.0);
+        assert_eq!(out.distances[1].distance, 0.0);
+
+        let huge = BatchDiffRequest {
+            spec: "fig2".to_string(),
+            pairs: vec![("r1".to_string(), "r2".to_string()); MAX_BATCH_PAIRS + 1],
+        };
+        let (status, body) =
+            route(&state, &request("POST", "/diff/batch", &serde_json::to_string(&huge).unwrap()));
+        assert_eq!(status, 400);
+        assert!(body.contains("batch_too_large"));
+    }
+
+    #[test]
+    fn insert_endpoint_validates_fingerprint_and_json() {
+        let state = state();
+        let store = Arc::clone(state.service.store());
+        let spec = store.spec("fig2").unwrap();
+        let descriptor = RunDescriptor::from_run(&fig2_run1(&spec));
+
+        // Version assertion mismatch → 409, store unchanged.
+        let body = format!(
+            "{{\"name\": \"nope\", \"spec_fingerprint\": \"deadbeef\", \"run\": {}}}",
+            descriptor.to_json()
+        );
+        let (status, text) = route(&state, &request("POST", "/runs", &body));
+        assert_eq!(status, 409, "{text}");
+        assert!(store.run("fig2", "nope").is_none());
+
+        // Matching assertion → 201.
+        let body = format!(
+            "{{\"name\": \"r9\", \"spec_fingerprint\": \"{}\", \"run\": {}}}",
+            spec.fingerprint(),
+            descriptor.to_json()
+        );
+        let (status, text) = route(&state, &request("POST", "/runs", &body));
+        assert_eq!(status, 201, "{text}");
+        let out: InsertRunResponse = serde_json::from_str(&text).unwrap();
+        assert!(!out.persisted, "no store directory configured");
+        assert!(store.run("fig2", "r9").is_some());
+
+        // Malformed JSON → 400.
+        let (status, text) = route(&state, &request("POST", "/runs", "{not json"));
+        assert_eq!(status, 400);
+        assert!(text.contains("invalid_json"));
+        // Empty body → 400 too.
+        let (status, _) = route(&state, &request("POST", "/runs", ""));
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn cluster_endpoint_aggregates_by_prefix() {
+        let state = state();
+        let (status, body) = route(&state, &request("GET", "/cluster?spec=fig2&a=r1&b=r2", ""));
+        assert_eq!(status, 200, "{body}");
+        let out: ClusterResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(out.distance, 4.0);
+        assert!(!out.clusters.is_empty());
+        // Hotspots are ordered by total change, descending.
+        let totals: Vec<usize> = out.clusters.iter().map(|c| c.deletions + c.insertions).collect();
+        assert!(totals.windows(2).all(|w| w[0] >= w[1]));
+
+        let (status, body) =
+            route(&state, &request("GET", "/cluster?spec=fig2&a=r1&b=r2&separator=ab", ""));
+        assert_eq!(status, 400, "{body}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Minimal, dependency-free HTTP/1.1 framing for the diff server.
+//!
+//! Only the subset the server needs is implemented — request-line + header
+//! parsing, `Content-Length` bodies, percent-decoding of paths and query
+//! strings, and JSON response writing — with hard limits so a hostile or
+//! broken client can never make the server allocate without bound:
+//!
+//! * the request line and headers together may not exceed
+//!   [`MAX_HEAD_BYTES`] (16 KiB),
+//! * bodies are capped by the server's configured maximum (see
+//!   [`crate::serve::ServeConfig::max_body_bytes`]); larger `Content-Length`
+//!   values are rejected with `413 Payload Too Large` before any body byte
+//!   is read,
+//! * `Transfer-Encoding: chunked` is not supported and is rejected with
+//!   `501 Not Implemented`.
+//!
+//! Every parse failure maps to a status code and a message; nothing in this
+//! module panics on malformed input.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus all header lines, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercase as sent.
+    pub method: String,
+    /// The undecoded path component of the request target (no query string).
+    pub raw_path: String,
+    /// Percent-decoded path segments (`/specs/my%20spec/runs` →
+    /// `["specs", "my spec", "runs"]`).
+    pub segments: Vec<String>,
+    /// Percent-decoded query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The first value of a query parameter, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why reading a request off a connection failed.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The client closed the connection before sending a request — the
+    /// normal end of a keep-alive session, not an error.
+    Closed,
+    /// The socket failed or timed out mid-request.
+    Io(std::io::Error),
+    /// The request was malformed; respond with `status` and close.
+    Bad {
+        /// HTTP status to answer with.
+        status: u16,
+        /// Human-readable description of the defect.
+        message: String,
+    },
+}
+
+fn bad(status: u16, message: impl Into<String>) -> RequestError {
+    RequestError::Bad { status, message: message.into() }
+}
+
+/// Reads one request from the connection, enforcing the head and body limits.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body_bytes: usize,
+) -> Result<Request, RequestError> {
+    let mut head_bytes = 0usize;
+    let request_line = match read_line(reader, &mut head_bytes)? {
+        Some(line) => line,
+        None => return Err(RequestError::Closed),
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().ok_or_else(|| bad(400, "request line has no target"))?;
+    let version = parts.next().ok_or_else(|| bad(400, "request line has no HTTP version"))?;
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(bad(400, format!("malformed method {method:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(bad(505, format!("unsupported protocol version {version:?}")));
+    }
+
+    // Headers: only the few the server acts on are interpreted.
+    let mut content_length: Option<usize> = None;
+    let mut connection = String::new();
+    let mut chunked = false;
+    loop {
+        let line = match read_line(reader, &mut head_bytes)? {
+            Some(line) => line,
+            None => return Err(bad(400, "connection closed mid-headers")),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad(400, format!("malformed header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| bad(400, format!("unparsable Content-Length {value:?}")))?;
+                content_length = Some(n);
+            }
+            "connection" => connection = value.to_ascii_lowercase(),
+            "transfer-encoding" => chunked = true,
+            _ => {}
+        }
+    }
+    if chunked {
+        return Err(bad(501, "Transfer-Encoding is not supported; send Content-Length"));
+    }
+
+    // Body, bounded before a single byte is read.
+    let body = match content_length {
+        None | Some(0) => String::new(),
+        Some(n) if n > max_body_bytes => {
+            return Err(bad(
+                413,
+                format!("body of {n} bytes exceeds the limit of {max_body_bytes} bytes"),
+            ));
+        }
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf).map_err(RequestError::Io)?;
+            String::from_utf8(buf).map_err(|_| bad(400, "request body is not valid UTF-8"))?
+        }
+    };
+
+    // Split the target into path and query, decoding both.
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.to_string(), ""),
+    };
+    let segments = raw_path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| percent_decode(s, false))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| bad(400, format!("malformed path escape: {e}")))?;
+    let query =
+        parse_query(raw_query).map_err(|e| bad(400, format!("malformed query string: {e}")))?;
+
+    let keep_alive = match version {
+        "HTTP/1.0" => connection == "keep-alive",
+        _ => connection != "close",
+    };
+    Ok(Request { method, raw_path, segments, query, body, keep_alive })
+}
+
+/// Reads one CRLF-terminated line, counting it against [`MAX_HEAD_BYTES`].
+/// Returns `None` on a clean EOF before any byte of the line.
+///
+/// The limit is enforced *while* reading — a newline-free byte stream is
+/// rejected as soon as the head budget is exhausted, never buffered whole
+/// (`BufRead::read_line` would accumulate it unboundedly first).
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    head_bytes: &mut usize,
+) -> Result<Option<String>, RequestError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = reader.fill_buf().map_err(RequestError::Io)?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(bad(400, "connection closed mid-line"));
+        }
+        let (take, complete) = match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (buf.len(), false),
+        };
+        if *head_bytes + line.len() + take > MAX_HEAD_BYTES {
+            return Err(bad(431, format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
+        }
+        line.extend_from_slice(&buf[..take]);
+        reader.consume(take);
+        if complete {
+            break;
+        }
+    }
+    *head_bytes += line.len();
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map(Some).map_err(|_| bad(400, "request head is not valid UTF-8"))
+}
+
+/// Decodes `%XX` escapes (and, inside query strings, `+` as space).
+fn percent_decode(s: &str, plus_is_space: bool) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| format!("truncated %-escape in {s:?}"))?;
+                let hex = std::str::from_utf8(hex).map_err(|_| "non-ASCII %-escape".to_string())?;
+                let byte = u8::from_str_radix(hex, 16)
+                    .map_err(|_| format!("invalid %-escape %{hex} in {s:?}"))?;
+                out.push(byte);
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("%-escapes in {s:?} decode to invalid UTF-8"))
+}
+
+/// Parses `a=1&b=two%20words` into decoded key/value pairs.
+fn parse_query(raw: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for piece in raw.split('&') {
+        if piece.is_empty() {
+            continue;
+        }
+        let (k, v) = piece.split_once('=').unwrap_or((piece, ""));
+        out.push((percent_decode(k, true)?, percent_decode(v, true)?));
+    }
+    Ok(out)
+}
+
+/// The standard reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a JSON response with `Content-Length` framing.
+pub fn write_json_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+         Connection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_covers_escapes_and_plus() {
+        assert_eq!(percent_decode("my%20spec", false).unwrap(), "my spec");
+        assert_eq!(percent_decode("a+b", true).unwrap(), "a b");
+        assert_eq!(percent_decode("a+b", false).unwrap(), "a+b");
+        assert_eq!(percent_decode("%E2%9C%93", false).unwrap(), "✓");
+        assert!(percent_decode("%zz", false).is_err());
+        assert!(percent_decode("%2", false).is_err());
+        assert!(percent_decode("%ff", false).is_err(), "lone 0xff is not UTF-8");
+    }
+
+    #[test]
+    fn query_strings_parse_in_order() {
+        let q = parse_query("spec=fig2&a=r1&b=r%202&flag").unwrap();
+        assert_eq!(
+            q,
+            vec![
+                ("spec".to_string(), "fig2".to_string()),
+                ("a".to_string(), "r1".to_string()),
+                ("b".to_string(), "r 2".to_string()),
+                ("flag".to_string(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_emitted_statuses() {
+        for status in [200, 201, 400, 404, 405, 409, 413, 431, 500, 501, 505] {
+            assert_ne!(reason(status), "Unknown", "status {status}");
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! A networked front-end for the diff engine: a dependency-free HTTP/1.1
+//! server over `std::net::TcpListener` with a bounded worker pool, fronting
+//! a [`DiffService`] (and through it the [`WorkflowStore`] and its durable
+//! directory).
+//!
+//! PDiffView is presented as an interactive *system* users point at a
+//! provenance store; this module is the missing network layer — a process
+//! can load a store directory, warm the cache and serve diff queries to
+//! remote clients (see the `wfdiff_serve` binary).
+//!
+//! # Endpoints
+//!
+//! | method & path            | body | response |
+//! |--------------------------|------|----------|
+//! | `GET /healthz`           | —    | store/pool summary |
+//! | `GET /specs`             | —    | specification listing with version fingerprints |
+//! | `GET /specs/{name}/runs` | —    | run names of one specification |
+//! | `POST /runs`             | [`api::InsertRunRequest`] | insert (and durably append) a run |
+//! | `GET /diff?spec&a&b`     | —    | one cache-backed edit distance |
+//! | `POST /diff/batch`       | [`api::BatchDiffRequest`] | a pair list fanned onto the worker pool |
+//! | `GET /cluster?spec&a&b[&separator]` | — | per-composite-module change summary |
+//!
+//! All bodies are JSON; every store/diff/persist failure maps to a
+//! structured JSON error with a 4xx/5xx status (see [`api`]) — nothing
+//! panics across the connection boundary (handlers additionally run under
+//! `catch_unwind`, so even an engine bug answers `500` instead of wedging
+//! the connection).
+//!
+//! # Limits
+//!
+//! * request head (request line + headers): [`http::MAX_HEAD_BYTES`],
+//! * request body: [`ServeConfig::max_body_bytes`] (default
+//!   [`DEFAULT_MAX_BODY_BYTES`]), enforced from `Content-Length` before any
+//!   body byte is read — oversized requests get `413`,
+//! * batch size: [`handlers::MAX_BATCH_PAIRS`] pairs per `POST /diff/batch`,
+//! * concurrency: at most [`ServeConfig::threads`] connections are serviced
+//!   at once (the pool **is** the bound — further connections wait in the
+//!   OS accept backlog),
+//! * per-connection read timeout: [`ServeConfig::read_timeout`]; idle
+//!   keep-alive connections are closed when it elapses.
+//!
+//! [`WorkflowStore`]: crate::store::WorkflowStore
+
+pub mod api;
+pub mod handlers;
+pub mod http;
+
+pub use api::ApiError;
+pub use handlers::AppState;
+
+use crate::service::DiffService;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default request-body ceiling: 1 MiB.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Default per-connection read timeout.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server configuration; `ServeConfig::default()` binds an ephemeral
+/// loopback port with 4 workers and no persistence.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port; read the
+    /// actual one from [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker-pool size — the bound on concurrently serviced connections.
+    /// Clamped to at least 1.
+    pub threads: usize,
+    /// Request-body ceiling in bytes; larger bodies are answered with `413`.
+    pub max_body_bytes: usize,
+    /// Read timeout per connection; an idle keep-alive connection is closed
+    /// when it elapses.
+    pub read_timeout: Duration,
+    /// When set, `POST /runs` appends an atomic run document to this store
+    /// directory (the one the store was loaded from) via
+    /// [`crate::store::WorkflowStore::append_run_to_dir`].
+    pub store_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            store_dir: None,
+        }
+    }
+}
+
+/// A bound (but not yet serving) diff server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds the configured address over `service`.  The listener is live
+    /// after `bind` returns (connections queue in the backlog); call
+    /// [`Server::start`] to begin servicing them.
+    pub fn bind(service: Arc<DiffService>, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(AppState { service, store_dir: config.store_dir.clone() });
+        Ok(Server { listener, state, config })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawns the worker pool and returns a handle that can wait for or
+    /// shut down the server.
+    pub fn start(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let listener = Arc::new(self.listener);
+        let workers = (0..self.config.threads.max(1))
+            .map(|i| {
+                let listener = Arc::clone(&listener);
+                let state = Arc::clone(&self.state);
+                let shutdown = Arc::clone(&shutdown);
+                let max_body = self.config.max_body_bytes;
+                let timeout = self.config.read_timeout;
+                std::thread::Builder::new()
+                    .name(format!("wfdiff-serve-{i}"))
+                    .spawn(move || worker_loop(&listener, &state, &shutdown, max_body, timeout))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(ServerHandle { addr, shutdown, workers })
+    }
+}
+
+/// A running server: joinable, shut-downable, addressable.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until every worker exits (for a server that runs until the
+    /// process is killed).
+    pub fn join(mut self) {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Stops accepting, wakes blocked workers and joins them.  In-flight
+    /// requests finish; idle keep-alive connections are dropped the next
+    /// time their worker checks the flag (at the latest when their read
+    /// timeout elapses).
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Sets the flag and unblocks every worker that sits in `accept`.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for _ in 0..self.workers.len() {
+            // A throw-away connection per worker wakes the blocking accepts;
+            // workers re-check the flag before servicing it.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Best effort: a dropped (not joined) handle still stops the
+        // workers; join errors are irrelevant during unwinding.
+        if !self.workers.is_empty() {
+            self.request_shutdown();
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+/// One worker: accept, service the connection to completion, repeat.
+fn worker_loop(
+    listener: &TcpListener,
+    state: &AppState,
+    shutdown: &AtomicBool,
+    max_body: usize,
+    timeout: Duration,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Connection-level failures (reset, timeout) only end this
+                // connection; the worker keeps serving.
+                let _ = handle_connection(stream, state, max_body, timeout, shutdown);
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept failure (e.g. fd exhaustion): back off
+                // briefly instead of spinning.
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// Services one connection: a keep-alive loop of read → route → respond.
+fn handle_connection(
+    stream: TcpStream,
+    state: &AppState,
+    max_body: usize,
+    timeout: Duration,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader, max_body) {
+            Ok(req) => {
+                // A panicking handler must not take the connection (or the
+                // worker) down with it: answer 500 and carry on.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handlers::route(state, &req)
+                }));
+                let (status, body) = outcome.unwrap_or_else(|_| {
+                    let e =
+                        ApiError::new(500, "internal_panic", "handler panicked; see server log");
+                    (e.status, e.body())
+                });
+                let keep_alive = req.keep_alive && !shutdown.load(Ordering::SeqCst);
+                http::write_json_response(&mut writer, status, &body, keep_alive)?;
+                if !keep_alive {
+                    return Ok(());
+                }
+            }
+            Err(http::RequestError::Closed) => return Ok(()),
+            Err(http::RequestError::Io(e)) => return Err(e),
+            Err(http::RequestError::Bad { status, message }) => {
+                let e = ApiError::new(status, "malformed_request", message);
+                // Framing is unreliable after a malformed request: close.
+                http::write_json_response(&mut writer, status, &e.body(), false)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::WorkflowStore;
+    use std::io::{Read, Write};
+    use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
+
+    fn started_server() -> ServerHandle {
+        let store = Arc::new(WorkflowStore::new());
+        let spec = store.insert_spec(fig2_specification()).unwrap();
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        store.insert_run("r2", fig2_run2(&spec)).unwrap();
+        let service = Arc::new(DiffService::new(store));
+        let config = ServeConfig { threads: 2, ..ServeConfig::default() };
+        Server::bind(service, config).unwrap().start().unwrap()
+    }
+
+    fn raw_request(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn server_answers_over_a_real_socket_and_shuts_down() {
+        let handle = started_server();
+        let addr = handle.addr();
+        let response = raw_request(
+            addr,
+            "GET /diff?spec=fig2&a=r1&b=r2 HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n",
+        );
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("\"distance\":4.0"), "{response}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_4xx_not_a_hang() {
+        let handle = started_server();
+        let addr = handle.addr();
+        let response = raw_request(addr, "BROKEN\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        let response = raw_request(addr, "GET / HTTP/0.9\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 505"), "{response}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn newline_free_floods_are_cut_off_at_the_head_limit() {
+        let handle = started_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        // A request line that never ends: the server must answer 431 once
+        // the head budget is exhausted, not buffer the stream unboundedly.
+        // Just over the limit is sent (it fits the socket buffers without
+        // blocking), then the flood stops so the server's response is not
+        // lost to a reset.
+        let chunk = [b'a'; 4096];
+        let mut sent = 0usize;
+        while sent <= http::MAX_HEAD_BYTES {
+            match stream.write_all(&chunk) {
+                Ok(()) => sent += chunk.len(),
+                Err(_) => break,
+            }
+        }
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(response.starts_with("HTTP/1.1 431"), "{response}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let handle = started_server();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+        for _ in 0..3 {
+            stream.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let body = read_one_response(&mut reader);
+            assert!(body.contains("\"ok\""), "{body}");
+        }
+        drop(stream);
+        handle.shutdown();
+    }
+
+    /// Reads one `Content-Length`-framed response and returns its body.
+    fn read_one_response(reader: &mut std::io::BufReader<TcpStream>) -> String {
+        use std::io::BufRead;
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("HTTP/1.1 "), "{line}");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).unwrap();
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        String::from_utf8(body).unwrap()
+    }
+}

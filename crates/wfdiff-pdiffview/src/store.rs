@@ -63,6 +63,14 @@ pub enum StoreError {
         /// The rejected run's name.
         run: String,
     },
+    /// A run was inserted via [`WorkflowStore::insert_run_new`] under a name
+    /// that is already taken for its specification.
+    DuplicateRun {
+        /// The specification name.
+        name: String,
+        /// The contested run name.
+        run: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -80,6 +88,11 @@ impl fmt::Display for StoreError {
                 f,
                 "run {run:?} was validated against a different version of specification \
                  {name:?}; rebuild it against the stored version"
+            ),
+            StoreError::DuplicateRun { name, run } => write!(
+                f,
+                "specification {name:?} already stores a run named {run:?}; remove it first \
+                 or pick another name"
             ),
         }
     }
@@ -220,6 +233,36 @@ impl WorkflowStore {
         Ok(arc)
     }
 
+    /// Like [`WorkflowStore::insert_run`], but refuses to replace an
+    /// existing run of the same name ([`StoreError::DuplicateRun`]).  The
+    /// existence check and the insert share one critical section, so two
+    /// concurrent inserts of one name cannot both succeed — the network
+    /// server relies on this to make its persist-failure rollback remove
+    /// only the run it inserted itself.
+    pub fn insert_run_new(&self, run_name: &str, run: Run) -> Result<Arc<Run>, StoreError> {
+        let key = (run.spec_name().to_string(), run_name.to_string());
+        let specs = self.specs.read();
+        let spec = specs
+            .get(run.spec_name())
+            .ok_or_else(|| StoreError::MissingSpec { name: run.spec_name().to_string() })?;
+        if spec.fingerprint() != run.spec_fingerprint() {
+            return Err(StoreError::SpecVersionMismatch {
+                name: run.spec_name().to_string(),
+                run: run_name.to_string(),
+            });
+        }
+        let mut runs = self.runs.write();
+        if runs.contains_key(&key) {
+            return Err(StoreError::DuplicateRun {
+                name: run.spec_name().to_string(),
+                run: run_name.to_string(),
+            });
+        }
+        let arc = Arc::new(run);
+        runs.insert(key, Arc::clone(&arc));
+        Ok(arc)
+    }
+
     /// Looks up a run by specification and run name.
     pub fn run(&self, spec_name: &str, run_name: &str) -> Option<Arc<Run>> {
         self.runs.read().get(&(spec_name.to_string(), run_name.to_string())).cloned()
@@ -354,6 +397,23 @@ mod tests {
         // A run built against the current version is accepted.
         let fresh = store.spec("fig2").unwrap().execute(&mut wfdiff_sptree::FullDecider).unwrap();
         store.insert_run("fresh", fresh).unwrap();
+    }
+
+    #[test]
+    fn insert_run_new_refuses_to_replace() {
+        let store = WorkflowStore::new();
+        let spec = store.insert_spec(fig2_specification()).unwrap();
+        let original = store.insert_run_new("r1", fig2_run1(&spec)).unwrap();
+        let err = store.insert_run_new("r1", fig2_run2(&spec)).unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::DuplicateRun { name: "fig2".to_string(), run: "r1".to_string() }
+        );
+        // The original run is untouched (same Arc), and plain insert_run
+        // still replaces.
+        assert!(Arc::ptr_eq(&store.run("fig2", "r1").unwrap(), &original));
+        store.insert_run("r1", fig2_run2(&spec)).unwrap();
+        assert!(!Arc::ptr_eq(&store.run("fig2", "r1").unwrap(), &original));
     }
 
     #[test]

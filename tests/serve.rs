@@ -1,0 +1,272 @@
+//! End-to-end integration tests for the networked diff server: a real
+//! `wfdiff_serve`-shaped stack (persisted store directory → `load_from_dir`
+//! → warm-started `DiffService` → HTTP server on an ephemeral loopback
+//! port) driven over real sockets, with the error paths the ISSUE calls
+//! out: unknown spec slug, spec-version-mismatched run insert, malformed
+//! JSON body, oversized body — asserting the status codes and that neither
+//! the in-memory store nor the on-disk directory changed afterwards.
+
+use pdiffview::pdiffview::io::RunDescriptor;
+use pdiffview::pdiffview::serve::{ServeConfig, Server, ServerHandle};
+use pdiffview::pdiffview::{DiffService, WorkflowStore};
+use pdiffview::workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A scratch directory that cleans up after itself.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!("wfdiff-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The production boot sequence: seed a store, persist it, load it back
+/// (full validation), warm-start a service over it and serve it with
+/// persistence enabled.  `max_body` is small so the oversize path is
+/// testable without a megabyte body.
+fn boot(dir: &Path, max_body: usize) -> (Arc<WorkflowStore>, ServerHandle) {
+    let seed = WorkflowStore::new();
+    let spec = seed.insert_spec(fig2_specification()).unwrap();
+    seed.insert_run("r1", fig2_run1(&spec)).unwrap();
+    seed.insert_run("r2", fig2_run2(&spec)).unwrap();
+    seed.save_to_dir(dir).unwrap();
+
+    let store = Arc::new(WorkflowStore::load_from_dir(dir).unwrap());
+    let service = Arc::new(DiffService::builder(Arc::clone(&store)).threads(2).build());
+    service.warm_start().unwrap();
+    let config = ServeConfig {
+        threads: 2,
+        max_body_bytes: max_body,
+        store_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    };
+    let handle = Server::bind(service, config).unwrap().start().unwrap();
+    (store, handle)
+}
+
+/// One request on a fresh connection; returns `(status, body)`.
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(10))).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line.split(' ').nth(1).unwrap().parse().unwrap();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).unwrap();
+        let header = header.trim();
+        if header.is_empty() {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap();
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    reader.read_exact(&mut buf).unwrap();
+    (status, String::from_utf8(buf).unwrap())
+}
+
+/// Every run file under `specs/*/runs`, keyed by path, with its content —
+/// the "store directory unchanged" fixture.
+fn disk_state(dir: &Path) -> BTreeMap<PathBuf, String> {
+    let mut out = BTreeMap::new();
+    for spec_dir in std::fs::read_dir(dir.join("specs")).unwrap() {
+        let runs_dir = spec_dir.unwrap().path().join("runs");
+        if let Ok(entries) = std::fs::read_dir(&runs_dir) {
+            for entry in entries {
+                let path = entry.unwrap().path();
+                let content = std::fs::read_to_string(&path).unwrap();
+                out.insert(path, content);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn error_paths_reject_cleanly_and_leave_the_store_untouched() {
+    let dir = TempDir::new("errors");
+    let (store, handle) = boot(dir.path(), 2048);
+    let addr = handle.addr();
+    let runs_before = store.run_count();
+    let disk_before = disk_state(dir.path());
+
+    // Unknown spec slug → 404 with a structured JSON error.
+    let (status, body) = request(addr, "GET", "/specs/no-such-spec/runs", "");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("\"unknown_spec\""), "{body}");
+    let (status, body) = request(addr, "GET", "/diff?spec=no-such-spec&a=r1&b=r2", "");
+    assert_eq!(status, 404, "{body}");
+    let (status, body) = request(addr, "GET", "/cluster?spec=no-such-spec&a=r1&b=r2", "");
+    assert_eq!(status, 404, "{body}");
+
+    // Unknown run → 404 with the run-specific kind.
+    let (status, body) = request(addr, "GET", "/diff?spec=fig2&a=r1&b=ghost", "");
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("\"unknown_run\""), "{body}");
+
+    // Spec-version-mismatched run insert → 409.  The client asserts the
+    // version it built the run against; the server holds a different one.
+    let spec = store.spec("fig2").unwrap();
+    let descriptor = RunDescriptor::from_run(&fig2_run1(&spec));
+    let insert = format!(
+        "{{\"name\": \"stale\", \"spec_fingerprint\": \"{:032x}\", \"run\": {}}}",
+        0xdead_beefu128,
+        descriptor.to_json()
+    );
+    let (status, body) = request(addr, "POST", "/runs", &insert);
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("\"spec_version_mismatch\""), "{body}");
+
+    // A structurally invalid run (out-of-range node index) → 400.
+    let mut bad_descriptor = RunDescriptor::from_run(&fig2_run1(&spec));
+    bad_descriptor.edges.push((9999, 0));
+    let insert = format!("{{\"name\": \"broken\", \"run\": {}}}", bad_descriptor.to_json());
+    let (status, body) = request(addr, "POST", "/runs", &insert);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"invalid_run\""), "{body}");
+
+    // Malformed JSON body → 400.
+    let (status, body) = request(addr, "POST", "/runs", "{\"name\": \"x\", ");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"invalid_json\""), "{body}");
+
+    // Oversized body → 413, rejected from Content-Length before the body is
+    // interpreted.
+    let huge = "x".repeat(4096);
+    let (status, body) = request(addr, "POST", "/runs", &huge);
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("exceeds the limit"), "{body}");
+
+    // Batch with an unknown run → 404, index-aligned success path intact.
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/diff/batch",
+        "{\"spec\": \"fig2\", \"pairs\": [[\"r1\", \"ghost\"]]}",
+    );
+    assert_eq!(status, 404, "{body}");
+
+    // Unknown endpoint → 404; wrong method on a known endpoint → 405.
+    let (status, _) = request(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "DELETE", "/runs", "");
+    assert_eq!(status, 405);
+
+    // After all of that: the in-memory store and the on-disk directory are
+    // byte-for-byte what they were.
+    assert_eq!(store.run_count(), runs_before);
+    assert!(store.run("fig2", "stale").is_none());
+    assert!(store.run("fig2", "broken").is_none());
+    assert_eq!(disk_state(dir.path()), disk_before);
+    handle.shutdown();
+
+    // The directory still loads clean after the server is gone.
+    assert_eq!(WorkflowStore::load_from_dir(dir.path()).unwrap().run_count(), runs_before);
+}
+
+#[test]
+fn success_paths_serve_and_persist_through_the_whole_stack() {
+    let dir = TempDir::new("success");
+    let (store, handle) = boot(dir.path(), 64 * 1024);
+    let addr = handle.addr();
+
+    // Health and store snapshots.
+    let (status, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\""));
+    let (status, body) = request(addr, "GET", "/specs", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"fig2\""), "{body}");
+    let (status, body) = request(addr, "GET", "/specs/fig2/runs", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"r1\"") && body.contains("\"r2\""), "{body}");
+
+    // The served distance equals the local engine's.
+    let (status, body) = request(addr, "GET", "/diff?spec=fig2&a=r1&b=r2", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"distance\":4.0"), "{body}");
+
+    // Cluster summary over the same pair.
+    let (status, body) = request(addr, "GET", "/cluster?spec=fig2&a=r1&b=r2", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"clusters\""), "{body}");
+
+    // Insert with a correct version assertion: 201, in memory and on disk.
+    let spec = store.spec("fig2").unwrap();
+    let descriptor = RunDescriptor::from_run(&fig2_run1(&spec));
+    let insert = format!(
+        "{{\"name\": \"posted\", \"spec_fingerprint\": \"{}\", \"run\": {}}}",
+        spec.fingerprint(),
+        descriptor.to_json()
+    );
+    let (status, body) = request(addr, "POST", "/runs", &insert);
+    assert_eq!(status, 201, "{body}");
+    assert!(body.contains("\"persisted\":true"), "{body}");
+    assert!(store.run("fig2", "posted").is_some());
+
+    // Inserts are create-only: reposting the same name is refused with 409
+    // and the stored run (and its on-disk document) stay untouched.
+    let disk_after_insert = disk_state(dir.path());
+    let (status, body) = request(addr, "POST", "/runs", &insert);
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("\"run_exists\""), "{body}");
+    assert_eq!(disk_state(dir.path()), disk_after_insert);
+
+    // The appended run answers diff queries and survives a restart.
+    let (status, body) = request(addr, "GET", "/diff?spec=fig2&a=posted&b=r1", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"distance\":0.0"), "{body}");
+    handle.shutdown();
+    let reloaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+    assert_eq!(reloaded.run_count(), 3);
+    assert!(reloaded.run("fig2", "posted").is_some());
+}
+
+#[test]
+fn batch_endpoint_matches_single_pair_answers() {
+    let dir = TempDir::new("batch");
+    let (_store, handle) = boot(dir.path(), 64 * 1024);
+    let addr = handle.addr();
+    let (status, single) = request(addr, "GET", "/diff?spec=fig2&a=r1&b=r2", "");
+    assert_eq!(status, 200);
+    let (status, batch) = request(
+        addr,
+        "POST",
+        "/diff/batch",
+        "{\"spec\": \"fig2\", \"pairs\": [[\"r1\", \"r2\"], [\"r2\", \"r2\"]]}",
+    );
+    assert_eq!(status, 200, "{batch}");
+    // The batch's first entry carries the same distance as the single call.
+    let single_distance = single.split("\"distance\":").nth(1).unwrap();
+    assert!(batch.contains(&format!("\"distance\":{}", single_distance.trim_end_matches('}'))));
+    assert!(batch.contains("\"distance\":0.0"));
+    handle.shutdown();
+}
