@@ -1,26 +1,49 @@
 //! Closed-loop load generator against a live in-process `wfdiff_serve`
-//! server: mixed read/diff/insert traffic from 1..N keep-alive clients over
-//! real loopback sockets, with every served distance checked against a
-//! local recompute.  Writes `load_gen.csv` and machine-readable
-//! `BENCH_serve.json`.
+//! server over real loopback sockets, in two modes:
 //!
-//! Usage: `load_gen [runs] [spec_edges] [requests_per_client] [clients...]`
-//! (defaults: 50 runs, 60-edge specification, 25 requests per client,
-//! client counts 1 2 4).
+//! * **mixed** (default) — read/diff/insert traffic from 1..N keep-alive
+//!   clients, every served distance checked against a local recompute.
+//!   Writes `load_gen.csv` and machine-readable `BENCH_serve.json`.
+//! * **cluster** — streamed inserts with live re-clustering: each
+//!   `POST /runs` is followed by a `GET /cluster?algo=kmedoids` that must
+//!   already include the run (the *streamed-insert-to-reclustered* latency)
+//!   and a `GET /similar` whose answer must be bit-identical to a local
+//!   from-scratch recompute; the persisted cluster checkpoint is reloaded
+//!   cold at the end and compared too.  Writes `load_gen_cluster.csv` and
+//!   `BENCH_cluster.json`.
 //!
-//! Exits non-zero if any protocol error or distance mismatch occurred.
+//! ```text
+//! load_gen [runs] [spec_edges] [requests_per_client] [clients...]
+//! load_gen cluster [initial_runs] [spec_edges] [inserts] [k]
+//! ```
+//!
+//! Defaults: mixed — 50 runs, 60-edge specification, 25 requests per
+//! client, client counts 1 2 4; cluster — 20 initial runs, 60 edges, 10
+//! inserts, k=4.
+//!
+//! Exits non-zero if any protocol error or verification mismatch occurred.
 
 use wfdiff_bench::benchjson::write_bench_json;
 use wfdiff_bench::csvout::{fmt, write_csv};
-use wfdiff_bench::loadgen::{render, run, LoadGenConfig};
+use wfdiff_bench::loadgen::{
+    render, render_cluster, run, run_cluster, ClusterStreamConfig, LoadGenConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
-    let edges: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(60);
-    let requests: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(25);
+    if args.get(1).map(String::as_str) == Some("cluster") {
+        cluster_mode(&args[2..]);
+    } else {
+        mixed_mode(&args[1..]);
+    }
+}
+
+fn mixed_mode(args: &[String]) {
+    let runs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let edges: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let requests: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(25);
     let clients: Vec<usize> =
-        args[4.min(args.len())..].iter().filter_map(|s| s.parse().ok()).collect();
+        args[3.min(args.len())..].iter().filter_map(|s| s.parse().ok()).collect();
 
     let mut config = LoadGenConfig::new(runs, edges);
     config.requests_per_client = requests;
@@ -77,5 +100,64 @@ fn main() {
         report.distance_mismatches(),
         0,
         "served distances diverged from the local recompute"
+    );
+}
+
+fn cluster_mode(args: &[String]) {
+    let initial: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let edges: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let inserts: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let k: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let config = ClusterStreamConfig::new(initial, edges, inserts, k);
+    let report = run_cluster(&config);
+    print!("{}", render_cluster(&report));
+
+    let rows: Vec<Vec<String>> = report
+        .ops
+        .iter()
+        .map(|op| {
+            vec![
+                report.label.clone(),
+                op.op.clone(),
+                op.count.to_string(),
+                op.p50_us.to_string(),
+                op.p90_us.to_string(),
+                op.p99_us.to_string(),
+                op.max_us.to_string(),
+                report.protocol_errors.to_string(),
+                report.similar_mismatches.to_string(),
+                report.cluster_errors.to_string(),
+            ]
+        })
+        .collect();
+    write_csv(
+        "load_gen_cluster.csv",
+        &[
+            "workload",
+            "op",
+            "count",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "max_us",
+            "protocol_errors",
+            "similar_mismatches",
+            "cluster_errors",
+        ],
+        &rows,
+    )
+    .expect("write load_gen_cluster.csv");
+    write_bench_json("BENCH_cluster.json", &report).expect("write BENCH_cluster.json");
+    eprintln!("wrote load_gen_cluster.csv and BENCH_cluster.json");
+
+    assert_eq!(report.protocol_errors, 0, "the cluster run hit protocol errors");
+    assert_eq!(
+        report.similar_mismatches, 0,
+        "/similar answers diverged from the from-scratch recompute"
+    );
+    assert_eq!(
+        report.cluster_errors, 0,
+        "a cluster response missed a streamed run or the checkpoint failed to reload"
     );
 }

@@ -8,6 +8,25 @@
 //! The defaults use fewer samples and smaller replication bounds than the
 //! paper so that the full harness completes in minutes on a laptop; every
 //! binary accepts arguments to scale the workload up to the paper's settings.
+//!
+//! # Example
+//!
+//! Every experiment builds on [`time_ms`] and a reproducible workload
+//! generator:
+//!
+//! ```
+//! use wfdiff_bench::batch::{generate_workload, BatchConfig};
+//! use wfdiff_bench::time_ms;
+//!
+//! let (value, elapsed_ms) = time_ms(|| (0u64..1000).sum::<u64>());
+//! assert_eq!(value, 499_500);
+//! assert!(elapsed_ms >= 0.0);
+//!
+//! // A tiny Fig. 12-style collection: one specification, three runs.
+//! let (spec, runs) = generate_workload(&BatchConfig::fig12(20, 3));
+//! assert_eq!(runs.len(), 3);
+//! assert!(runs.iter().all(|r| r.spec_name() == spec.name()));
+//! ```
 
 pub mod batch;
 pub mod benchjson;

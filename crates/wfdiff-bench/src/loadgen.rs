@@ -496,6 +496,281 @@ impl HttpClient {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Cluster-stream mode
+// ---------------------------------------------------------------------------
+
+/// Configuration of the cluster-stream experiment (`load_gen cluster …`):
+/// a served store under **streamed inserts with live re-clustering**.
+#[derive(Debug, Clone)]
+pub struct ClusterStreamConfig {
+    /// Workload label for the report.
+    pub label: String,
+    /// Runs in the store when the server boots.
+    pub initial_runs: usize,
+    /// Specification size in edges.
+    pub spec_edges: usize,
+    /// Runs streamed in through `POST /runs`, one at a time.
+    pub inserts: usize,
+    /// Cluster count of the k-medoids queries.
+    pub k: usize,
+    /// Neighbour count of the `/similar` checks.
+    pub similar_k: usize,
+    /// Server worker-pool size.
+    pub server_threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ClusterStreamConfig {
+    /// The default streamed-clustering workload.
+    pub fn new(initial_runs: usize, spec_edges: usize, inserts: usize, k: usize) -> Self {
+        ClusterStreamConfig {
+            label: format!("cluster(r={initial_runs}+{inserts},e={spec_edges},k={k})"),
+            initial_runs,
+            spec_edges,
+            inserts,
+            k,
+            similar_k: 5,
+            server_threads: 4,
+            seed: 0xC1_5E17E,
+        }
+    }
+}
+
+/// The result of one cluster-stream experiment (serialised as
+/// `BENCH_cluster.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ClusterStreamReport {
+    /// Workload label.
+    pub label: String,
+    /// Runs in the store at boot.
+    pub initial_runs: usize,
+    /// Specification size in edges.
+    pub spec_edges: usize,
+    /// Runs streamed in.
+    pub inserts: usize,
+    /// k-medoids cluster count.
+    pub k: usize,
+    /// Server worker-pool size.
+    pub server_threads: usize,
+    /// Non-2xx responses and transport failures (must be 0).
+    pub protocol_errors: usize,
+    /// `/similar` answers that diverged from the local from-scratch
+    /// recompute — names or distances (must be 0).
+    pub similar_mismatches: usize,
+    /// Cluster responses that failed to reflect a streamed insert, plus a
+    /// final cluster-cache reload that failed validation (must be 0).
+    pub cluster_errors: usize,
+    /// Latency percentiles per operation: `insert_recluster` measures
+    /// POST /runs **plus** the k-medoids query that reflects it (the
+    /// streamed-insert-to-reclustered path), `similar` the nearest-run
+    /// query.
+    pub ops: Vec<OpStats>,
+}
+
+impl ClusterStreamReport {
+    /// Whether the run was fully clean (zero errors and mismatches).
+    pub fn is_clean(&self) -> bool {
+        self.protocol_errors == 0 && self.similar_mismatches == 0 && self.cluster_errors == 0
+    }
+}
+
+/// Runs the cluster-stream experiment: save → load → warm → serve, then
+/// stream inserts while checking every `/similar` answer against a local
+/// from-scratch recompute and every cluster response for membership of the
+/// streamed run; finally reload the persisted cluster checkpoint and
+/// compare it against the server's last answer.
+pub fn run_cluster(config: &ClusterStreamConfig) -> ClusterStreamReport {
+    // One generated pool: the first `initial_runs` boot the store, the rest
+    // are streamed in.
+    let mut batch =
+        batch_config(&LoadGenConfig::new(config.initial_runs + config.inserts, config.spec_edges));
+    batch.seed = config.seed;
+    let (spec, all_runs) = generate_workload(&batch);
+    let spec_name = spec.name().to_string();
+    let (boot_runs, streamed) = all_runs.split_at(config.initial_runs);
+
+    // Local mirror for the from-scratch recomputes.
+    let local_store = Arc::new(WorkflowStore::new());
+    local_store.insert_spec(spec.clone()).expect("fresh store has no conflict");
+    for (i, run) in boot_runs.iter().enumerate() {
+        local_store.insert_run(&run_name(i), run.clone()).expect("spec is stored");
+    }
+    let local = DiffService::new(Arc::clone(&local_store));
+
+    // Boot exactly like production: save → load (full validation) → warm →
+    // serve with persistence (so cluster state is checkpointed too).
+    let dir = scratch_dir(usize::MAX);
+    local_store.save_to_dir(&dir).expect("save succeeds");
+    let served = Arc::new(WorkflowStore::load_from_dir(&dir).expect("load succeeds"));
+    let service = Arc::new(DiffService::builder(served).threads(config.server_threads).build());
+    service.warm_start().expect("warm start succeeds");
+    let server = Server::bind(
+        Arc::clone(&service),
+        ServeConfig {
+            threads: config.server_threads,
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let handle = server.start().expect("spawn workers");
+    let addr = handle.addr();
+
+    let mut report = ClusterStreamReport {
+        label: config.label.clone(),
+        initial_runs: config.initial_runs,
+        spec_edges: config.spec_edges,
+        inserts: streamed.len(),
+        k: config.k,
+        server_threads: config.server_threads,
+        protocol_errors: 0,
+        similar_mismatches: 0,
+        cluster_errors: 0,
+        ops: Vec::new(),
+    };
+    let mut recluster_us: Vec<u64> = Vec::new();
+    let mut similar_us: Vec<u64> = Vec::new();
+    let mut last_cluster: Option<wfdiff_pdiffview::serve::api::KMedoidsResponse> = None;
+
+    let mut client = HttpClient::connect(addr).expect("connect to the served store");
+    let cluster_path = format!("/cluster?spec={}&algo=kmedoids&k={}", encode(&spec_name), config.k);
+    // Prime the index (the first query builds the clustering).
+    match client.request("GET", &cluster_path, None) {
+        Ok((200, body)) => {
+            last_cluster = serde_json::from_str(&body).ok();
+            if last_cluster.is_none() {
+                report.protocol_errors += 1;
+            }
+        }
+        _ => report.protocol_errors += 1,
+    }
+
+    for (i, run) in streamed.iter().enumerate() {
+        let name = format!("ins-{i:03}");
+        let descriptor = RunDescriptor::from_run(run);
+        let body = format!("{{\"name\": {:?}, \"run\": {}}}", name, descriptor.to_json());
+
+        // Streamed-insert-to-reclustered: POST the run, then ask for the
+        // clustering that must already include it.
+        let started = Instant::now();
+        let inserted = matches!(client.request("POST", "/runs", Some(&body)), Ok((201, _)));
+        if !inserted {
+            report.protocol_errors += 1;
+            continue;
+        }
+        match client.request("GET", &cluster_path, None) {
+            Ok((200, text)) => {
+                recluster_us.push(started.elapsed().as_micros() as u64);
+                match serde_json::from_str::<wfdiff_pdiffview::serve::api::KMedoidsResponse>(&text)
+                {
+                    Ok(out) => {
+                        if !out.clusters.iter().any(|c| c.runs.contains(&name)) {
+                            report.cluster_errors += 1;
+                        }
+                        last_cluster = Some(out);
+                    }
+                    Err(_) => report.protocol_errors += 1,
+                }
+            }
+            _ => report.protocol_errors += 1,
+        }
+
+        // Mirror the insert locally and verify /similar bit-for-bit against
+        // a from-scratch recompute.
+        local_store.insert_run(&name, run.clone()).expect("spec is stored");
+        let expected = local
+            .nearest_runs(&spec_name, &name, config.similar_k)
+            .expect("local recompute succeeds");
+        let similar_path = format!(
+            "/similar?spec={}&run={}&k={}",
+            encode(&spec_name),
+            encode(&name),
+            config.similar_k
+        );
+        let started = Instant::now();
+        match client.request("GET", &similar_path, None) {
+            Ok((200, text)) => {
+                similar_us.push(started.elapsed().as_micros() as u64);
+                match serde_json::from_str::<wfdiff_pdiffview::serve::api::SimilarResponse>(&text) {
+                    Ok(out) => {
+                        let matches = out.neighbors.len() == expected.len()
+                            && out.neighbors.iter().zip(&expected).all(|(got, want)| {
+                                got.run == want.target && got.distance == want.distance
+                            });
+                        if !matches {
+                            report.similar_mismatches += 1;
+                        }
+                    }
+                    Err(_) => report.protocol_errors += 1,
+                }
+            }
+            _ => report.protocol_errors += 1,
+        }
+    }
+
+    // Close the keep-alive connection before shutting down, or a worker
+    // would sit in its read timeout waiting for our next request.
+    drop(client);
+    handle.shutdown();
+
+    // The checkpointed clustering must survive a restart: reload the store
+    // directory cold and resume from cluster_cache.json.
+    if let Some(final_cluster) = &last_cluster {
+        let reloaded = WorkflowStore::load_from_dir(&dir).expect("load succeeds");
+        let resumed = DiffService::new(Arc::new(reloaded));
+        let cache = resumed.load_cluster_state(&dir);
+        let snapshot = resumed.cluster_index().snapshot(&spec_name);
+        let consistent = cache.loaded == 1
+            && cache.stale == 0
+            && snapshot.is_some_and(|snap| {
+                snap.partition()
+                    == final_cluster.clusters.iter().map(|c| c.runs.clone()).collect::<Vec<_>>()
+            });
+        if !consistent {
+            report.cluster_errors += 1;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for (name, mut lat) in [("insert_recluster", recluster_us), ("similar", similar_us)] {
+        if lat.is_empty() {
+            continue;
+        }
+        lat.sort_unstable();
+        report.ops.push(OpStats {
+            op: name.to_string(),
+            count: lat.len(),
+            p50_us: percentile(&lat, 50.0),
+            p90_us: percentile(&lat, 90.0),
+            p99_us: percentile(&lat, 99.0),
+            max_us: *lat.last().expect("non-empty"),
+        });
+    }
+    report
+}
+
+/// Renders a cluster-stream report as an aligned text table.
+pub fn render_cluster(report: &ClusterStreamReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "load_gen cluster — {} ({}+{} runs, k={}, {} server worker(s))\n",
+        report.label, report.initial_runs, report.inserts, report.k, report.server_threads,
+    ));
+    out.push_str(&format!(
+        "errors {}   similar mismatches {}   cluster errors {}\n",
+        report.protocol_errors, report.similar_mismatches, report.cluster_errors,
+    ));
+    for op in &report.ops {
+        out.push_str(&format!(
+            "{:>7} x {:<16} p50 {:>7}us   p90 {:>7}us   p99 {:>7}us   max {:>7}us\n",
+            op.count, op.op, op.p50_us, op.p90_us, op.p99_us, op.max_us
+        ));
+    }
+    out
+}
+
 /// Renders a report as an aligned text table.
 pub fn render(report: &ServeBenchReport) -> String {
     let mut out = String::new();
@@ -553,6 +828,23 @@ mod tests {
         // The report serialises for BENCH_serve.json.
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"throughput_rps\""));
+    }
+
+    #[test]
+    fn cluster_stream_run_is_clean_and_verified() {
+        let mut config = ClusterStreamConfig::new(5, 25, 3, 2);
+        config.server_threads = 2;
+        config.similar_k = 3;
+        let report = run_cluster(&config);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.inserts, 3);
+        let recluster = report.ops.iter().find(|o| o.op == "insert_recluster").unwrap();
+        assert_eq!(recluster.count, 3);
+        assert!(report.ops.iter().any(|o| o.op == "similar"));
+        let text = render_cluster(&report);
+        assert!(text.contains("insert_recluster"), "{text}");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"similar_mismatches\""));
     }
 
     #[test]

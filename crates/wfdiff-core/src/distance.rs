@@ -295,6 +295,22 @@ impl<'a> WorkflowDiff<'a> {
         self.solve(&cx, cx.t1.root(), cx.t2.root(), &mut memo)
     }
 
+    /// Computes one row of a distance matrix: the edit distance from
+    /// `source` to every prepared run in `targets`, index-aligned.
+    ///
+    /// This is the nearest-neighbour access pattern ("which stored run is
+    /// this one closest to?"): the source's tables are built once and every
+    /// pair cost rides the shared cache, so a warm row is k cache probes
+    /// rather than k DP solves.
+    pub fn distance_row_prepared(
+        &self,
+        source: &PreparedRun<'_>,
+        targets: &[&PreparedRun<'_>],
+        cache: Option<&dyn DiffCache>,
+    ) -> Result<Vec<f64>, DiffError> {
+        targets.iter().map(|t| self.distance_prepared(source, t, cache)).collect()
+    }
+
     /// The pair-cache key of the homologous subtree pair `(v1, v2)`.
     fn pair_key(&self, cx: &Ctx<'_>, v1: TreeId, v2: TreeId) -> PairKey {
         PairKey {

@@ -21,6 +21,30 @@
 //!   (enumerates well-formed mappings, Theorem 3) used as a test oracle,
 //! * [`hardness`] — the Theorem 1 reduction from *balanced bipartite clique*
 //!   showing the general problem is NP-hard.
+//!
+//! # Example
+//!
+//! Difference two runs of a two-branch specification:
+//!
+//! ```
+//! use wfdiff_core::{UnitCost, WorkflowDiff};
+//! use wfdiff_sptree::{FullDecider, MinimalDecider, SpecificationBuilder};
+//!
+//! let mut builder = SpecificationBuilder::new("demo");
+//! builder.path(&["in", "analyse", "out"]);
+//! builder.path(&["in", "filter", "out"]);
+//! let spec = builder.build().unwrap();
+//!
+//! // One run takes both branches, the other only the first.
+//! let full = spec.execute(&mut FullDecider).unwrap();
+//! let minimal = spec.execute(&mut MinimalDecider).unwrap();
+//!
+//! let engine = WorkflowDiff::new(&spec, &UnitCost);
+//! let result = engine.diff(&full, &minimal).unwrap();
+//! assert!(result.distance > 0.0, "the runs genuinely differ");
+//! // The edit distance is symmetric (it is a metric).
+//! assert_eq!(result.distance, engine.distance(&minimal, &full).unwrap());
+//! ```
 
 #![deny(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]

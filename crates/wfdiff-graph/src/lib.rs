@@ -22,6 +22,24 @@
 //! Higher layers (annotated SP-trees, the differencing algorithms, the
 //! prototype) live in the sibling crates `wfdiff-sptree`, `wfdiff-core` and
 //! `wfdiff-pdiffview`.
+//!
+//! # Example
+//!
+//! Compose the SP-graph `s → {a ∥ b} → t` with the Definition 3.2 algebra
+//! and decompose it back into its binary SP-tree:
+//!
+//! ```
+//! use wfdiff_graph::decompose::decompose_sp;
+//! use wfdiff_graph::{BinSpTree, SpGraph};
+//!
+//! let left = SpGraph::chain(&["s", "a", "t"]);
+//! let right = SpGraph::chain(&["s", "b", "t"]);
+//! let diamond = SpGraph::parallel(&left, &right).unwrap();
+//!
+//! let tree = decompose_sp(&diamond).unwrap();
+//! assert_eq!(tree.leaves().len(), 4, "one leaf per edge");
+//! assert!(matches!(tree, BinSpTree::Parallel(_, _)));
+//! ```
 
 #![deny(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]

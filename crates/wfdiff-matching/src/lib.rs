@@ -20,6 +20,19 @@
 //! Costs are `f64`; all algorithms require finite costs (the paper's cost
 //! model guarantees finite, non-negative values) and report a
 //! [`MatchingError`] — rather than panicking — when a cost model misbehaves.
+//!
+//! # Example
+//!
+//! ```
+//! use wfdiff_matching::hungarian_solve;
+//!
+//! // Two rows, two columns: the optimum pairs row 0 with column 1 and
+//! // row 1 with column 0 at total cost 1.0 + 2.0.
+//! let cost = vec![vec![4.0, 1.0], vec![2.0, 6.0]];
+//! let assignment = hungarian_solve(&cost).unwrap();
+//! assert_eq!(assignment.row_to_col, vec![1, 0]);
+//! assert_eq!(assignment.cost, 3.0);
+//! ```
 
 #![deny(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]

@@ -51,6 +51,15 @@ fn serve(dir: &str, addr: &str, threads: usize) -> Result<(), String> {
     let store = Arc::new(WorkflowStore::load_from_dir(dir).map_err(|e| e.to_string())?);
     let service = Arc::new(DiffService::builder(store).threads(threads).build());
     let report = service.warm_start().map_err(|e| e.to_string())?;
+    // Resume any checkpointed run clustering (validated entry by entry;
+    // stale or corrupt state is simply rebuilt on the next cluster query).
+    let clusters = service.load_cluster_state(dir);
+    if clusters.loaded > 0 || clusters.stale > 0 {
+        println!(
+            "wfdiff_serve cluster cache: {} spec(s) resumed, {} stale entr(ies) to rebuild",
+            clusters.loaded, clusters.stale
+        );
+    }
     let config = ServeConfig {
         addr: addr.to_string(),
         threads,

@@ -1,0 +1,305 @@
+//! The optional `cluster_cache.json` artifact: checkpointing an
+//! [`IncrementalClusterIndex`] next to a store directory.
+//!
+//! Clustering state is *derived* data — every entry can be recomputed from
+//! the stored runs — so the artifact is strictly a cache: it is written
+//! atomically beside `manifest.json`, **validated field by field on load**
+//! (format version, cost-model key, spec version fingerprints, member sets
+//! **and per-run content fingerprints** against the live store,
+//! assignment/medoid/distance well-formedness) and any entry that fails a
+//! check is silently skipped and rebuilt on the next cluster query.  A
+//! corrupt or foreign artifact therefore can never poison an answer — not
+//! even when a run was replaced under an unchanged name — and deleting the
+//! file only costs the re-differencing time.
+//!
+//! The artifact lives at [`CLUSTER_CACHE_FILE`] inside the store directory
+//! written by [`WorkflowStore::save_to_dir`](crate::store::WorkflowStore);
+//! [`DiffService::save_cluster_state`] writes it and
+//! [`DiffService::load_cluster_state`] restores it (the `wfdiff_serve` boot
+//! sequence calls the latter right after
+//! [`DiffService::warm_start`](crate::service::DiffService::warm_start)).
+//!
+//! [`DiffService::save_cluster_state`]: crate::service::DiffService::save_cluster_state
+//! [`DiffService::load_cluster_state`]: crate::service::DiffService::load_cluster_state
+
+use super::incremental::{IncrementalClusterIndex, SpecClusterState};
+use crate::persist::{read_json, write_json_atomic, PersistError};
+use crate::store::WorkflowStore;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use wfdiff_sptree::Fingerprint;
+
+/// Version tag of the cluster-cache artifact; unknown versions are treated
+/// as stale (rebuilt), never as errors.
+pub const CLUSTER_CACHE_FORMAT: u32 = 1;
+
+/// File name of the artifact inside a store directory.
+pub const CLUSTER_CACHE_FILE: &str = "cluster_cache.json";
+
+/// What a [`DiffService::load_cluster_state`] pass accepted and rejected.
+///
+/// [`DiffService::load_cluster_state`]: crate::service::DiffService::load_cluster_state
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterCacheReport {
+    /// Specification states restored into the index.
+    pub loaded: usize,
+    /// Entries (or the whole artifact) rejected as stale/corrupt; each will
+    /// be rebuilt on the next cluster query.
+    pub stale: usize,
+}
+
+/// The artifact document.
+#[derive(Debug, Serialize, Deserialize)]
+struct ClusterCacheDoc {
+    /// Artifact format version; see [`CLUSTER_CACHE_FORMAT`].
+    format: u32,
+    /// [`CostModel::cache_key`](wfdiff_core::CostModel::cache_key) of the
+    /// service that computed the distances — a different cost model makes
+    /// every cached distance meaningless.
+    cost_key: u64,
+    /// One entry per clustered specification.
+    specs: Vec<SpecClusterDoc>,
+}
+
+/// One specification's checkpointed clustering.
+#[derive(Debug, Serialize, Deserialize)]
+struct SpecClusterDoc {
+    spec: String,
+    /// Version fingerprint (hex) of the specification the clustering was
+    /// computed against; must match the loaded store's version exactly.
+    spec_fingerprint: String,
+    k: usize,
+    seed: u64,
+    /// Clustered runs, strictly ascending.
+    members: Vec<String>,
+    /// Canonical tree fingerprint (hex) of each member's run **content**,
+    /// aligned with `members`.  Without this, replacing a run under an
+    /// unchanged name would let a checkpoint full of distances computed
+    /// against the old content validate as fresh.
+    run_fingerprints: Vec<String>,
+    /// Cluster id per member, aligned with `members`.
+    assignments: Vec<usize>,
+    /// Medoid run names, one per cluster.
+    medoids: Vec<String>,
+    /// Memoised distances, `i < j` indexing `members`.
+    distances: Vec<DistanceEntry>,
+    silhouette: f64,
+    cost: f64,
+}
+
+/// One memoised distance of a [`SpecClusterDoc`].
+#[derive(Debug, Serialize, Deserialize)]
+struct DistanceEntry {
+    /// Lower member index.
+    i: usize,
+    /// Higher member index.
+    j: usize,
+    /// The edit distance.
+    d: f64,
+}
+
+/// The canonical content fingerprint of a run's annotated tree (origin
+/// references included, so it is comparable exactly when the spec version
+/// fingerprints already match — which `validate` checks first).
+fn run_content_fingerprint(run: &wfdiff_sptree::Run) -> Fingerprint {
+    wfdiff_sptree::TreeFingerprints::compute(run.tree()).of(run.tree().root())
+}
+
+/// Serialises the index into `dir/cluster_cache.json` (atomic rename, like
+/// every other store document).  Returns the number of checkpointed specs.
+///
+/// The write is skipped entirely — the index tracks a dirty flag — when
+/// nothing changed since the last successful checkpoint, so calling this
+/// after every read-only query costs nothing.  A spec whose members cannot
+/// all be resolved in `store` any more (a concurrent removal) is left out
+/// of the checkpoint rather than written inconsistently.
+pub(crate) fn save(
+    index: &IncrementalClusterIndex,
+    store: &WorkflowStore,
+    cost_key: u64,
+    dir: &Path,
+) -> Result<usize, PersistError> {
+    if !index.take_dirty() {
+        return Ok(index.with_states(|states| states.len()));
+    }
+    let specs = index.with_states(|states| {
+        let mut docs: Vec<SpecClusterDoc> = states
+            .iter()
+            .filter_map(|(spec, state)| {
+                let run_fingerprints: Vec<String> = state
+                    .members
+                    .iter()
+                    .map(|m| {
+                        store.run(spec, m).map(|run| run_content_fingerprint(&run).to_string())
+                    })
+                    .collect::<Option<_>>()?;
+                let index_of: HashMap<&str, usize> =
+                    state.members.iter().enumerate().map(|(i, m)| (m.as_str(), i)).collect();
+                let mut distances: Vec<DistanceEntry> = state
+                    .distances
+                    .iter()
+                    .filter_map(|((a, b), &d)| {
+                        // Entries for runs that have since been removed are
+                        // already pruned by the index; be defensive anyway.
+                        let (i, j) = (*index_of.get(a.as_str())?, *index_of.get(b.as_str())?);
+                        Some(DistanceEntry { i: i.min(j), j: i.max(j), d })
+                    })
+                    .collect();
+                distances.sort_by_key(|x| (x.i, x.j));
+                Some(SpecClusterDoc {
+                    spec: spec.clone(),
+                    spec_fingerprint: state.version.to_string(),
+                    k: state.k,
+                    seed: state.seed,
+                    members: state.members.clone(),
+                    run_fingerprints,
+                    assignments: state.members.iter().map(|m| state.assignments[m]).collect(),
+                    medoids: state.medoids.clone(),
+                    distances,
+                    silhouette: state.silhouette,
+                    cost: state.cost,
+                })
+            })
+            .collect();
+        docs.sort_by(|a, b| a.spec.cmp(&b.spec));
+        docs
+    });
+    let count = specs.len();
+    let doc = ClusterCacheDoc { format: CLUSTER_CACHE_FORMAT, cost_key, specs };
+    if let Err(e) = write_json_atomic(&dir.join(CLUSTER_CACHE_FILE), &doc) {
+        // The state is still unpersisted; make sure the next save retries.
+        index.mark_dirty();
+        return Err(e);
+    }
+    Ok(count)
+}
+
+/// Restores checkpointed states into the index, validating every entry
+/// against the live `store` (see the [module docs](self)).  A missing file
+/// is an empty report; a corrupt/foreign/mis-keyed artifact counts as one
+/// stale entry and is otherwise ignored.
+pub(crate) fn load(
+    index: &IncrementalClusterIndex,
+    store: &WorkflowStore,
+    cost_key: u64,
+    dir: &Path,
+) -> ClusterCacheReport {
+    let path = dir.join(CLUSTER_CACHE_FILE);
+    if !path.exists() {
+        return ClusterCacheReport::default();
+    }
+    let doc: ClusterCacheDoc = match read_json(&path) {
+        Ok(doc) => doc,
+        Err(_) => return ClusterCacheReport { loaded: 0, stale: 1 },
+    };
+    if doc.format != CLUSTER_CACHE_FORMAT || doc.cost_key != cost_key {
+        return ClusterCacheReport { loaded: 0, stale: 1 };
+    }
+    let mut report = ClusterCacheReport::default();
+    for entry in doc.specs {
+        match validate(&entry, store) {
+            Some(state) => {
+                index.with_states(|states| states.insert(entry.spec.clone(), state));
+                report.loaded += 1;
+            }
+            None => report.stale += 1,
+        }
+    }
+    if report.stale > 0 {
+        // The on-disk artifact holds entries the index rejected; the next
+        // checkpoint should rewrite it even if no further mutation happens.
+        index.mark_dirty();
+    }
+    report
+}
+
+/// Full structural validation of one checkpointed spec entry; `None` means
+/// stale (rebuild on demand).
+fn validate(doc: &SpecClusterDoc, store: &WorkflowStore) -> Option<SpecClusterState> {
+    let (spec, runs) = store.snapshot(&doc.spec)?;
+    if spec.fingerprint().to_string() != doc.spec_fingerprint {
+        return None;
+    }
+    let version = Fingerprint(u128::from_str_radix(&doc.spec_fingerprint, 16).ok()?);
+    // The member set must be exactly the store's current run set (sorted
+    // strictly ascending — which also rules out duplicates) ...
+    let store_runs: Vec<&str> = runs.iter().map(|(n, _)| n.as_str()).collect();
+    if doc.members.len() != store_runs.len()
+        || doc.members.iter().map(String::as_str).ne(store_runs.iter().copied())
+        || !doc.members.windows(2).all(|w| w[0] < w[1])
+    {
+        return None;
+    }
+    // ... and each member's run *content* must be the content the
+    // distances were computed against (a replaced run keeps its name but
+    // changes its tree).
+    if doc.run_fingerprints.len() != doc.members.len() {
+        return None;
+    }
+    for ((_, run), recorded) in runs.iter().zip(&doc.run_fingerprints) {
+        if run_content_fingerprint(run).to_string() != *recorded {
+            return None;
+        }
+    }
+    let n = doc.members.len();
+    if n == 0 || doc.k == 0 {
+        return None;
+    }
+    let clusters = doc.medoids.len();
+    if clusters != doc.k.clamp(1, n) {
+        return None;
+    }
+    // Medoids: distinct members, ascending (the index's normal form), and
+    // every assignment must point at an existing cluster with the medoid
+    // assigned to itself.
+    if !doc.medoids.windows(2).all(|w| w[0] < w[1]) {
+        return None;
+    }
+    if doc.assignments.len() != n {
+        return None;
+    }
+    let member_index: HashMap<&str, usize> =
+        doc.members.iter().enumerate().map(|(i, m)| (m.as_str(), i)).collect();
+    for (c, medoid) in doc.medoids.iter().enumerate() {
+        let &m = member_index.get(medoid.as_str())?;
+        if doc.assignments[m] != c {
+            return None;
+        }
+    }
+    if doc.assignments.iter().any(|&a| a >= clusters) {
+        return None;
+    }
+    if !doc.silhouette.is_finite()
+        || !(-1.0..=1.0).contains(&doc.silhouette)
+        || !doc.cost.is_finite()
+        || doc.cost < 0.0
+    {
+        return None;
+    }
+    let mut distances = HashMap::with_capacity(doc.distances.len());
+    for &DistanceEntry { i, j, d } in &doc.distances {
+        if i >= j || j >= n || !d.is_finite() || d < 0.0 {
+            return None;
+        }
+        if distances.insert((doc.members[i].clone(), doc.members[j].clone()), d).is_some() {
+            return None;
+        }
+    }
+    Some(SpecClusterState {
+        k: doc.k,
+        seed: doc.seed,
+        version,
+        members: doc.members.clone(),
+        assignments: doc
+            .members
+            .iter()
+            .zip(&doc.assignments)
+            .map(|(m, &a)| (m.clone(), a))
+            .collect(),
+        medoids: doc.medoids.clone(),
+        distances,
+        silhouette: doc.silhouette,
+        cost: doc.cost,
+    })
+}

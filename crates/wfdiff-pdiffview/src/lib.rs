@@ -21,12 +21,36 @@
 //!   batch differencing,
 //! * [`render`] — textual and Graphviz/DOT renderings of a diff (red deleted
 //!   paths on the source run, green inserted paths on the target run),
-//! * [`cluster`] — composite-module clustering and per-cluster difference
-//!   summaries for zooming into large provenance graphs,
+//! * [`cluster`] — composite-module clustering (the "zoom" of large
+//!   provenance graphs) **and** run clustering: a deterministic k-medoids
+//!   clusterer, the [`IncrementalClusterIndex`] that follows the store as
+//!   runs stream in or out, and its optional on-disk checkpoint,
 //! * [`serve`] — a dependency-free HTTP/1.1 front-end (bounded worker pool
 //!   over `std::net`) that serves store snapshots, run inserts, single/batch
-//!   diffs and cluster summaries to remote clients; see the `wfdiff_serve`
-//!   binary.
+//!   diffs, nearest-run queries and cluster summaries to remote clients; see
+//!   the `wfdiff_serve` binary.
+//!
+//! # Example
+//!
+//! Store two runs, difference them through the batch engine and ask the
+//! PDiffView question — "which stored run is this one closest to?":
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wfdiff_pdiffview::{DiffService, WorkflowStore};
+//! use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
+//!
+//! let store = Arc::new(WorkflowStore::new());
+//! let spec = store.insert_spec(fig2_specification()).unwrap();
+//! store.insert_run("r1", fig2_run1(&spec)).unwrap();
+//! store.insert_run("r2", fig2_run2(&spec)).unwrap();
+//!
+//! let service = DiffService::new(Arc::clone(&store));
+//! assert_eq!(service.diff("fig2", "r1", "r2").unwrap().distance, 4.0);
+//!
+//! let nearest = service.nearest_runs("fig2", "r1", 1).unwrap();
+//! assert_eq!(nearest[0].target, "r2");
+//! ```
 
 #![deny(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
@@ -41,7 +65,10 @@ pub mod service;
 pub mod session;
 pub mod store;
 
-pub use cluster::{ClusterDiff, Clustering};
+pub use cluster::{
+    ClusterCacheReport, ClusterDiff, ClusterSnapshot, Clustering, IncrementalClusterIndex,
+    KMedoids, KMedoidsConfig, RunCluster, DEFAULT_CLUSTER_SEED,
+};
 pub use io::{RunDescriptor, SpecDescriptor, DESCRIPTOR_FORMAT};
 pub use persist::{PersistError, SaveSummary, STORE_FORMAT};
 pub use render::{render_diff_dot, render_diff_text};

@@ -310,7 +310,7 @@ fn check_dir_component(manifest_path: &Path, dir: &str) -> Result<(), PersistErr
 /// the store state, so skipping unchanged files keeps a re-save's durable
 /// writes (each a write + fsync + rename) proportional to the delta rather
 /// than to the whole store.
-fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), PersistError> {
+pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), PersistError> {
     use std::io::Write;
     let json = serde_json::to_string_pretty(value)
         .map_err(|source| PersistError::Json { path: path.to_path_buf(), source })?;
@@ -345,7 +345,7 @@ fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), Persist
     Ok(())
 }
 
-fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T, PersistError> {
+pub(crate) fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> Result<T, PersistError> {
     let text = fs::read_to_string(path).map_err(|e| io_err(path, "reading", e))?;
     serde_json::from_str(&text)
         .map_err(|source| PersistError::Json { path: path.to_path_buf(), source })

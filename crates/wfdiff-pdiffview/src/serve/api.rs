@@ -160,6 +160,65 @@ pub struct ClusterResponse {
     pub clusters: Vec<ClusterEntry>,
 }
 
+/// One neighbour of a `GET /similar` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SimilarEntry {
+    /// The neighbouring stored run.
+    pub run: String,
+    /// Its edit distance to the query run.
+    pub distance: f64,
+}
+
+/// `GET /similar` response: the `k` stored runs nearest to `run`, nearest
+/// first (exact distances — identical to a from-scratch recompute).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SimilarResponse {
+    /// The specification name.
+    pub spec: String,
+    /// The query run.
+    pub run: String,
+    /// The requested neighbour count (the list may be shorter when fewer
+    /// other runs are stored).
+    pub k: usize,
+    /// Nearest runs, ascending by distance (ties by run name).
+    pub neighbors: Vec<SimilarEntry>,
+}
+
+/// One cluster of a `GET /cluster?algo=kmedoids` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RunClusterEntry {
+    /// The cluster's representative stored run.
+    pub medoid: String,
+    /// Number of member runs (including the medoid).
+    pub size: usize,
+    /// All member runs, sorted by name.
+    pub runs: Vec<String>,
+}
+
+/// `GET /cluster?algo=kmedoids&k=…` response: the k-medoids clustering of
+/// every run stored for the specification, maintained incrementally as
+/// `POST /runs` streams new runs in.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct KMedoidsResponse {
+    /// The specification name.
+    pub spec: String,
+    /// Always `"kmedoids"`.
+    pub algo: String,
+    /// The requested cluster count (effective count is `min(k, runs)`).
+    pub k: usize,
+    /// Seed of the deterministic initial medoid draw.
+    pub seed: u64,
+    /// Medoid-based silhouette score in `[-1, 1]`.
+    pub silhouette: f64,
+    /// Sum of every run's distance to its medoid.
+    pub cost: f64,
+    /// Clusters ordered by medoid name.
+    pub clusters: Vec<RunClusterEntry>,
+    /// Whether the clustering was checkpointed to the server's store
+    /// directory (`false` when the server runs without persistence).
+    pub persisted: bool,
+}
+
 // ---------------------------------------------------------------------------
 // Errors
 // ---------------------------------------------------------------------------
@@ -225,6 +284,7 @@ impl From<ServiceError> for ApiError {
         match &e {
             ServiceError::UnknownSpec(_) => ApiError::new(404, "unknown_spec", e.to_string()),
             ServiceError::UnknownRun { .. } => ApiError::new(404, "unknown_run", e.to_string()),
+            ServiceError::InvalidQuery(_) => ApiError::new(400, "invalid_query", e.to_string()),
             ServiceError::Diff(DiffError::SpecVersionMismatch { .. }) => {
                 ApiError::new(409, "spec_version_mismatch", e.to_string())
             }

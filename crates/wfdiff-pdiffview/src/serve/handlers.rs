@@ -8,7 +8,7 @@
 
 use super::api::*;
 use super::http::Request;
-use crate::cluster::{ClusterDiff, Clustering};
+use crate::cluster::{ClusterDiff, Clustering, DEFAULT_CLUSTER_SEED};
 use crate::service::DiffService;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -17,6 +17,9 @@ use std::sync::Arc;
 /// larger batches are rejected with `400` so one request cannot monopolise
 /// the worker pool.
 pub const MAX_BATCH_PAIRS: usize = 4096;
+
+/// Default neighbour count of `GET /similar` when `k` is omitted.
+pub const DEFAULT_SIMILAR_K: usize = 5;
 
 /// Everything a handler needs: the diff service (which owns the store) and,
 /// when the server persists inserts, the store directory.
@@ -40,8 +43,9 @@ pub fn route(state: &AppState, req: &Request) -> (u16, String) {
         ("GET", ["diff"]) => diff(state, req),
         ("POST", ["diff", "batch"]) => diff_batch(state, req),
         ("GET", ["cluster"]) => cluster(state, req),
+        ("GET", ["similar"]) => similar(state, req),
         // Known endpoints hit with the wrong method.
-        (_, ["healthz" | "specs" | "diff" | "cluster"])
+        (_, ["healthz" | "specs" | "diff" | "cluster" | "similar"])
         | (_, ["specs", _, "runs"])
         | (_, ["runs"])
         | (_, ["diff", "batch"]) => Err(ApiError::method_not_allowed(&req.method, &req.raw_path)),
@@ -137,7 +141,48 @@ fn insert_run(state: &AppState, req: &Request) -> Result<(u16, String), ApiError
         }
         persisted = true;
     }
+    // Fold the new run into the incremental cluster index (a cheap no-op
+    // until the first k-medoids query builds state for this spec; never
+    // fails the insert).
+    state.service.notify_run_inserted(&spec_name, &body.name);
     json(201, &InsertRunResponse { spec: spec_name, name: body.name, persisted })
+}
+
+/// `GET /similar?spec=…&run=…&k=…`: the `k` stored runs nearest to `run`
+/// by exact edit distance, nearest first.
+fn similar(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
+    let spec = req.query_param("spec").ok_or_else(|| ApiError::missing_param("spec"))?;
+    let run = req.query_param("run").ok_or_else(|| ApiError::missing_param("run"))?;
+    let k = parse_int_param::<usize>(req, "k")?.unwrap_or(DEFAULT_SIMILAR_K);
+    let neighbors = state.service.nearest_runs(spec, run, k)?;
+    json(
+        200,
+        &SimilarResponse {
+            spec: spec.to_string(),
+            run: run.to_string(),
+            k,
+            neighbors: neighbors
+                .into_iter()
+                .map(|p| SimilarEntry { run: p.target, distance: p.distance })
+                .collect(),
+        },
+    )
+}
+
+/// Parses an optional non-negative integer query parameter.
+fn parse_int_param<T: std::str::FromStr>(
+    req: &Request,
+    name: &'static str,
+) -> Result<Option<T>, ApiError> {
+    match req.query_param(name) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<T>().map(Some).map_err(|_| {
+            ApiError::bad_request(
+                "invalid_parameter",
+                format!("query parameter {name:?} must be a non-negative integer, got {raw:?}"),
+            )
+        }),
+    }
 }
 
 fn diff(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
@@ -182,7 +227,56 @@ fn diff_batch(state: &AppState, req: &Request) -> Result<(u16, String), ApiError
     )
 }
 
+/// `GET /cluster`: dispatches on `algo` — the composite-module prefix
+/// summary of two runs (default, the paper's "zoom") or the k-medoids
+/// clustering of the whole run collection.
 fn cluster(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
+    match req.query_param("algo") {
+        None | Some("prefix") => cluster_prefix(state, req),
+        Some("kmedoids") => cluster_kmedoids(state, req),
+        Some(other) => Err(ApiError::bad_request(
+            "invalid_parameter",
+            format!("unknown clustering algorithm {other:?} (expected \"prefix\" or \"kmedoids\")"),
+        )),
+    }
+}
+
+/// `GET /cluster?algo=kmedoids&k=…[&seed=…]`: the incremental k-medoids
+/// clustering of every stored run; checkpointed to the store directory
+/// (best effort) when the server persists.
+fn cluster_kmedoids(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
+    let spec = req.query_param("spec").ok_or_else(|| ApiError::missing_param("spec"))?;
+    let k = parse_int_param::<usize>(req, "k")?.ok_or_else(|| ApiError::missing_param("k"))?;
+    let seed = parse_int_param::<u64>(req, "seed")?.unwrap_or(DEFAULT_CLUSTER_SEED);
+    let snapshot = state.service.cluster_medoids(spec, k, seed)?;
+    // Checkpoint the refreshed clustering next to the store (a no-op when
+    // nothing changed since the last checkpoint).  Best effort: the
+    // artifact is a cache and a failed write must not fail the query (the
+    // next load simply rebuilds).
+    let persisted = match &state.store_dir {
+        Some(dir) => state.service.save_cluster_state(dir).is_ok(),
+        None => false,
+    };
+    json(
+        200,
+        &KMedoidsResponse {
+            spec: spec.to_string(),
+            algo: "kmedoids".to_string(),
+            k: snapshot.k,
+            seed: snapshot.seed,
+            silhouette: snapshot.silhouette,
+            cost: snapshot.cost,
+            clusters: snapshot
+                .clusters
+                .into_iter()
+                .map(|c| RunClusterEntry { medoid: c.medoid, size: c.runs.len(), runs: c.runs })
+                .collect(),
+            persisted,
+        },
+    )
+}
+
+fn cluster_prefix(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
     let spec_name = req.query_param("spec").ok_or_else(|| ApiError::missing_param("spec"))?;
     let a = req.query_param("a").ok_or_else(|| ApiError::missing_param("a"))?;
     let b = req.query_param("b").ok_or_else(|| ApiError::missing_param("b"))?;
@@ -379,5 +473,84 @@ mod tests {
         let (status, body) =
             route(&state, &request("GET", "/cluster?spec=fig2&a=r1&b=r2&separator=ab", ""));
         assert_eq!(status, 400, "{body}");
+    }
+
+    #[test]
+    fn similar_endpoint_ranks_neighbors_exactly() {
+        let state = state();
+        let (status, body) = route(&state, &request("GET", "/similar?spec=fig2&run=r1&k=5", ""));
+        assert_eq!(status, 200, "{body}");
+        let out: SimilarResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(out.run, "r1");
+        assert_eq!(out.neighbors.len(), 1, "only one other run is stored");
+        assert_eq!(out.neighbors[0].run, "r2");
+        assert_eq!(out.neighbors[0].distance, 4.0);
+        // k defaults when omitted.
+        let (status, body) = route(&state, &request("GET", "/similar?spec=fig2&run=r1", ""));
+        assert_eq!(status, 200, "{body}");
+        // Errors: unknown run/spec, malformed or zero k.
+        let (status, _) = route(&state, &request("GET", "/similar?spec=fig2&run=zz", ""));
+        assert_eq!(status, 404);
+        let (status, _) = route(&state, &request("GET", "/similar?spec=zz&run=r1", ""));
+        assert_eq!(status, 404);
+        let (status, body) = route(&state, &request("GET", "/similar?spec=fig2&run=r1&k=x", ""));
+        assert_eq!(status, 400, "{body}");
+        let (status, body) = route(&state, &request("GET", "/similar?spec=fig2&run=r1&k=0", ""));
+        assert_eq!(status, 400, "{body}");
+        let (status, _) = route(&state, &request("POST", "/similar", ""));
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn kmedoids_cluster_endpoint_returns_medoids_and_silhouette() {
+        let state = state();
+        let (status, body) =
+            route(&state, &request("GET", "/cluster?spec=fig2&algo=kmedoids&k=2", ""));
+        assert_eq!(status, 200, "{body}");
+        let out: KMedoidsResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(out.algo, "kmedoids");
+        assert_eq!(out.clusters.len(), 2);
+        let mut all_runs: Vec<String> = out.clusters.iter().flat_map(|c| c.runs.clone()).collect();
+        all_runs.sort();
+        assert_eq!(all_runs, vec!["r1", "r2"]);
+        for c in &out.clusters {
+            assert!(c.runs.contains(&c.medoid), "medoid is a member");
+            assert_eq!(c.size, c.runs.len());
+        }
+        assert!(!out.persisted, "no store directory configured");
+        // k clamps to the run count; zero/missing/invalid k and unknown
+        // algos are rejected.
+        let (status, _) =
+            route(&state, &request("GET", "/cluster?spec=fig2&algo=kmedoids&k=99", ""));
+        assert_eq!(status, 200);
+        let (status, _) =
+            route(&state, &request("GET", "/cluster?spec=fig2&algo=kmedoids&k=0", ""));
+        assert_eq!(status, 400);
+        let (status, _) = route(&state, &request("GET", "/cluster?spec=fig2&algo=kmedoids", ""));
+        assert_eq!(status, 400);
+        let (status, _) = route(&state, &request("GET", "/cluster?spec=fig2&algo=voronoi&k=2", ""));
+        assert_eq!(status, 400);
+        let (status, _) = route(&state, &request("GET", "/cluster?spec=zz&algo=kmedoids&k=2", ""));
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn inserts_keep_the_cluster_index_fresh() {
+        let state = state();
+        // Build index state, then stream a run in through the endpoint; the
+        // next clustering must include it without a rebuild.
+        let (status, _) =
+            route(&state, &request("GET", "/cluster?spec=fig2&algo=kmedoids&k=2", ""));
+        assert_eq!(status, 200);
+        let store = Arc::clone(state.service.store());
+        let spec = store.spec("fig2").unwrap();
+        let descriptor = RunDescriptor::from_run(&fig2_run2(&spec));
+        let body = format!("{{\"name\": \"r3\", \"run\": {}}}", descriptor.to_json());
+        let (status, text) = route(&state, &request("POST", "/runs", &body));
+        assert_eq!(status, 201, "{text}");
+        let snapshot = state.service.cluster_index().snapshot("fig2").unwrap();
+        assert!(snapshot.cluster_of("r3").is_some(), "streamed run was folded in");
+        // And r3 (a copy of r2) landed in r2's cluster.
+        assert_eq!(snapshot.cluster_of("r3"), snapshot.cluster_of("r2"));
     }
 }

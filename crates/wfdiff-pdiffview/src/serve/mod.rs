@@ -19,6 +19,8 @@
 //! | `GET /diff?spec&a&b`     | —    | one cache-backed edit distance |
 //! | `POST /diff/batch`       | [`api::BatchDiffRequest`] | a pair list fanned onto the worker pool |
 //! | `GET /cluster?spec&a&b[&separator]` | — | per-composite-module change summary |
+//! | `GET /cluster?spec&algo=kmedoids&k[&seed]` | — | incremental k-medoids run clustering (medoids + silhouette) |
+//! | `GET /similar?spec&run[&k]` | — | the `k` stored runs nearest to `run`, exact distances |
 //!
 //! All bodies are JSON; every store/diff/persist failure maps to a
 //! structured JSON error with a 4xx/5xx status (see [`api`]) — nothing

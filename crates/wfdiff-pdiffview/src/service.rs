@@ -18,12 +18,19 @@
 //! Distances are bit-identical to the unmemoised [`WorkflowDiff`] path — the
 //! cache only short-circuits subproblems that are provably equal.
 
+use crate::cluster::incremental::{ClusterSnapshot, DistanceOracle, IncrementalClusterIndex};
+use crate::cluster::persist::{
+    load as load_cluster_cache, save as save_cluster_cache, ClusterCacheReport,
+};
+use crate::persist::PersistError;
 use crate::session::DiffSession;
 use crate::store::WorkflowStore;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use wfdiff_core::{
-    CacheStats, CostModel, DiffCache, DiffError, ShardedDiffCache, UnitCost, WorkflowDiff,
+    CacheStats, CostModel, DiffCache, DiffError, PreparedRun, ShardedDiffCache, UnitCost,
+    WorkflowDiff,
 };
 use wfdiff_sptree::{Run, Specification};
 
@@ -39,6 +46,9 @@ pub enum ServiceError {
         /// The missing run name.
         run: String,
     },
+    /// A query parameter was structurally invalid (e.g. a cluster count of
+    /// zero); the message names the offending parameter.
+    InvalidQuery(String),
     /// The underlying differencing failed.
     Diff(DiffError),
 }
@@ -50,6 +60,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownRun { spec, run } => {
                 write!(f, "unknown run {run:?} for specification {spec:?}")
             }
+            ServiceError::InvalidQuery(message) => write!(f, "invalid query: {message}"),
             ServiceError::Diff(e) => write!(f, "diff failed: {e}"),
         }
     }
@@ -149,7 +160,13 @@ impl DiffServiceBuilder {
 
     /// Finishes the build.
     pub fn build(self) -> DiffService {
-        DiffService { store: self.store, cost: self.cost, cache: self.cache, threads: self.threads }
+        DiffService {
+            store: self.store,
+            cost: self.cost,
+            cache: self.cache,
+            threads: self.threads,
+            clusters: IncrementalClusterIndex::new(),
+        }
     }
 }
 
@@ -159,6 +176,7 @@ pub struct DiffService {
     cost: Arc<dyn CostModel>,
     cache: Arc<dyn DiffCache>,
     threads: usize,
+    clusters: IncrementalClusterIndex,
 }
 
 impl DiffService {
@@ -340,6 +358,131 @@ impl DiffService {
         Ok(AllPairsResult { runs: run_names, matrix })
     }
 
+    /// The exact `k` nearest stored runs to `run` ("which past run is this
+    /// one closest to?") — the query behind `GET /similar`.
+    ///
+    /// Distances are computed against **every** other stored run of the
+    /// specification (prepared in parallel, each pair riding the shared
+    /// cache), so the answer is always identical to a from-scratch
+    /// recompute — no approximation through the cluster index.  Results are
+    /// sorted by distance, ties broken by run name; `k` is clamped to the
+    /// number of other runs and must be at least 1.
+    pub fn nearest_runs(
+        &self,
+        spec: &str,
+        run: &str,
+        k: usize,
+    ) -> Result<Vec<PairDistance>, ServiceError> {
+        if k == 0 {
+            return Err(ServiceError::InvalidQuery("k must be at least 1".to_string()));
+        }
+        let (spec_arc, named_runs) =
+            self.store.snapshot(spec).ok_or_else(|| ServiceError::UnknownSpec(spec.to_string()))?;
+        let query = named_runs.iter().position(|(n, _)| n == run).ok_or_else(|| {
+            ServiceError::UnknownRun { spec: spec.to_string(), run: run.to_string() }
+        })?;
+        let engine = WorkflowDiff::new(&spec_arc, self.cost.as_ref());
+        let cache = self.cache.as_ref();
+        let run_refs: Vec<&Arc<Run>> = named_runs.iter().map(|(_, r)| r).collect();
+        let prepared = self.run_jobs(&run_refs, |r| engine.prepare(r, Some(cache)))?;
+        let mut names = Vec::with_capacity(prepared.len().saturating_sub(1));
+        let mut targets: Vec<&PreparedRun<'_>> = Vec::with_capacity(names.capacity());
+        for (i, p) in prepared.iter().enumerate() {
+            if i != query {
+                names.push(named_runs[i].0.as_str());
+                targets.push(p);
+            }
+        }
+        let row = engine.distance_row_prepared(&prepared[query], &targets, Some(cache))?;
+        let mut neighbors: Vec<PairDistance> = names
+            .into_iter()
+            .zip(row)
+            .map(|(name, distance)| PairDistance {
+                source: run.to_string(),
+                target: name.to_string(),
+                distance,
+            })
+            .collect();
+        neighbors.sort_by(|a, b| {
+            a.distance.total_cmp(&b.distance).then_with(|| a.target.cmp(&b.target))
+        });
+        neighbors.truncate(k);
+        Ok(neighbors)
+    }
+
+    /// The k-medoids clustering of every run stored for `spec`, maintained
+    /// incrementally by the service's [`IncrementalClusterIndex`].
+    ///
+    /// The first call (or a call after the stored run set, `k`, `seed` or
+    /// the specification version changed in a way the index did not track)
+    /// builds the clustering; subsequent calls and streamed
+    /// [`DiffService::notify_run_inserted`] updates serve and maintain it
+    /// incrementally.  `k` must be at least 1 (it is clamped to the run
+    /// count); an empty collection yields an empty snapshot.
+    pub fn cluster_medoids(
+        &self,
+        spec: &str,
+        k: usize,
+        seed: u64,
+    ) -> Result<ClusterSnapshot, ServiceError> {
+        if k == 0 {
+            return Err(ServiceError::InvalidQuery("k must be at least 1".to_string()));
+        }
+        let (spec_arc, named_runs) =
+            self.store.snapshot(spec).ok_or_else(|| ServiceError::UnknownSpec(spec.to_string()))?;
+        let names: Vec<String> = named_runs.iter().map(|(n, _)| n.clone()).collect();
+        let oracle = ServiceOracle { service: self, spec };
+        self.clusters.ensure(spec, spec_arc.fingerprint(), &names, k, seed, &oracle)
+    }
+
+    /// Folds a just-stored run into the cluster index (a no-op when the
+    /// index holds no state for the specification yet).
+    ///
+    /// The index is a cache of derived state, so this never fails the
+    /// caller: any error while fetching the O(k + cluster) fresh distances
+    /// drops the specification's state instead, and the next
+    /// [`DiffService::cluster_medoids`] rebuilds it.
+    pub fn notify_run_inserted(&self, spec: &str, run: &str) {
+        let Some(spec_arc) = self.store.spec(spec) else {
+            self.clusters.invalidate(spec);
+            return;
+        };
+        let oracle = ServiceOracle { service: self, spec };
+        if self.clusters.insert_run(spec, spec_arc.fingerprint(), run, &oracle).is_err() {
+            self.clusters.invalidate(spec);
+        }
+    }
+
+    /// Removes a run from the cluster index (the mirror of
+    /// [`DiffService::notify_run_inserted`]; same never-fails contract).
+    pub fn notify_run_removed(&self, spec: &str, run: &str) {
+        let oracle = ServiceOracle { service: self, spec };
+        if self.clusters.remove_run(spec, run, &oracle).is_err() {
+            self.clusters.invalidate(spec);
+        }
+    }
+
+    /// The service's incremental run-cluster index.
+    pub fn cluster_index(&self) -> &IncrementalClusterIndex {
+        &self.clusters
+    }
+
+    /// Checkpoints the cluster index into `dir/cluster_cache.json` (see
+    /// [`crate::cluster::persist`]); returns the number of checkpointed
+    /// specs.  When nothing changed since the last successful checkpoint
+    /// the write is skipped entirely, so calling this after every query is
+    /// cheap.
+    pub fn save_cluster_state(&self, dir: impl AsRef<Path>) -> Result<usize, PersistError> {
+        save_cluster_cache(&self.clusters, &self.store, self.cost.cache_key(), dir.as_ref())
+    }
+
+    /// Restores a cluster-index checkpoint from `dir`, validating every
+    /// entry against the live store (stale or corrupt entries are skipped
+    /// and rebuilt on demand — this never fails the boot).
+    pub fn load_cluster_state(&self, dir: impl AsRef<Path>) -> ClusterCacheReport {
+        load_cluster_cache(&self.clusters, &self.store, self.cost.cache_key(), dir.as_ref())
+    }
+
     /// Runs `work` over `jobs` on the scoped worker pool, preserving job
     /// order in the result.  The first differencing error wins.
     fn run_jobs<J: Sync, T: Send>(
@@ -378,6 +521,34 @@ impl DiffService {
             .into_iter()
             .map(|d| d.expect("every job index was claimed exactly once"))
             .collect())
+    }
+}
+
+/// The [`DistanceOracle`] the cluster index runs on: one consistent store
+/// lookup per batch, parallel cache-backed preparation, and a
+/// [`WorkflowDiff::distance_row_prepared`] row — so a clustering fetch is
+/// exactly as warm as regular diff traffic.
+struct ServiceOracle<'a> {
+    service: &'a DiffService,
+    spec: &'a str,
+}
+
+impl DistanceOracle for ServiceOracle<'_> {
+    type Error = ServiceError;
+
+    fn distances(&self, source: &str, targets: &[&str]) -> Result<Vec<f64>, ServiceError> {
+        let mut names: Vec<&str> = Vec::with_capacity(targets.len() + 1);
+        names.push(source);
+        names.extend_from_slice(targets);
+        let (spec_arc, runs) = self.service.lookup(self.spec, &names)?;
+        let engine = WorkflowDiff::new(&spec_arc, self.service.cost.as_ref());
+        let cache = self.service.cache.as_ref();
+        let run_refs: Vec<&Arc<Run>> = runs.iter().collect();
+        let prepared = self.service.run_jobs(&run_refs, |r| engine.prepare(r, Some(cache)))?;
+        let target_refs: Vec<&PreparedRun<'_>> = prepared[1..].iter().collect();
+        engine
+            .distance_row_prepared(&prepared[0], &target_refs, Some(cache))
+            .map_err(ServiceError::from)
     }
 }
 
@@ -501,6 +672,63 @@ mod tests {
     }
 
     #[test]
+    fn nearest_runs_are_exact_and_sorted() {
+        let store = seeded_store();
+        let service = DiffService::builder(Arc::clone(&store)).threads(2).build();
+        let nearest = service.nearest_runs("fig2", "r1", 10).unwrap();
+        assert_eq!(nearest.len(), 2, "k clamps to the other stored runs");
+        assert!(nearest[0].distance <= nearest[1].distance);
+        // Every reported distance is identical to the unmemoised engine.
+        let spec = store.spec("fig2").unwrap();
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        let query = store.run("fig2", "r1").unwrap();
+        for p in &nearest {
+            let expected = engine.distance(&query, &store.run("fig2", &p.target).unwrap()).unwrap();
+            assert_eq!(p.distance, expected, "r1 vs {}", p.target);
+        }
+        assert!(matches!(
+            service.nearest_runs("fig2", "r1", 0),
+            Err(ServiceError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            service.nearest_runs("fig2", "zz", 1),
+            Err(ServiceError::UnknownRun { .. })
+        ));
+        assert!(matches!(service.nearest_runs("zz", "r1", 1), Err(ServiceError::UnknownSpec(_))));
+    }
+
+    #[test]
+    fn cluster_index_follows_store_mutations() {
+        let store = seeded_store();
+        let service = DiffService::builder(Arc::clone(&store)).threads(2).build();
+        let initial = service.cluster_medoids("fig2", 2, 1).unwrap();
+        assert_eq!(initial.clusters.len(), 2);
+
+        // Stream a duplicate of r1 in and a run out; the maintained state
+        // must equal what a fresh service computes from scratch.
+        let spec = store.spec("fig2").unwrap();
+        store.insert_run("r4", fig2_run1(&spec)).unwrap();
+        service.notify_run_inserted("fig2", "r4");
+        store.remove_run("fig2", "r2");
+        service.notify_run_removed("fig2", "r2");
+
+        let maintained = service.cluster_index().snapshot("fig2").unwrap();
+        let members: usize = maintained.clusters.iter().map(|c| c.runs.len()).sum();
+        assert_eq!(members, 3);
+        assert!(maintained.cluster_of("r2").is_none());
+        let scratch = DiffService::new(Arc::clone(&store)).cluster_medoids("fig2", 2, 1).unwrap();
+        assert_eq!(maintained.partition(), scratch.partition());
+        // r4 is a copy of r1: they always share a cluster.
+        assert_eq!(maintained.cluster_of("r4"), maintained.cluster_of("r1"));
+
+        assert!(matches!(
+            service.cluster_medoids("fig2", 0, 1),
+            Err(ServiceError::InvalidQuery(_))
+        ));
+        assert!(matches!(service.cluster_medoids("zz", 2, 1), Err(ServiceError::UnknownSpec(_))));
+    }
+
+    #[test]
     fn concurrent_diffs_inserts_and_removals_are_safe_and_unstale() {
         // Two specifications under distinct names; one is repeatedly
         // replaced (runs invalidated) while diff traffic runs against the
@@ -555,6 +783,7 @@ mod tests {
                             }
                             Err(ServiceError::UnknownSpec(_)) => {}
                             Err(ServiceError::UnknownRun { .. }) => {}
+                            Err(ServiceError::InvalidQuery(_)) => {}
                             Err(ServiceError::Diff(e)) => {
                                 panic!("stale spec/run pairing reached the engine: {e}")
                             }

@@ -21,6 +21,27 @@
 //!
 //! The edit-distance algorithms themselves (Algorithms 3, 4 and 6) live in the
 //! `wfdiff-core` crate, which consumes the [`AnnotatedTree`]s produced here.
+//!
+//! # Example
+//!
+//! Build a two-branch specification and execute it into a valid run:
+//!
+//! ```
+//! use wfdiff_sptree::{FullDecider, SpecificationBuilder};
+//!
+//! let mut builder = SpecificationBuilder::new("demo");
+//! builder.path(&["in", "analyse", "out"]);
+//! builder.path(&["in", "filter", "out"]);
+//! let spec = builder.build().unwrap();
+//!
+//! // The full decider takes every parallel branch once (the `f` of
+//! // Section IV with all-true decisions).
+//! let run = spec.execute(&mut FullDecider).unwrap();
+//! assert_eq!(run.spec_name(), "demo");
+//! // Runs remember the exact specification version they were validated
+//! // against.
+//! assert_eq!(run.spec_fingerprint(), spec.fingerprint());
+//! ```
 
 #![deny(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]

@@ -15,6 +15,25 @@
 //! * [`runs`] — random run generation with the paper's parameters
 //!   (`probP`, `maxF`, `probF`, `maxL`, `probL`) plus helpers that target a
 //!   total run size in edges (Figure 11).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use wfdiff_workloads::figures::{fig2_run1, fig2_specification};
+//! use wfdiff_workloads::runs::{generate_run, RunGenConfig};
+//!
+//! // The paper's Figure 2 worked example ...
+//! let spec = fig2_specification();
+//! let r1 = fig2_run1(&spec);
+//! assert_eq!(r1.spec_name(), "fig2");
+//!
+//! // ... and a random valid run of the same specification.
+//! let mut rng = ChaCha8Rng::seed_from_u64(1);
+//! let random = generate_run(&spec, &RunGenConfig::default(), &mut rng);
+//! assert_eq!(random.spec_fingerprint(), spec.fingerprint());
+//! ```
 
 #![deny(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]

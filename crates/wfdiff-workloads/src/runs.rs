@@ -115,6 +115,29 @@ pub fn generate_run_with_target_edges(spec: &Specification, target_edges: usize,
     best.expect("at least one run is generated")
 }
 
+/// Generates `families` groups of `per_family` runs each: every family
+/// repeats one randomly generated base run, so within-family edit distances
+/// are zero while cross-family distances reflect genuinely different
+/// executions.
+///
+/// This is the reference workload for run-clustering experiments: the
+/// natural clustering (one cluster per family) is unambiguous, so an
+/// incremental clusterer and a from-scratch one must both recover it.
+pub fn generate_run_families(
+    spec: &Specification,
+    config: &RunGenConfig,
+    families: usize,
+    per_family: usize,
+    rng: &mut impl Rng,
+) -> Vec<Vec<Run>> {
+    (0..families)
+        .map(|_| {
+            let base = generate_run(spec, config, rng);
+            (0..per_family).map(|_| base.clone()).collect()
+        })
+        .collect()
+}
+
 use rand::SeedableRng;
 
 #[cfg(test)]
@@ -125,6 +148,21 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use wfdiff_sptree::Run;
+
+    #[test]
+    fn run_families_repeat_their_base_run() {
+        let spec = fig2_specification();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let config = RunGenConfig { prob_p: 0.6, max_f: 2, prob_f: 0.5, max_l: 2, prob_l: 0.5 };
+        let families = generate_run_families(&spec, &config, 3, 4, &mut rng);
+        assert_eq!(families.len(), 3);
+        for family in &families {
+            assert_eq!(family.len(), 4);
+            for run in family {
+                assert!(run.tree().equivalent(family[0].tree()), "family members are identical");
+            }
+        }
+    }
 
     #[test]
     fn generated_runs_are_valid_and_replayable() {

@@ -251,6 +251,68 @@ fn success_paths_serve_and_persist_through_the_whole_stack() {
 }
 
 #[test]
+fn similar_and_kmedoids_endpoints_serve_and_checkpoint_over_the_wire() {
+    use pdiffview::pdiffview::serve::api::{KMedoidsResponse, SimilarResponse};
+
+    let dir = TempDir::new("cluster");
+    let (store, handle) = boot(dir.path(), 64 * 1024);
+    let addr = handle.addr();
+
+    // /similar: exact answers, identical to a local recompute over the
+    // same loaded store.
+    let (status, body) = request(addr, "GET", "/similar?spec=fig2&run=r1&k=3", "");
+    assert_eq!(status, 200, "{body}");
+    let out: SimilarResponse = serde_json::from_str(&body).unwrap();
+    let local = DiffService::new(Arc::clone(&store)).nearest_runs("fig2", "r1", 3).unwrap();
+    assert_eq!(out.neighbors.len(), local.len());
+    for (got, want) in out.neighbors.iter().zip(&local) {
+        assert_eq!(got.run, want.target);
+        assert_eq!(got.distance, want.distance, "served distance round-trips exactly");
+    }
+    let (status, _) = request(addr, "GET", "/similar?spec=fig2&run=nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "GET", "/similar?spec=fig2&run=r1&k=zero", "");
+    assert_eq!(status, 400);
+
+    // /cluster?algo=kmedoids over a persisted server checkpoints its state.
+    let (status, body) = request(addr, "GET", "/cluster?spec=fig2&algo=kmedoids&k=2", "");
+    assert_eq!(status, 200, "{body}");
+    let first: KMedoidsResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(first.clusters.len(), 2);
+    assert!(first.persisted, "store-backed server checkpoints cluster state");
+    assert!(dir.path().join("cluster_cache.json").exists());
+
+    // Stream a run in; the next clustering must include it and the refresh
+    // must update the checkpoint.
+    let spec = store.spec("fig2").unwrap();
+    let descriptor = RunDescriptor::from_run(&fig2_run1(&spec));
+    let body = format!("{{\"name\": \"r3\", \"run\": {}}}", descriptor.to_json());
+    let (status, text) = request(addr, "POST", "/runs", &body);
+    assert_eq!(status, 201, "{text}");
+    let (status, body) = request(addr, "GET", "/cluster?spec=fig2&algo=kmedoids&k=2", "");
+    assert_eq!(status, 200, "{body}");
+    let second: KMedoidsResponse = serde_json::from_str(&body).unwrap();
+    let members: usize = second.clusters.iter().map(|c| c.runs.len()).sum();
+    assert_eq!(members, 3, "the streamed run is clustered");
+    // r3 is a copy of r1 — they must share a cluster.
+    let of = |name: &str| second.clusters.iter().position(|c| c.runs.iter().any(|r| r == name));
+    assert_eq!(of("r3"), of("r1"));
+    handle.shutdown();
+
+    // Restart from disk: the checkpoint resumes the exact same clustering.
+    let reloaded = Arc::new(WorkflowStore::load_from_dir(dir.path()).unwrap());
+    assert_eq!(reloaded.run_count(), 3, "the insert persisted");
+    let resumed = DiffService::new(reloaded);
+    let report = resumed.load_cluster_state(dir.path());
+    assert_eq!((report.loaded, report.stale), (1, 0));
+    let snapshot = resumed.cluster_index().snapshot("fig2").unwrap();
+    assert_eq!(
+        snapshot.partition(),
+        second.clusters.iter().map(|c| c.runs.clone()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
 fn batch_endpoint_matches_single_pair_answers() {
     let dir = TempDir::new("batch");
     let (_store, handle) = boot(dir.path(), 64 * 1024);
