@@ -3,7 +3,14 @@
 //!
 //! * **mixed** (default) — read/diff/insert traffic from 1..N keep-alive
 //!   clients, every served distance checked against a local recompute.
-//!   Writes `load_gen.csv` and machine-readable `BENCH_serve.json`.
+//!   Writes `load_gen.csv` and the `"mixed"` member of machine-readable
+//!   `BENCH_serve.json`.
+//! * **sharded** — the same traffic against a store partitioned across
+//!   1..N shards through the operator migration path (`store_tool shard`'s
+//!   `split_store_into_shards`), one client per specification and an
+//!   insert-heavy mix, proving read/insert throughput scales with the
+//!   shard count.  Writes `load_gen_sharded.csv` and the `"sharded"` member
+//!   of `BENCH_serve.json`.
 //! * **cluster** — streamed inserts with live re-clustering: each
 //!   `POST /runs` is followed by a `GET /cluster?algo=kmedoids` that must
 //!   already include the run (the *streamed-insert-to-reclustered* latency)
@@ -14,27 +21,31 @@
 //!
 //! ```text
 //! load_gen [runs] [spec_edges] [requests_per_client] [clients...]
+//! load_gen sharded [specs] [runs_per_spec] [spec_edges] [requests_per_client] [shards...]
 //! load_gen cluster [initial_runs] [spec_edges] [inserts] [k]
 //! ```
 //!
 //! Defaults: mixed — 50 runs, 60-edge specification, 25 requests per
-//! client, client counts 1 2 4; cluster — 20 initial runs, 60 edges, 10
-//! inserts, k=4.
+//! client, client counts 1 2 4; sharded — 6 specs, 4 runs each, 12 edges,
+//! 40 requests per client, shard counts 1 2 4 (small specs keep per-op CPU
+//! low so the per-shard durable-append serialisation is the measured
+//! bottleneck); cluster — 20 initial runs, 60 edges, 10 inserts, k=4.
 //!
 //! Exits non-zero if any protocol error or verification mismatch occurred.
 
-use wfdiff_bench::benchjson::write_bench_json;
+use wfdiff_bench::benchjson::{merge_serve_bench_json, write_bench_json};
 use wfdiff_bench::csvout::{fmt, write_csv};
 use wfdiff_bench::loadgen::{
-    render, render_cluster, run, run_cluster, ClusterStreamConfig, LoadGenConfig,
+    render, render_cluster, render_sharded, run, run_cluster, run_sharded, ClusterStreamConfig,
+    LoadGenConfig, ShardedLoadConfig,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.get(1).map(String::as_str) == Some("cluster") {
-        cluster_mode(&args[2..]);
-    } else {
-        mixed_mode(&args[1..]);
+    match args.get(1).map(String::as_str) {
+        Some("cluster") => cluster_mode(&args[2..]),
+        Some("sharded") => sharded_mode(&args[2..]),
+        _ => mixed_mode(&args[1..]),
     }
 }
 
@@ -92,10 +103,80 @@ fn mixed_mode(args: &[String]) {
         &rows,
     )
     .expect("write load_gen.csv");
-    write_bench_json("BENCH_serve.json", &report).expect("write BENCH_serve.json");
-    eprintln!("wrote load_gen.csv and BENCH_serve.json");
+    merge_serve_bench_json("BENCH_serve.json", |doc| doc.mixed = Some(report.clone()))
+        .expect("write BENCH_serve.json");
+    eprintln!("wrote load_gen.csv and BENCH_serve.json (mixed)");
 
     assert_eq!(report.protocol_errors(), 0, "the load run hit protocol errors");
+    assert_eq!(
+        report.distance_mismatches(),
+        0,
+        "served distances diverged from the local recompute"
+    );
+}
+
+fn sharded_mode(args: &[String]) {
+    let specs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let edges: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let requests: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let shards: Vec<usize> =
+        args[4.min(args.len())..].iter().filter_map(|s| s.parse().ok()).collect();
+
+    let mut config = ShardedLoadConfig::new(specs, runs, edges);
+    config.requests_per_client = requests;
+    if !shards.is_empty() {
+        config.shard_counts = shards;
+    }
+
+    let report = run_sharded(&config);
+    print!("{}", render_sharded(&report));
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for round in &report.rounds {
+        for op in &round.ops {
+            rows.push(vec![
+                report.label.clone(),
+                round.shards.to_string(),
+                round.clients.to_string(),
+                op.op.clone(),
+                op.count.to_string(),
+                fmt(round.wall_ms),
+                fmt(round.throughput_rps),
+                op.p50_us.to_string(),
+                op.p90_us.to_string(),
+                op.p99_us.to_string(),
+                op.max_us.to_string(),
+                round.protocol_errors.to_string(),
+                round.distance_mismatches.to_string(),
+            ]);
+        }
+    }
+    write_csv(
+        "load_gen_sharded.csv",
+        &[
+            "workload",
+            "shards",
+            "clients",
+            "op",
+            "count",
+            "wall_ms",
+            "throughput_rps",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "max_us",
+            "protocol_errors",
+            "distance_mismatches",
+        ],
+        &rows,
+    )
+    .expect("write load_gen_sharded.csv");
+    merge_serve_bench_json("BENCH_serve.json", |doc| doc.sharded = Some(report.clone()))
+        .expect("write BENCH_serve.json");
+    eprintln!("wrote load_gen_sharded.csv and BENCH_serve.json (sharded)");
+
+    assert_eq!(report.protocol_errors(), 0, "the sharded run hit protocol errors");
     assert_eq!(
         report.distance_mismatches(),
         0,

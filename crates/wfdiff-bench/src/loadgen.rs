@@ -23,7 +23,17 @@
 //!
 //! A healthy run reports **zero** protocol errors and **zero** mismatches;
 //! the `load_gen` binary exits non-zero otherwise and writes the full report
-//! as machine-readable `BENCH_serve.json`.
+//! into machine-readable `BENCH_serve.json` (under its `"mixed"` member —
+//! the **sharded** mode below shares the file under `"sharded"`).
+//!
+//! # Sharded mode
+//!
+//! [`run_sharded`] measures the same closed-loop traffic against a store
+//! partitioned across 1..N shards via the operator migration path
+//! ([`split_store_into_shards`]), one client per specification and an
+//! insert-heavy mix: durable appends serialise per shard (each store's save
+//! lock covers the fsync), so adding shards is exactly what relieves the
+//! bottleneck and read/insert throughput should grow with the shard count.
 
 use crate::batch::{generate_workload, BatchConfig};
 use rand::{Rng, SeedableRng};
@@ -34,10 +44,12 @@ use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
-use wfdiff_pdiffview::serve::{ServeConfig, Server};
-use wfdiff_pdiffview::{DiffService, RunDescriptor, WorkflowStore};
-use wfdiff_sptree::Run;
-use wfdiff_workloads::runs::generate_run;
+use wfdiff_pdiffview::serve::shard::{detect_shard_dirs, split_store_into_shards, ShardEntry};
+use wfdiff_pdiffview::serve::{ServeConfig, Server, ShardRouter};
+use wfdiff_pdiffview::{AllPairsResult, DiffService, RunDescriptor, WorkflowStore};
+use wfdiff_sptree::{Run, Specification};
+use wfdiff_workloads::generator::{random_specification, SpecGenConfig};
+use wfdiff_workloads::runs::{generate_run, RunGenConfig};
 
 /// Configuration of one load-generation experiment.
 #[derive(Debug, Clone)]
@@ -77,7 +89,7 @@ impl LoadGenConfig {
 }
 
 /// Latency percentiles of one operation class in one round.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
 pub struct OpStats {
     /// Operation name (`read`, `diff` or `insert`).
     pub op: String,
@@ -94,7 +106,7 @@ pub struct OpStats {
 }
 
 /// One measured client count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
 pub struct LoadRound {
     /// Number of concurrent closed-loop clients.
     pub clients: usize,
@@ -113,7 +125,7 @@ pub struct LoadRound {
 }
 
 /// The full result of one experiment.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
 pub struct ServeBenchReport {
     /// Workload label.
     pub label: String,
@@ -246,7 +258,22 @@ fn run_round(
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 
-    // Aggregate.
+    let (requests, protocol_errors, distance_mismatches, ops) = aggregate(results);
+
+    LoadRound {
+        clients,
+        requests,
+        wall_ms,
+        throughput_rps: if wall_ms > 0.0 { requests as f64 / (wall_ms / 1e3) } else { 0.0 },
+        protocol_errors,
+        distance_mismatches,
+        ops,
+    }
+}
+
+/// Folds per-client results into `(requests, protocol errors, distance
+/// mismatches, per-op latency percentiles)`.
+fn aggregate(results: Vec<ClientResult>) -> (usize, usize, usize, Vec<OpStats>) {
     let mut per_op: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
     let mut protocol_errors = 0;
     let mut distance_mismatches = 0;
@@ -275,16 +302,7 @@ fn run_round(
             }
         })
         .collect();
-
-    LoadRound {
-        clients,
-        requests,
-        wall_ms,
-        throughput_rps: if wall_ms > 0.0 { requests as f64 / (wall_ms / 1e3) } else { 0.0 },
-        protocol_errors,
-        distance_mismatches,
-        ops,
-    }
+    (requests, protocol_errors, distance_mismatches, ops)
 }
 
 /// Index into a **sorted** latency vector at percentile `p`.
@@ -494,6 +512,391 @@ impl HttpClient {
         self.reader.read_exact(&mut buf)?;
         String::from_utf8(buf).map(|body| (status, body)).map_err(|_| bad("non-UTF-8 body"))
     }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded mode
+// ---------------------------------------------------------------------------
+
+/// Configuration of the sharded experiment (`load_gen sharded …`).
+#[derive(Debug, Clone)]
+pub struct ShardedLoadConfig {
+    /// Workload label for the report.
+    pub label: String,
+    /// Number of distinct specifications (also the client count — each
+    /// client is dedicated to one spec, so traffic spreads across shards).
+    pub specs: usize,
+    /// Runs stored per specification at boot.
+    pub runs_per_spec: usize,
+    /// Specification size in edges.
+    pub spec_edges: usize,
+    /// Requests each client issues per round.
+    pub requests_per_client: usize,
+    /// Shard counts to measure, one round per entry.
+    pub shard_counts: Vec<usize>,
+    /// HTTP worker count, and diff threads **per shard**.
+    pub server_threads: usize,
+    /// Relative weights of the (read, diff, insert) operations.  The
+    /// default is insert-heavy: durable appends serialise per shard, so the
+    /// shard count is what relieves them.
+    pub mix: [u32; 3],
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ShardedLoadConfig {
+    /// The default sharded workload.
+    pub fn new(specs: usize, runs_per_spec: usize, spec_edges: usize) -> Self {
+        ShardedLoadConfig {
+            label: format!("sharded(s={specs},r={runs_per_spec},e={spec_edges})"),
+            specs: specs.max(1),
+            runs_per_spec: runs_per_spec.max(2),
+            spec_edges,
+            requests_per_client: 30,
+            shard_counts: vec![1, 2, 4],
+            server_threads: 4,
+            mix: [1, 2, 3],
+            seed: 0x5AA5_5E17E,
+        }
+    }
+}
+
+/// One measured shard count.
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct ShardRound {
+    /// Number of store shards behind the server.
+    pub shards: usize,
+    /// Number of concurrent closed-loop clients (= specifications).
+    pub clients: usize,
+    /// Total requests completed across all clients.
+    pub requests: usize,
+    /// Wall time of the whole round in milliseconds.
+    pub wall_ms: f64,
+    /// Aggregate throughput in requests per second.
+    pub throughput_rps: f64,
+    /// Non-2xx responses and framing/transport failures (must be 0).
+    pub protocol_errors: usize,
+    /// Served distances that diverged from the local recompute (must be 0).
+    pub distance_mismatches: usize,
+    /// Size of the post-round `GET /metrics` scrape in bytes (0 if the
+    /// scrape failed, which also counts a protocol error).
+    pub metrics_scrape_bytes: usize,
+    /// Per-operation latency percentiles.
+    pub ops: Vec<OpStats>,
+}
+
+/// The full result of one sharded experiment (the `"sharded"` member of
+/// `BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+pub struct ShardedBenchReport {
+    /// Workload label.
+    pub label: String,
+    /// Number of specifications (and clients).
+    pub specs: usize,
+    /// Runs per specification at boot.
+    pub runs_per_spec: usize,
+    /// Specification size in edges.
+    pub spec_edges: usize,
+    /// Requests per client per round.
+    pub requests_per_client: usize,
+    /// HTTP workers / per-shard diff threads.
+    pub server_threads: usize,
+    /// Operation mix weights (read, diff, insert).
+    pub mix: Vec<u32>,
+    /// One entry per measured shard count.
+    pub rounds: Vec<ShardRound>,
+}
+
+impl ShardedBenchReport {
+    /// Sum of protocol errors across rounds.
+    pub fn protocol_errors(&self) -> usize {
+        self.rounds.iter().map(|r| r.protocol_errors).sum()
+    }
+
+    /// Sum of distance mismatches across rounds.
+    pub fn distance_mismatches(&self) -> usize {
+        self.rounds.iter().map(|r| r.distance_mismatches).sum()
+    }
+}
+
+/// One specification's slice of the sharded workload.
+struct SpecWorkload {
+    name: String,
+    spec: Arc<Specification>,
+    runs: Vec<Run>,
+    reference: AllPairsResult,
+}
+
+/// Runs the sharded experiment: generate `specs` independent
+/// specifications, then for every configured shard count save the combined
+/// store, split it through the operator migration path, boot a sharded
+/// server over the split directories and drive it with one client per spec.
+pub fn run_sharded(config: &ShardedLoadConfig) -> ShardedBenchReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let spec_gen = SpecGenConfig {
+        target_edges: config.spec_edges,
+        series_parallel_ratio: 1.0,
+        forks: 2,
+        loops: 1,
+    };
+    let local_store = Arc::new(WorkflowStore::new());
+    let mut generated = Vec::with_capacity(config.specs);
+    for s in 0..config.specs {
+        let name = format!("spec{s:02}");
+        let spec = local_store
+            .insert_spec(random_specification(&name, &spec_gen, &mut rng))
+            .expect("fresh store has no conflict");
+        let runs: Vec<Run> = (0..config.runs_per_spec)
+            .map(|_| generate_run(&spec, &sharded_run_gen(), &mut rng))
+            .collect();
+        for (i, run) in runs.iter().enumerate() {
+            local_store.insert_run(&run_name(i), run.clone()).expect("spec is stored");
+        }
+        generated.push((name, spec, runs));
+    }
+    // Local recompute per spec: the served distances must match these.
+    let local = DiffService::new(Arc::clone(&local_store));
+    let workloads: Vec<SpecWorkload> = generated
+        .into_iter()
+        .map(|(name, spec, runs)| {
+            let reference = local.diff_all_pairs(&name).expect("valid workload");
+            SpecWorkload { name, spec, runs, reference }
+        })
+        .collect();
+
+    let mut rounds = Vec::new();
+    for &shards in &config.shard_counts {
+        rounds.push(run_sharded_round(config, &workloads, shards.max(1)));
+    }
+
+    ShardedBenchReport {
+        label: config.label.clone(),
+        specs: config.specs,
+        runs_per_spec: config.runs_per_spec,
+        spec_edges: config.spec_edges,
+        requests_per_client: config.requests_per_client,
+        server_threads: config.server_threads,
+        mix: config.mix.to_vec(),
+        rounds,
+    }
+}
+
+/// The run generator of the sharded workload (same shape as `store_tool
+/// export`).
+fn sharded_run_gen() -> RunGenConfig {
+    RunGenConfig { prob_p: 0.85, max_f: 3, prob_f: 0.6, max_l: 3, prob_l: 0.6 }
+}
+
+fn run_sharded_round(
+    config: &ShardedLoadConfig,
+    workloads: &[SpecWorkload],
+    shards: usize,
+) -> ShardRound {
+    // Save the combined store flat, then split it exactly like an operator
+    // would (`store_tool shard`), and boot every shard directory.
+    let root = std::env::temp_dir()
+        .join(format!("wfdiff-loadgen-sharded-{}-{shards}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let flat = root.join("flat");
+    let staging = WorkflowStore::new();
+    for w in workloads {
+        staging.insert_spec(w.spec.as_ref().clone()).expect("fresh store has no conflict");
+        for (i, run) in w.runs.iter().enumerate() {
+            staging.insert_run(&run_name(i), run.clone()).expect("spec is stored");
+        }
+    }
+    staging.save_to_dir(&flat).expect("save succeeds");
+    let shard_root = root.join("shards");
+    split_store_into_shards(&flat, &shard_root, shards).expect("split succeeds");
+    let dirs = detect_shard_dirs(&shard_root);
+    assert_eq!(dirs.len(), shards, "split wrote every shard directory");
+    let entries = dirs
+        .into_iter()
+        .map(|dir| {
+            let store = Arc::new(WorkflowStore::load_from_dir(&dir).expect("shard load succeeds"));
+            let service =
+                Arc::new(DiffService::builder(store).threads(config.server_threads).build());
+            service.warm_start().expect("warm start succeeds");
+            ShardEntry::new(service, Some(dir))
+        })
+        .collect();
+    let server = Server::bind_sharded(
+        ShardRouter::new(entries),
+        ServeConfig { threads: config.server_threads, ..ServeConfig::default() },
+    )
+    .expect("bind loopback");
+    let handle = server.start().expect("spawn workers");
+    let addr = handle.addr();
+
+    let started = Instant::now();
+    let results: Vec<ClientResult> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..workloads.len())
+            .map(|idx| {
+                scope.spawn(move || sharded_client_loop(config, &workloads[idx], addr, shards, idx))
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("clients do not panic")).collect()
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // The sharded server must also expose a scrape after serving traffic.
+    let (mut protocol_errors_extra, mut metrics_scrape_bytes) = (0, 0);
+    match HttpClient::connect(addr).and_then(|mut c| c.request("GET", "/metrics", None)) {
+        Ok((200, body)) => metrics_scrape_bytes = body.len(),
+        _ => protocol_errors_extra += 1,
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let (requests, protocol_errors, distance_mismatches, ops) = aggregate(results);
+    ShardRound {
+        shards,
+        clients: workloads.len(),
+        requests,
+        wall_ms,
+        throughput_rps: if wall_ms > 0.0 { requests as f64 / (wall_ms / 1e3) } else { 0.0 },
+        protocol_errors: protocol_errors + protocol_errors_extra,
+        distance_mismatches,
+        metrics_scrape_bytes,
+        ops,
+    }
+}
+
+/// One sharded client: every request addresses the client's own spec, so
+/// with enough specs the traffic spreads across every shard.
+fn sharded_client_loop(
+    config: &ShardedLoadConfig,
+    workload: &SpecWorkload,
+    addr: std::net::SocketAddr,
+    shards: usize,
+    idx: usize,
+) -> ClientResult {
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(config.seed ^ ((shards as u64) << 32) ^ (idx as u64 + 1));
+    let mut result =
+        ClientResult { latencies: Vec::new(), protocol_errors: 0, distance_mismatches: 0 };
+    let mut client = match HttpClient::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            result.protocol_errors += config.requests_per_client;
+            return result;
+        }
+    };
+    let total_weight: u32 = config.mix.iter().sum::<u32>().max(1);
+    let run_gen = sharded_run_gen();
+    let spec_name = &workload.name;
+
+    for i in 0..config.requests_per_client {
+        let roll = rng.gen_range(0..total_weight);
+        let op = if roll < config.mix[0] {
+            0
+        } else if roll < config.mix[0] + config.mix[1] {
+            1
+        } else {
+            2
+        };
+        let started = Instant::now();
+        let outcome = match op {
+            0 => {
+                let path = if i % 2 == 0 {
+                    "/specs".to_string()
+                } else {
+                    format!("/specs/{}/runs", encode(spec_name))
+                };
+                client.request("GET", &path, None).map(|(status, _)| status == 200)
+            }
+            1 => {
+                let a = rng.gen_range(0..workload.runs.len());
+                let b = rng.gen_range(0..workload.runs.len());
+                let path = format!(
+                    "/diff?spec={}&a={}&b={}",
+                    encode(spec_name),
+                    encode(&run_name(a)),
+                    encode(&run_name(b))
+                );
+                client.request("GET", &path, None).map(|(status, body)| {
+                    if status != 200 {
+                        return false;
+                    }
+                    match parse_distance(&body) {
+                        Some(d) => {
+                            let expected = workload
+                                .reference
+                                .distance(&run_name(a), &run_name(b))
+                                .expect("queried runs are in the reference matrix");
+                            if d != expected {
+                                result.distance_mismatches += 1;
+                            }
+                            true
+                        }
+                        None => false,
+                    }
+                })
+            }
+            _ => {
+                let fresh = generate_run(&workload.spec, &run_gen, &mut rng);
+                let descriptor = RunDescriptor::from_run(&fresh);
+                let body = format!(
+                    "{{\"name\": \"lg{shards}-{idx}-{i}\", \"run\": {}}}",
+                    descriptor.to_json()
+                );
+                client.request("POST", "/runs", Some(&body)).map(|(status, _)| status == 201)
+            }
+        };
+        let us = started.elapsed().as_micros() as u64;
+        match outcome {
+            Ok(true) => result.latencies.push((op, us)),
+            Ok(false) => result.protocol_errors += 1,
+            Err(_) => {
+                result.protocol_errors += 1;
+                match HttpClient::connect(addr) {
+                    Ok(c) => client = c,
+                    Err(_) => {
+                        result.protocol_errors += config.requests_per_client - i - 1;
+                        return result;
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Renders a sharded report as an aligned text table.
+pub fn render_sharded(report: &ShardedBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "load_gen sharded — {} ({} spec(s) x {} runs, {} req/client, {} server worker(s), \
+         mix r{}:d{}:i{})\n",
+        report.label,
+        report.specs,
+        report.runs_per_spec,
+        report.requests_per_client,
+        report.server_threads,
+        report.mix[0],
+        report.mix[1],
+        report.mix[2],
+    ));
+    out.push_str(" shards   requests     wall_ms       rps   errors   mismatches\n");
+    for r in &report.rounds {
+        out.push_str(&format!(
+            "{:>7} {:>10} {:>11.2} {:>9.1} {:>8} {:>12}\n",
+            r.shards,
+            r.requests,
+            r.wall_ms,
+            r.throughput_rps,
+            r.protocol_errors,
+            r.distance_mismatches,
+        ));
+        for op in &r.ops {
+            out.push_str(&format!(
+                "        {:>7} x {:<7} p50 {:>7}us   p90 {:>7}us   p99 {:>7}us   max {:>7}us\n",
+                op.count, op.op, op.p50_us, op.p90_us, op.p99_us, op.max_us
+            ));
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -845,6 +1248,30 @@ mod tests {
         assert!(text.contains("insert_recluster"), "{text}");
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"similar_mismatches\""));
+    }
+
+    #[test]
+    fn small_sharded_run_is_clean_and_verified() {
+        let mut config = ShardedLoadConfig::new(2, 4, 25);
+        config.shard_counts = vec![1, 2];
+        config.requests_per_client = 10;
+        config.server_threads = 2;
+        let report = run_sharded(&config);
+        assert_eq!(report.rounds.len(), 2);
+        assert_eq!(report.protocol_errors(), 0, "{report:?}");
+        assert_eq!(report.distance_mismatches(), 0, "{report:?}");
+        for round in &report.rounds {
+            assert_eq!(round.clients, 2);
+            assert_eq!(round.requests, round.clients * config.requests_per_client);
+            assert!(round.throughput_rps > 0.0);
+            assert!(round.metrics_scrape_bytes > 0, "the sharded server scrapes");
+        }
+        assert_eq!(report.rounds[0].shards, 1);
+        assert_eq!(report.rounds[1].shards, 2);
+        let text = render_sharded(&report);
+        assert!(text.contains("shards"), "{text}");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"metrics_scrape_bytes\""));
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //!     Load the store at <dir> and print the edit distance of one pair to
 //!     stdout — rendered exactly like the diff server's JSON `distance`
 //!     field, so shell pipelines can compare the two byte-for-byte.
+//!
+//! store_tool shard <src> <dst> <n>
+//!     Partition the single-store directory at <src> into <n> hash-routed
+//!     shard directories <dst>/shard-000 ... <dst>/shard-NNN — the operator
+//!     migration path to a sharded `wfdiff_serve` deployment (see
+//!     docs/OPERATIONS.md).  Cluster caches are not migrated; each shard
+//!     rebuilds its own on the first cluster query.
 //! ```
 //!
 //! # Exit codes
@@ -46,7 +53,8 @@ use wfdiff_workloads::runs::{generate_run, RunGenConfig};
 const USAGE: &str = "usage: store_tool export <dir> [specs] [runs-per-spec] [seed]\n\
                      \u{20}      store_tool import <src> <dst>\n\
                      \u{20}      store_tool verify <dir>\n\
-                     \u{20}      store_tool diff <dir> <spec> <run-a> <run-b>";
+                     \u{20}      store_tool diff <dir> <spec> <run-a> <run-b>\n\
+                     \u{20}      store_tool shard <src> <dst> <n>";
 
 /// A failure, split by who caused it: the invocation or the data.
 enum ToolError {
@@ -69,6 +77,7 @@ fn main() {
         Some("import") => import(&args[1..]),
         Some("verify") => verify(&args[1..]),
         Some("diff") => diff(&args[1..]),
+        Some("shard") => shard(&args[1..]),
         Some(other) => Err(ToolError::Usage(format!("unknown subcommand {other:?}"))),
         None => Err(ToolError::Usage("no subcommand given".to_string())),
     };
@@ -191,6 +200,37 @@ fn diff(args: &[String]) -> Result<(), ToolError> {
     println!(
         "{}",
         serde_json::to_string(&pair.distance).map_err(|e| ToolError::Data(e.to_string()))?
+    );
+    Ok(())
+}
+
+/// Partitions a single-store directory into hash-routed shard directories.
+fn shard(args: &[String]) -> Result<(), ToolError> {
+    let src = arg(args, 0, "source directory")?;
+    let dst = arg(args, 1, "target directory")?;
+    let n: usize = match arg(args, 2, "shard count")?.parse() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            return Err(ToolError::Usage(format!(
+                "shard count must be a positive integer, got {:?}",
+                args[2]
+            )))
+        }
+    };
+    let summaries = wfdiff_pdiffview::serve::shard::split_store_into_shards(src, dst, n)
+        .map_err(|e| ToolError::Data(e.to_string()))?;
+    for (i, summary) in summaries.iter().enumerate() {
+        println!(
+            "  {}: {} spec(s), {} run(s)",
+            wfdiff_pdiffview::serve::shard::shard_dir_name(i),
+            summary.specs,
+            summary.runs
+        );
+    }
+    println!(
+        "sharded {src} into {n} shard(s) under {dst} ({} spec(s), {} run(s) total)",
+        summaries.iter().map(|s| s.specs).sum::<usize>(),
+        summaries.iter().map(|s| s.runs).sum::<usize>()
     );
     Ok(())
 }

@@ -7,9 +7,17 @@
 //!     127.0.0.1:7411) with [threads] workers (default: available CPUs).
 //! ```
 //!
+//! When `<store-dir>` contains `shard-NNN` subdirectories (as written by
+//! `store_tool shard`), each is loaded as an independent shard — its own
+//! store, diff service and cluster cache — and requests are routed by spec
+//! name; otherwise the directory is served as a single shard.  In both modes
+//! `[threads]` is the *HTTP worker* count; each shard additionally gets its
+//! own diff thread pool.
+//!
 //! Endpoints, limits and the error model are documented on
-//! [`wfdiff_pdiffview::serve`].  Runs inserted through `POST /runs` are
-//! appended durably to `<store-dir>`.
+//! [`wfdiff_pdiffview::serve`]; operations (sharding, metrics, tuning) in
+//! `docs/OPERATIONS.md`.  Runs inserted through `POST /runs` are appended
+//! durably to the owning shard's directory.
 //!
 //! Exit codes: `2` for usage errors (wrong arguments), `1` when the store
 //! fails to load or the address cannot be bound.
@@ -17,7 +25,9 @@
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use wfdiff_pdiffview::serve::shard::{detect_shard_dirs, ShardEntry, ShardRouter};
 use wfdiff_pdiffview::serve::{ServeConfig, Server};
 use wfdiff_pdiffview::{DiffService, WorkflowStore};
 
@@ -47,8 +57,11 @@ fn main() {
     }
 }
 
-fn serve(dir: &str, addr: &str, threads: usize) -> Result<(), String> {
-    let store = Arc::new(WorkflowStore::load_from_dir(dir).map_err(|e| e.to_string())?);
+/// Loads one shard: store, diff service, warm start, cluster-cache resume.
+/// Returns the entry plus its warm (spec, run) counts.
+fn load_shard(dir: &Path, threads: usize) -> Result<(ShardEntry, usize, usize), String> {
+    let store =
+        Arc::new(WorkflowStore::load_from_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?);
     let service = Arc::new(DiffService::builder(store).threads(threads).build());
     let report = service.warm_start().map_err(|e| e.to_string())?;
     // Resume any checkpointed run clustering (validated entry by entry;
@@ -56,21 +69,36 @@ fn serve(dir: &str, addr: &str, threads: usize) -> Result<(), String> {
     let clusters = service.load_cluster_state(dir);
     if clusters.loaded > 0 || clusters.stale > 0 {
         println!(
-            "wfdiff_serve cluster cache: {} spec(s) resumed, {} stale entr(ies) to rebuild",
-            clusters.loaded, clusters.stale
+            "wfdiff_serve cluster cache [{}]: {} spec(s) resumed, {} stale entr(ies) to rebuild",
+            dir.display(),
+            clusters.loaded,
+            clusters.stale
         );
     }
-    let config = ServeConfig {
-        addr: addr.to_string(),
-        threads,
-        store_dir: Some(dir.into()),
-        ..ServeConfig::default()
-    };
-    let server = Server::bind(service, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    Ok((ShardEntry::new(service, Some(dir.to_path_buf())), report.specs, report.runs))
+}
+
+fn serve(dir: &str, addr: &str, threads: usize) -> Result<(), String> {
+    let shard_dirs = detect_shard_dirs(dir);
+    let dirs: Vec<PathBuf> =
+        if shard_dirs.is_empty() { vec![PathBuf::from(dir)] } else { shard_dirs };
+    let mut shards = Vec::with_capacity(dirs.len());
+    let (mut specs, mut runs) = (0usize, 0usize);
+    for shard_dir in &dirs {
+        let (entry, shard_specs, shard_runs) = load_shard(shard_dir, threads)?;
+        specs += shard_specs;
+        runs += shard_runs;
+        shards.push(entry);
+    }
+    let shard_count = shards.len();
+    let router = ShardRouter::new(shards);
+    let config = ServeConfig { addr: addr.to_string(), threads, ..ServeConfig::default() };
+    let server =
+        Server::bind_sharded(router, config).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "wfdiff_serve listening on http://{bound} ({} spec(s), {} run(s) warm, {threads} worker(s))",
-        report.specs, report.runs
+        "wfdiff_serve listening on http://{bound} ({specs} spec(s), {runs} run(s) warm, \
+         {shard_count} shard(s), {threads} worker(s))"
     );
     // The address line is what scripts wait for; make sure it is not stuck
     // in a pipe buffer when stdout is not a terminal.

@@ -25,10 +25,12 @@
 //!   provenance graphs) **and** run clustering: a deterministic k-medoids
 //!   clusterer, the [`IncrementalClusterIndex`] that follows the store as
 //!   runs stream in or out, and its optional on-disk checkpoint,
-//! * [`serve`] — a dependency-free HTTP/1.1 front-end (bounded worker pool
-//!   over `std::net`) that serves store snapshots, run inserts, single/batch
-//!   diffs, nearest-run queries and cluster summaries to remote clients; see
-//!   the `wfdiff_serve` binary.
+//! * [`serve`] — a dependency-free HTTP/1.1 front-end over `std::net`: a
+//!   non-blocking reactor feeds a bounded worker pool, specs are partitioned
+//!   across N store shards by a stable hash, and a lock-cheap metrics
+//!   registry renders Prometheus text at `GET /metrics`; serves store
+//!   snapshots, run inserts, single/batch diffs, nearest-run queries and
+//!   cluster summaries to remote clients.  See the `wfdiff_serve` binary.
 //!
 //! # Example
 //!
@@ -72,7 +74,7 @@ pub use cluster::{
 pub use io::{RunDescriptor, SpecDescriptor, DESCRIPTOR_FORMAT};
 pub use persist::{PersistError, SaveSummary, STORE_FORMAT};
 pub use render::{render_diff_dot, render_diff_text};
-pub use serve::{ServeConfig, Server, ServerHandle};
+pub use serve::{ServeConfig, ServeMetrics, Server, ServerHandle, ShardEntry, ShardRouter};
 pub use service::{
     AllPairsResult, DiffService, DiffServiceBuilder, PairDistance, ServiceError, WarmStartReport,
 };

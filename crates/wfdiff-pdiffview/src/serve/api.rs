@@ -32,17 +32,32 @@ use wfdiff_sptree::SpTreeError;
 // Success bodies
 // ---------------------------------------------------------------------------
 
-/// `GET /healthz` response.
-#[derive(Debug, Serialize)]
+/// `GET /healthz` response.  `specs`/`runs`/`threads` are totals across
+/// every shard; `shards` breaks them down (one entry on an unsharded
+/// server).
+#[derive(Debug, Serialize, Deserialize)]
 pub struct HealthResponse {
     /// Always `"ok"` when the server can answer at all.
     pub status: String,
-    /// Number of specifications in the store.
+    /// Number of specifications stored, summed across shards.
     pub specs: usize,
-    /// Number of runs in the store (across all specifications).
+    /// Number of runs stored (across all specifications and shards).
     pub runs: usize,
-    /// Worker threads serving diff traffic.
+    /// Diff threads across every shard's service.
     pub threads: usize,
+    /// Per-shard breakdown, in shard order.
+    pub shards: Vec<ShardHealth>,
+}
+
+/// One shard's slice of a `GET /healthz` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// The shard index.
+    pub shard: usize,
+    /// Specifications stored on this shard.
+    pub specs: usize,
+    /// Runs stored on this shard.
+    pub runs: usize,
 }
 
 /// One entry of the `GET /specs` listing.

@@ -1,17 +1,23 @@
-//! Endpoint implementations: routing a parsed [`Request`] onto the
+//! Endpoint implementations: routing a parsed [`Request`] onto the sharded
 //! [`DiffService`]/[`WorkflowStore`](crate::store::WorkflowStore) stack and
-//! rendering JSON responses.
+//! rendering responses.
 //!
 //! Handlers never panic on client input: every failure is an [`ApiError`]
-//! carrying the HTTP status, and [`route`] converts both outcomes into a
-//! `(status, body)` pair for the connection loop to write.
+//! carrying the HTTP status, and [`dispatch`] converts both outcomes into a
+//! [`Response`] for the worker to render.  Endpoints that address one
+//! specification resolve their shard through the [`ShardRouter`];
+//! `/healthz` and `/specs` aggregate across every shard, and `/metrics`
+//! renders the server's [`ServeMetrics`] registry as Prometheus text.
 
 use super::api::*;
 use super::http::Request;
+use super::metrics::ServeMetrics;
+use super::shard::{ShardEntry, ShardRouter};
 use crate::cluster::{ClusterDiff, Clustering, DEFAULT_CLUSTER_SEED};
 use crate::service::DiffService;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Ceiling on the number of pairs a single `POST /diff/batch` may request;
 /// larger batches are rejected with `400` so one request cannot monopolise
@@ -21,16 +27,87 @@ pub const MAX_BATCH_PAIRS: usize = 4096;
 /// Default neighbour count of `GET /similar` when `k` is omitted.
 pub const DEFAULT_SIMILAR_K: usize = 5;
 
-/// Everything a handler needs: the diff service (which owns the store) and,
-/// when the server persists inserts, the store directory.
+/// The `Content-Type` of `GET /metrics` responses.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Everything a handler needs: the shard router (each shard owns a diff
+/// service, and through it a store, plus optionally a durable directory)
+/// and the metrics registry.
 pub struct AppState {
-    /// The batch diff engine the server fronts.
-    pub service: Arc<DiffService>,
-    /// When set, `POST /runs` appends an atomic run document here.
-    pub store_dir: Option<PathBuf>,
+    router: ShardRouter,
+    metrics: Arc<ServeMetrics>,
 }
 
-/// Dispatches a request to its handler and renders the outcome as
+impl AppState {
+    /// Builds the state over a shard router, creating a metrics registry
+    /// sized to it.
+    pub fn new(router: ShardRouter) -> Self {
+        let metrics = Arc::new(ServeMetrics::new(router.len()));
+        AppState { router, metrics }
+    }
+
+    /// Single-shard state — the unsharded server.
+    pub fn single(service: Arc<DiffService>, store_dir: Option<PathBuf>) -> Self {
+        AppState::new(ShardRouter::single(service, store_dir))
+    }
+
+    /// The shard router.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// Resolves the shard for a spec name, counting the routing decision.
+    fn shard(&self, spec: &str) -> &ShardEntry {
+        let i = self.router.shard_index(spec);
+        self.metrics.observe_shard_request(i);
+        &self.router.shards()[i]
+    }
+}
+
+/// A rendered handler outcome: status, content type and body bytes-to-be.
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The `Content-Type` header value.
+    pub content_type: &'static str,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body }
+    }
+}
+
+/// Top-level dispatch: `GET /metrics` renders Prometheus text, everything
+/// else goes through the JSON [`route`] table.
+pub fn dispatch(state: &AppState, req: &Request) -> Response {
+    let segments: Vec<&str> = req.segments.iter().map(String::as_str).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["metrics"]) => Response {
+            status: 200,
+            content_type: METRICS_CONTENT_TYPE,
+            body: state.metrics.render(&state.router),
+        },
+        (_, ["metrics"]) => {
+            let e = ApiError::method_not_allowed(&req.method, &req.raw_path);
+            Response::json(e.status, e.body())
+        }
+        _ => {
+            let (status, body) = route(state, req);
+            Response::json(status, body)
+        }
+    }
+}
+
+/// Dispatches a request to its JSON handler and renders the outcome as
 /// `(status, JSON body)`.  Unknown paths get `404`, known paths with the
 /// wrong method get `405`.
 pub fn route(state: &AppState, req: &Request) -> (u16, String) {
@@ -63,34 +140,50 @@ fn json<T: serde::Serialize>(status: u16, value: &T) -> Result<(u16, String), Ap
         .map_err(|e| ApiError::new(500, "serialisation_failed", e.to_string()))
 }
 
+/// `GET /healthz`: totals aggregated across every shard, plus the per-shard
+/// breakdown.
 fn healthz(state: &AppState) -> Result<(u16, String), ApiError> {
-    let store = state.service.store();
+    let mut shards = Vec::with_capacity(state.router.len());
+    let mut threads = 0;
+    for (i, shard) in state.router.shards().iter().enumerate() {
+        let store = shard.service().store();
+        threads += shard.service().threads();
+        shards.push(ShardHealth {
+            shard: i,
+            specs: store.spec_names().len(),
+            runs: store.run_count(),
+        });
+    }
     json(
         200,
         &HealthResponse {
             status: "ok".to_string(),
-            specs: store.spec_names().len(),
-            runs: store.run_count(),
-            threads: state.service.threads(),
+            specs: shards.iter().map(|s| s.specs).sum(),
+            runs: shards.iter().map(|s| s.runs).sum(),
+            threads,
+            shards,
         },
     )
 }
 
+/// `GET /specs`: the listings of every shard merged and sorted by name, so
+/// clients see one store regardless of the shard count.
 fn specs(state: &AppState) -> Result<(u16, String), ApiError> {
-    let snapshot = state.service.store().snapshot_all();
-    let specs = snapshot
-        .iter()
-        .map(|(name, (spec, runs))| SpecEntry {
+    let mut specs: Vec<SpecEntry> = Vec::new();
+    for shard in state.router.shards() {
+        let snapshot = shard.service().store().snapshot_all();
+        specs.extend(snapshot.iter().map(|(name, (spec, runs))| SpecEntry {
             name: name.clone(),
             fingerprint: spec.fingerprint().to_string(),
             runs: runs.len(),
-        })
-        .collect();
+        }));
+    }
+    specs.sort_by(|a, b| a.name.cmp(&b.name));
     json(200, &SpecsResponse { specs })
 }
 
 fn spec_runs(state: &AppState, name: &str) -> Result<(u16, String), ApiError> {
-    let (_, runs) = state.service.store().snapshot(name).ok_or_else(|| {
+    let (_, runs) = state.shard(name).service().store().snapshot(name).ok_or_else(|| {
         ApiError::new(404, "unknown_spec", format!("unknown specification {name:?}"))
     })?;
     json(
@@ -100,8 +193,8 @@ fn spec_runs(state: &AppState, name: &str) -> Result<(u16, String), ApiError> {
 }
 
 /// `POST /runs`: validate the descriptor against the stored specification,
-/// publish the run in the store and (when the server owns a store directory)
-/// append it durably.
+/// publish the run in its shard's store and (when that shard owns a store
+/// directory) append it durably.
 ///
 /// A name that is already stored is refused with `409` (the insert is
 /// **create-only** — atomically, via [`WorkflowStore::insert_run_new`], so
@@ -115,7 +208,9 @@ fn spec_runs(state: &AppState, name: &str) -> Result<(u16, String), ApiError> {
 fn insert_run(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
     let body: InsertRunRequest = parse_body(&req.body)?;
     let spec_name = body.run.spec.clone();
-    let store = Arc::clone(state.service.store());
+    let shard = state.shard(&spec_name);
+    let service = shard.service();
+    let store = Arc::clone(service.store());
     let spec = store.spec(&spec_name).ok_or_else(|| {
         ApiError::new(404, "unknown_spec", format!("unknown specification {spec_name:?}"))
     })?;
@@ -134,7 +229,7 @@ fn insert_run(state: &AppState, req: &Request) -> Result<(u16, String), ApiError
     let run = body.run.to_run(&spec)?;
     let run_arc = store.insert_run_new(&body.name, run)?;
     let mut persisted = false;
-    if let Some(dir) = &state.store_dir {
+    if let Some(dir) = shard.dir() {
         if let Err(e) = store.append_run_to_dir(dir, &body.name, &run_arc) {
             store.remove_run(&spec_name, &body.name);
             return Err(e.into());
@@ -143,8 +238,11 @@ fn insert_run(state: &AppState, req: &Request) -> Result<(u16, String), ApiError
     }
     // Fold the new run into the incremental cluster index (a cheap no-op
     // until the first k-medoids query builds state for this spec; never
-    // fails the insert).
-    state.service.notify_run_inserted(&spec_name, &body.name);
+    // fails the insert).  The time this takes is the recluster lag the
+    // metrics expose.
+    let started = Instant::now();
+    service.notify_run_inserted(&spec_name, &body.name);
+    state.metrics.observe_cluster_update(started.elapsed());
     json(201, &InsertRunResponse { spec: spec_name, name: body.name, persisted })
 }
 
@@ -154,7 +252,7 @@ fn similar(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
     let spec = req.query_param("spec").ok_or_else(|| ApiError::missing_param("spec"))?;
     let run = req.query_param("run").ok_or_else(|| ApiError::missing_param("run"))?;
     let k = parse_int_param::<usize>(req, "k")?.unwrap_or(DEFAULT_SIMILAR_K);
-    let neighbors = state.service.nearest_runs(spec, run, k)?;
+    let neighbors = state.shard(spec).service().nearest_runs(spec, run, k)?;
     json(
         200,
         &SimilarResponse {
@@ -189,7 +287,7 @@ fn diff(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
     let spec = req.query_param("spec").ok_or_else(|| ApiError::missing_param("spec"))?;
     let a = req.query_param("a").ok_or_else(|| ApiError::missing_param("a"))?;
     let b = req.query_param("b").ok_or_else(|| ApiError::missing_param("b"))?;
-    let pair = state.service.diff(spec, a, b)?;
+    let pair = state.shard(spec).service().diff(spec, a, b)?;
     json(
         200,
         &DiffResponse {
@@ -209,7 +307,7 @@ fn diff_batch(state: &AppState, req: &Request) -> Result<(u16, String), ApiError
             format!("{} pairs exceed the limit of {MAX_BATCH_PAIRS} per request", body.pairs.len()),
         ));
     }
-    let distances = state.service.diff_batch(&body.spec, &body.pairs)?;
+    let distances = state.shard(&body.spec).service().diff_batch(&body.spec, &body.pairs)?;
     json(
         200,
         &BatchDiffResponse {
@@ -242,19 +340,20 @@ fn cluster(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
 }
 
 /// `GET /cluster?algo=kmedoids&k=…[&seed=…]`: the incremental k-medoids
-/// clustering of every stored run; checkpointed to the store directory
-/// (best effort) when the server persists.
+/// clustering of every stored run; checkpointed to the shard's store
+/// directory (best effort) when the shard persists.
 fn cluster_kmedoids(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
     let spec = req.query_param("spec").ok_or_else(|| ApiError::missing_param("spec"))?;
     let k = parse_int_param::<usize>(req, "k")?.ok_or_else(|| ApiError::missing_param("k"))?;
     let seed = parse_int_param::<u64>(req, "seed")?.unwrap_or(DEFAULT_CLUSTER_SEED);
-    let snapshot = state.service.cluster_medoids(spec, k, seed)?;
-    // Checkpoint the refreshed clustering next to the store (a no-op when
-    // nothing changed since the last checkpoint).  Best effort: the
-    // artifact is a cache and a failed write must not fail the query (the
-    // next load simply rebuilds).
-    let persisted = match &state.store_dir {
-        Some(dir) => state.service.save_cluster_state(dir).is_ok(),
+    let shard = state.shard(spec);
+    let snapshot = shard.service().cluster_medoids(spec, k, seed)?;
+    // Checkpoint the refreshed clustering next to the shard's store (a
+    // no-op when nothing changed since the last checkpoint).  Best effort:
+    // the artifact is a cache and a failed write must not fail the query
+    // (the next load simply rebuilds).
+    let persisted = match shard.dir() {
+        Some(dir) => shard.service().save_cluster_state(dir).is_ok(),
         None => false,
     };
     json(
@@ -291,11 +390,12 @@ fn cluster_prefix(state: &AppState, req: &Request) -> Result<(u16, String), ApiE
             ))
         }
     };
-    let spec = state.service.store().spec(spec_name).ok_or_else(|| {
+    let service = state.shard(spec_name).service();
+    let spec = service.store().spec(spec_name).ok_or_else(|| {
         ApiError::new(404, "unknown_spec", format!("unknown specification {spec_name:?}"))
     })?;
     let clustering = Clustering::by_prefix(&spec, sep);
-    let session = state.service.session(spec_name, a, b)?;
+    let session = service.session(spec_name, a, b)?;
     let diff = ClusterDiff::compute(&session, &clustering);
     let clusters = diff
         .hotspots()
@@ -357,7 +457,29 @@ mod tests {
         let spec = store.insert_spec(fig2_specification()).unwrap();
         store.insert_run("r1", fig2_run1(&spec)).unwrap();
         store.insert_run("r2", fig2_run2(&spec)).unwrap();
-        AppState { service: Arc::new(DiffService::new(store)), store_dir: None }
+        AppState::single(Arc::new(DiffService::new(store)), None)
+    }
+
+    /// The `fig2` store spread across two shards: `fig2` on its hashed
+    /// shard, a second spec (`aux`) forced onto the other one.
+    fn sharded_state() -> AppState {
+        let stores: Vec<Arc<WorkflowStore>> =
+            (0..2).map(|_| Arc::new(WorkflowStore::new())).collect();
+        let fig2_shard = super::super::shard::shard_of("fig2", 2);
+        let spec = stores[fig2_shard].insert_spec(fig2_specification()).unwrap();
+        stores[fig2_shard].insert_run("r1", fig2_run1(&spec)).unwrap();
+        stores[fig2_shard].insert_run("r2", fig2_run2(&spec)).unwrap();
+        let mut b = wfdiff_sptree::SpecificationBuilder::new("aux");
+        b.path(&["a", "b", "c"]).fork_between("a", "c");
+        let aux = stores[1 - fig2_shard].insert_spec(b.build().unwrap()).unwrap();
+        let run = wfdiff_workloads::runs::generate_run_with_target_edges(&aux, 6, 1);
+        stores[1 - fig2_shard].insert_run("a1", run).unwrap();
+        AppState::new(ShardRouter::new(
+            stores
+                .iter()
+                .map(|s| ShardEntry::new(Arc::new(DiffService::new(Arc::clone(s))), None))
+                .collect(),
+        ))
     }
 
     #[test]
@@ -424,7 +546,7 @@ mod tests {
     #[test]
     fn insert_endpoint_validates_fingerprint_and_json() {
         let state = state();
-        let store = Arc::clone(state.service.store());
+        let store = Arc::clone(state.router().shard_for("fig2").service().store());
         let spec = store.spec("fig2").unwrap();
         let descriptor = RunDescriptor::from_run(&fig2_run1(&spec));
 
@@ -542,15 +664,69 @@ mod tests {
         let (status, _) =
             route(&state, &request("GET", "/cluster?spec=fig2&algo=kmedoids&k=2", ""));
         assert_eq!(status, 200);
-        let store = Arc::clone(state.service.store());
+        let service = Arc::clone(state.router().shard_for("fig2").service());
+        let store = Arc::clone(service.store());
         let spec = store.spec("fig2").unwrap();
         let descriptor = RunDescriptor::from_run(&fig2_run2(&spec));
         let body = format!("{{\"name\": \"r3\", \"run\": {}}}", descriptor.to_json());
         let (status, text) = route(&state, &request("POST", "/runs", &body));
         assert_eq!(status, 201, "{text}");
-        let snapshot = state.service.cluster_index().snapshot("fig2").unwrap();
+        let snapshot = service.cluster_index().snapshot("fig2").unwrap();
         assert!(snapshot.cluster_of("r3").is_some(), "streamed run was folded in");
         // And r3 (a copy of r2) landed in r2's cluster.
         assert_eq!(snapshot.cluster_of("r3"), snapshot.cluster_of("r2"));
+        // The recluster lag was observed.
+        assert!(state
+            .metrics()
+            .render(state.router())
+            .contains("wfdiff_cluster_update_duration_seconds_count 1"));
+    }
+
+    #[test]
+    fn sharded_specs_and_healthz_aggregate_across_shards() {
+        let state = sharded_state();
+        let (status, body) = route(&state, &request("GET", "/specs", ""));
+        assert_eq!(status, 200, "{body}");
+        let out: SpecsResponse = serde_json::from_str(&body).unwrap();
+        let names: Vec<&str> = out.specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["aux", "fig2"], "merged and sorted across shards");
+
+        let (status, body) = route(&state, &request("GET", "/healthz", ""));
+        assert_eq!(status, 200, "{body}");
+        let health: HealthResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(health.specs, 2);
+        assert_eq!(health.runs, 3);
+        assert_eq!(health.shards.len(), 2);
+        assert_eq!(health.shards.iter().map(|s| s.runs).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn sharded_requests_route_to_the_owning_shard() {
+        let state = sharded_state();
+        // Both specs answer correctly even though they live on different
+        // shards behind one route table.
+        let (status, body) = route(&state, &request("GET", "/diff?spec=fig2&a=r1&b=r2", ""));
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = route(&state, &request("GET", "/specs/aux/runs", ""));
+        assert_eq!(status, 200, "{body}");
+        let runs: RunsResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(runs.runs, vec!["a1"]);
+        // Unknown specs 404 regardless of which shard the hash picks.
+        let (status, _) = route(&state, &request("GET", "/specs/nope/runs", ""));
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn metrics_dispatch_serves_text_and_rejects_post() {
+        let state = state();
+        let _ = route(&state, &request("GET", "/diff?spec=fig2&a=r1&b=r2", ""));
+        let response = dispatch(&state, &request("GET", "/metrics", ""));
+        assert_eq!(response.status, 200);
+        assert_eq!(response.content_type, METRICS_CONTENT_TYPE);
+        assert!(response.body.contains("# TYPE wfdiff_http_requests_total counter"));
+        assert!(response.body.contains("wfdiff_shards 1"));
+        let response = dispatch(&state, &request("POST", "/metrics", ""));
+        assert_eq!(response.status, 405);
+        assert_eq!(response.content_type, "application/json");
     }
 }

@@ -2,23 +2,27 @@
 //!
 //! Only the subset the server needs is implemented — request-line + header
 //! parsing, `Content-Length` bodies, percent-decoding of paths and query
-//! strings, and JSON response writing — with hard limits so a hostile or
+//! strings, and response rendering — with hard limits so a hostile or
 //! broken client can never make the server allocate without bound:
 //!
 //! * the request line and headers together may not exceed
 //!   [`MAX_HEAD_BYTES`] (16 KiB),
 //! * bodies are capped by the server's configured maximum (see
 //!   [`crate::serve::ServeConfig::max_body_bytes`]); larger `Content-Length`
-//!   values are rejected with `413 Payload Too Large` before any body byte
-//!   is read,
+//!   values are rejected with `413 Payload Too Large` before the body has
+//!   arrived,
 //! * `Transfer-Encoding: chunked` is not supported and is rejected with
 //!   `501 Not Implemented`.
 //!
+//! Parsing is **incremental**: [`parse_request`] looks at whatever bytes the
+//! readiness loop has buffered so far and either returns a complete request
+//! (with the number of bytes it consumed, so pipelined bytes behind it stay
+//! in the buffer), asks for more ([`ParseOutcome::Incomplete`]), or fails
+//! with a status code.  Nothing in this module blocks or touches a socket,
+//! which is what lets one reactor thread own thousands of connections.
+//!
 //! Every parse failure maps to a status code and a message; nothing in this
 //! module panics on malformed input.
-
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
 
 /// Upper bound on the request line plus all header lines, in bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -48,37 +52,56 @@ impl Request {
     }
 }
 
-/// Why reading a request off a connection failed.
+/// A malformed request: respond with `status` and close the connection
+/// (framing is unreliable after a parse failure).
 #[derive(Debug)]
-pub enum RequestError {
-    /// The client closed the connection before sending a request — the
-    /// normal end of a keep-alive session, not an error.
-    Closed,
-    /// The socket failed or timed out mid-request.
-    Io(std::io::Error),
-    /// The request was malformed; respond with `status` and close.
-    Bad {
-        /// HTTP status to answer with.
-        status: u16,
-        /// Human-readable description of the defect.
-        message: String,
+pub struct ParseError {
+    /// HTTP status to answer with.
+    pub status: u16,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+fn bad(status: u16, message: impl Into<String>) -> ParseError {
+    ParseError { status, message: message.into() }
+}
+
+/// What [`parse_request`] found in the buffer.
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// The buffer does not yet hold a complete request; read more bytes.
+    Incomplete,
+    /// One complete request, and how many buffer bytes it occupied (the
+    /// caller drains exactly that many — pipelined bytes behind it remain).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed (head + body).
+        consumed: usize,
     },
 }
 
-fn bad(status: u16, message: impl Into<String>) -> RequestError {
-    RequestError::Bad { status, message: message.into() }
-}
-
-/// Reads one request from the connection, enforcing the head and body limits.
-pub fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    max_body_bytes: usize,
-) -> Result<Request, RequestError> {
-    let mut head_bytes = 0usize;
-    let request_line = match read_line(reader, &mut head_bytes)? {
-        Some(line) => line,
-        None => return Err(RequestError::Closed),
+/// Parses one request from the front of `buf` without consuming it.
+///
+/// The head limit is enforced on whatever has arrived: a newline-free flood
+/// is rejected with `431` as soon as [`MAX_HEAD_BYTES`] are buffered, and an
+/// oversized `Content-Length` with `413` as soon as the head completes —
+/// neither waits for the client to finish sending.
+pub fn parse_request(buf: &[u8], max_body_bytes: usize) -> Result<ParseOutcome, ParseError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(bad(431, format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
+        }
+        return Ok(ParseOutcome::Incomplete);
     };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(bad(431, format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
+    }
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| bad(400, "request head is not valid UTF-8"))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+    let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
     let method = parts.next().unwrap_or("").to_string();
     let target = parts.next().ok_or_else(|| bad(400, "request line has no target"))?;
@@ -94,11 +117,7 @@ pub fn read_request(
     let mut content_length: Option<usize> = None;
     let mut connection = String::new();
     let mut chunked = false;
-    loop {
-        let line = match read_line(reader, &mut head_bytes)? {
-            Some(line) => line,
-            None => return Err(bad(400, "connection closed mid-headers")),
-        };
+    for line in lines {
         if line.is_empty() {
             break;
         }
@@ -123,20 +142,22 @@ pub fn read_request(
         return Err(bad(501, "Transfer-Encoding is not supported; send Content-Length"));
     }
 
-    // Body, bounded before a single byte is read.
-    let body = match content_length {
-        None | Some(0) => String::new(),
-        Some(n) if n > max_body_bytes => {
-            return Err(bad(
-                413,
-                format!("body of {n} bytes exceeds the limit of {max_body_bytes} bytes"),
-            ));
-        }
-        Some(n) => {
-            let mut buf = vec![0u8; n];
-            reader.read_exact(&mut buf).map_err(RequestError::Io)?;
-            String::from_utf8(buf).map_err(|_| bad(400, "request body is not valid UTF-8"))?
-        }
+    // Body, bounded before it has arrived.
+    let body_len = content_length.unwrap_or(0);
+    if body_len > max_body_bytes {
+        return Err(bad(
+            413,
+            format!("body of {body_len} bytes exceeds the limit of {max_body_bytes} bytes"),
+        ));
+    }
+    if buf.len() < head_end + body_len {
+        return Ok(ParseOutcome::Incomplete);
+    }
+    let body = if body_len == 0 {
+        String::new()
+    } else {
+        String::from_utf8(buf[head_end..head_end + body_len].to_vec())
+            .map_err(|_| bad(400, "request body is not valid UTF-8"))?
     };
 
     // Split the target into path and query, decoding both.
@@ -157,46 +178,25 @@ pub fn read_request(
         "HTTP/1.0" => connection == "keep-alive",
         _ => connection != "close",
     };
-    Ok(Request { method, raw_path, segments, query, body, keep_alive })
+    let request = Request { method, raw_path, segments, query, body, keep_alive };
+    Ok(ParseOutcome::Complete { request, consumed: head_end + body_len })
 }
 
-/// Reads one CRLF-terminated line, counting it against [`MAX_HEAD_BYTES`].
-/// Returns `None` on a clean EOF before any byte of the line.
-///
-/// The limit is enforced *while* reading — a newline-free byte stream is
-/// rejected as soon as the head budget is exhausted, never buffered whole
-/// (`BufRead::read_line` would accumulate it unboundedly first).
-fn read_line(
-    reader: &mut BufReader<TcpStream>,
-    head_bytes: &mut usize,
-) -> Result<Option<String>, RequestError> {
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        let buf = reader.fill_buf().map_err(RequestError::Io)?;
-        if buf.is_empty() {
-            if line.is_empty() {
-                return Ok(None);
-            }
-            return Err(bad(400, "connection closed mid-line"));
+/// The index one past the blank line that terminates the request head, if a
+/// complete head is buffered.  Both CRLF and bare-LF line endings are
+/// tolerated, matching the line-based parser.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut start = 0;
+    while start < buf.len() {
+        let pos = buf[start..].iter().position(|&b| b == b'\n')?;
+        let line = &buf[start..start + pos];
+        let line = if line.last() == Some(&b'\r') { &line[..line.len() - 1] } else { line };
+        if line.is_empty() {
+            return Some(start + pos + 1);
         }
-        let (take, complete) = match buf.iter().position(|&b| b == b'\n') {
-            Some(pos) => (pos + 1, true),
-            None => (buf.len(), false),
-        };
-        if *head_bytes + line.len() + take > MAX_HEAD_BYTES {
-            return Err(bad(431, format!("request head exceeds {MAX_HEAD_BYTES} bytes")));
-        }
-        line.extend_from_slice(&buf[..take]);
-        reader.consume(take);
-        if complete {
-            break;
-        }
+        start += pos + 1;
     }
-    *head_bytes += line.len();
-    while matches!(line.last(), Some(b'\n' | b'\r')) {
-        line.pop();
-    }
-    String::from_utf8(line).map(Some).map_err(|_| bad(400, "request head is not valid UTF-8"))
+    None
 }
 
 /// Decodes `%XX` escapes (and, inside query strings, `+` as space).
@@ -255,33 +255,109 @@ pub fn reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }
 }
 
-/// Writes a JSON response with `Content-Length` framing.
-pub fn write_json_response(
-    stream: &mut TcpStream,
-    status: u16,
-    body: &str,
-    keep_alive: bool,
-) -> std::io::Result<()> {
+/// Renders a full response (status line, headers, body) as bytes for the
+/// readiness loop to queue on a connection's write buffer.
+pub fn render_response(status: u16, content_type: &str, body: &str, keep_alive: bool) -> Vec<u8> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
          Connection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" }
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn complete(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf, 1024).unwrap() {
+            ParseOutcome::Complete { request, consumed } => (request, consumed),
+            ParseOutcome::Incomplete => panic!("expected a complete request"),
+        }
+    }
+
+    #[test]
+    fn requests_parse_incrementally() {
+        let full = b"GET /diff?spec=fig2&a=r1&b=r2 HTTP/1.1\r\nHost: x\r\n\r\n";
+        // Every proper prefix is incomplete; the full buffer parses.
+        for cut in 0..full.len() {
+            assert!(
+                matches!(parse_request(&full[..cut], 1024).unwrap(), ParseOutcome::Incomplete),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (req, consumed) = complete(full);
+        assert_eq!(consumed, full.len());
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.segments, vec!["diff"]);
+        assert_eq!(req.query_param("spec"), Some("fig2"));
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_consume_only_their_own_bytes() {
+        let one = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(one);
+        buf.extend_from_slice(b"GET /specs HTTP/1.1\r\n\r\n");
+        let (req, consumed) = complete(&buf);
+        assert_eq!(req.segments, vec!["healthz"]);
+        assert_eq!(consumed, one.len());
+        let (req2, _) = complete(&buf[consumed..]);
+        assert_eq!(req2.segments, vec!["specs"]);
+    }
+
+    #[test]
+    fn bodies_wait_for_content_length_and_are_bounded() {
+        let head = b"POST /runs HTTP/1.1\r\nContent-Length: 5\r\n\r\n";
+        let mut buf = head.to_vec();
+        buf.extend_from_slice(b"he");
+        assert!(matches!(parse_request(&buf, 1024).unwrap(), ParseOutcome::Incomplete));
+        buf.extend_from_slice(b"llo");
+        let (req, consumed) = complete(&buf);
+        assert_eq!(req.body, "hello");
+        assert_eq!(consumed, buf.len());
+        // Oversized Content-Length fails before the body arrives.
+        let huge = b"POST /runs HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        let err = parse_request(huge, 1024).unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn malformed_requests_map_to_statuses() {
+        assert_eq!(parse_request(b"BROKEN\r\n\r\n", 1024).unwrap_err().status, 400);
+        assert_eq!(parse_request(b"GET / HTTP/0.9\r\n\r\n", 1024).unwrap_err().status, 505);
+        assert_eq!(parse_request(b"get / HTTP/1.1\r\n\r\n", 1024).unwrap_err().status, 400);
+        let chunked = b"POST /runs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert_eq!(parse_request(chunked, 1024).unwrap_err().status, 501);
+        let flood = vec![b'a'; MAX_HEAD_BYTES];
+        assert_eq!(parse_request(&flood, 1024).unwrap_err().status, 431);
+        let under = vec![b'a'; MAX_HEAD_BYTES - 1];
+        assert!(matches!(parse_request(&under, 1024).unwrap(), ParseOutcome::Incomplete));
+    }
+
+    #[test]
+    fn bare_lf_heads_and_http10_close_semantics() {
+        let (req, _) = complete(b"GET /healthz HTTP/1.0\nConnection: keep-alive\n\n");
+        assert_eq!(req.segments, vec!["healthz"]);
+        assert!(req.keep_alive, "HTTP/1.0 keeps alive only when asked");
+        let (req, _) = complete(b"GET /healthz HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = complete(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+    }
 
     #[test]
     fn percent_decoding_covers_escapes_and_plus() {
@@ -310,8 +386,18 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_the_emitted_statuses() {
-        for status in [200, 201, 400, 404, 405, 409, 413, 431, 500, 501, 505] {
+        for status in [200, 201, 400, 404, 405, 409, 413, 431, 500, 501, 503, 505] {
             assert_ne!(reason(status), "Unknown", "status {status}");
         }
+    }
+
+    #[test]
+    fn responses_render_with_content_length_framing() {
+        let bytes = render_response(200, "application/json", "{\"ok\":1}", true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 8\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\":1}"), "{text}");
     }
 }

@@ -1,68 +1,111 @@
-//! A networked front-end for the diff engine: a dependency-free HTTP/1.1
-//! server over `std::net::TcpListener` with a bounded worker pool, fronting
-//! a [`DiffService`] (and through it the [`WorkflowStore`] and its durable
-//! directory).
+//! A networked front-end for the diff engine: a dependency-free, evented
+//! HTTP/1.1 server over `std::net`, fronting one or more [`DiffService`]
+//! shards (and through them the [`WorkflowStore`]s and their durable
+//! directories).
 //!
 //! PDiffView is presented as an interactive *system* users point at a
-//! provenance store; this module is the missing network layer — a process
-//! can load a store directory, warm the cache and serve diff queries to
-//! remote clients (see the `wfdiff_serve` binary).
+//! provenance store; this module is the network layer — a process can load
+//! a store directory (or a sharded set of them), warm the caches and serve
+//! diff queries to remote clients (see the `wfdiff_serve` binary).
+//!
+//! # Architecture: readiness loop + worker pool
+//!
+//! One **reactor** thread owns every socket.  The listener and all
+//! connections are non-blocking; the reactor accepts, reads, parses
+//! incrementally ([`http::parse_request`]) and writes queued response bytes,
+//! sleeping only when nothing made progress.  Complete requests are handed
+//! to a pool of [`ServeConfig::threads`] **workers** that run the handlers
+//! and render response bytes back to the reactor.
+//!
+//! The consequence — and the reason for the split — is that *connections no
+//! longer pin workers*: a thousand idle keep-alive connections (or a client
+//! dribbling a request one byte a second) cost a table slot each, while
+//! every worker stays available for requests that have fully arrived.  The
+//! concurrency bound is [`ServeConfig::max_connections`] open sockets and
+//! [`ServeConfig::threads`] requests executing at once; further complete
+//! requests queue in the job queue, further connections are answered `503`.
+//!
+//! # Sharding
+//!
+//! [`Server::bind_sharded`] serves N store shards behind one address: each
+//! spec lives on the shard its name hashes to ([`shard::shard_of`]),
+//! spec-addressed endpoints route to exactly one shard, and `/specs`,
+//! `/healthz` and `/metrics` aggregate across all of them.  The single-store
+//! [`Server::bind`] is the one-shard special case.
 //!
 //! # Endpoints
 //!
 //! | method & path            | body | response |
 //! |--------------------------|------|----------|
-//! | `GET /healthz`           | —    | store/pool summary |
-//! | `GET /specs`             | —    | specification listing with version fingerprints |
+//! | `GET /healthz`           | —    | store/pool summary, aggregated across shards |
+//! | `GET /specs`             | —    | specification listing (all shards, sorted by name) |
 //! | `GET /specs/{name}/runs` | —    | run names of one specification |
 //! | `POST /runs`             | [`api::InsertRunRequest`] | insert (and durably append) a run |
 //! | `GET /diff?spec&a&b`     | —    | one cache-backed edit distance |
-//! | `POST /diff/batch`       | [`api::BatchDiffRequest`] | a pair list fanned onto the worker pool |
+//! | `POST /diff/batch`       | [`api::BatchDiffRequest`] | a pair list fanned onto the diff pool |
 //! | `GET /cluster?spec&a&b[&separator]` | — | per-composite-module change summary |
 //! | `GET /cluster?spec&algo=kmedoids&k[&seed]` | — | incremental k-medoids run clustering (medoids + silhouette) |
 //! | `GET /similar?spec&run[&k]` | — | the `k` stored runs nearest to `run`, exact distances |
+//! | `GET /metrics`           | —    | Prometheus text exposition ([`metrics`]) |
 //!
-//! All bodies are JSON; every store/diff/persist failure maps to a
-//! structured JSON error with a 4xx/5xx status (see [`api`]) — nothing
-//! panics across the connection boundary (handlers additionally run under
-//! `catch_unwind`, so even an engine bug answers `500` instead of wedging
-//! the connection).
+//! All bodies are JSON (except `/metrics`, which is Prometheus text); every
+//! store/diff/persist failure maps to a structured JSON error with a
+//! 4xx/5xx status (see [`api`]) — nothing panics across the connection
+//! boundary (handlers additionally run under `catch_unwind`, so even an
+//! engine bug answers `500` instead of wedging a worker).
 //!
 //! # Limits
 //!
 //! * request head (request line + headers): [`http::MAX_HEAD_BYTES`],
 //! * request body: [`ServeConfig::max_body_bytes`] (default
-//!   [`DEFAULT_MAX_BODY_BYTES`]), enforced from `Content-Length` before any
-//!   body byte is read — oversized requests get `413`,
+//!   [`DEFAULT_MAX_BODY_BYTES`]), enforced from `Content-Length` before the
+//!   body has arrived — oversized requests get `413`,
 //! * batch size: [`handlers::MAX_BATCH_PAIRS`] pairs per `POST /diff/batch`,
-//! * concurrency: at most [`ServeConfig::threads`] connections are serviced
-//!   at once (the pool **is** the bound — further connections wait in the
-//!   OS accept backlog),
-//! * per-connection read timeout: [`ServeConfig::read_timeout`]; idle
-//!   keep-alive connections are closed when it elapses.
+//! * open connections: [`ServeConfig::max_connections`]; beyond it new
+//!   connections are answered `503` and closed,
+//! * per-connection idle timeout: [`ServeConfig::read_timeout`]; a
+//!   connection with no complete request and no response in flight is closed
+//!   when it elapses.
 //!
 //! [`WorkflowStore`]: crate::store::WorkflowStore
 
 pub mod api;
 pub mod handlers;
 pub mod http;
+pub mod metrics;
+pub mod shard;
 
 pub use api::ApiError;
 pub use handlers::AppState;
+pub use metrics::ServeMetrics;
+pub use shard::{ShardEntry, ShardRouter};
 
 use crate::service::DiffService;
-use std::io::BufReader;
+use std::collections::VecDeque;
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Default request-body ceiling: 1 MiB.
 pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
 
-/// Default per-connection read timeout.
+/// Default per-connection idle timeout.
 pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default ceiling on concurrently open connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 1024;
+
+/// How long the reactor sleeps when a full pass over every socket made no
+/// progress.  Worker completions cut the sleep short via a condvar, so
+/// response latency does not pay the full tick.
+const REACTOR_IDLE_WAIT: Duration = Duration::from_micros(500);
+
+/// How long a shutting-down server waits for in-flight requests to finish
+/// before closing their connections anyway.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
 /// Server configuration; `ServeConfig::default()` binds an ephemeral
 /// loopback port with 4 workers and no persistence.
@@ -71,17 +114,22 @@ pub struct ServeConfig {
     /// Address to bind (`"127.0.0.1:0"` picks an ephemeral port; read the
     /// actual one from [`Server::local_addr`]).
     pub addr: String,
-    /// Worker-pool size — the bound on concurrently serviced connections.
-    /// Clamped to at least 1.
+    /// Worker-pool size — the bound on concurrently *executing* requests
+    /// (idle connections are free; see the module docs).  Clamped to at
+    /// least 1.
     pub threads: usize,
     /// Request-body ceiling in bytes; larger bodies are answered with `413`.
     pub max_body_bytes: usize,
-    /// Read timeout per connection; an idle keep-alive connection is closed
-    /// when it elapses.
+    /// Idle timeout per connection: a connection that has no request in
+    /// flight and has been silent this long is closed.
     pub read_timeout: Duration,
-    /// When set, `POST /runs` appends an atomic run document to this store
-    /// directory (the one the store was loaded from) via
-    /// [`crate::store::WorkflowStore::append_run_to_dir`].
+    /// Ceiling on concurrently open connections; beyond it new connections
+    /// are answered `503` and closed.
+    pub max_connections: usize,
+    /// When set (and the server is bound with [`Server::bind`]), `POST
+    /// /runs` appends an atomic run document to this store directory via
+    /// [`crate::store::WorkflowStore::append_run_to_dir`].  Sharded servers
+    /// carry a directory per shard instead (see [`Server::bind_sharded`]).
     pub store_dir: Option<PathBuf>,
 }
 
@@ -92,6 +140,7 @@ impl Default for ServeConfig {
             threads: 4,
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
             read_timeout: DEFAULT_READ_TIMEOUT,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
             store_dir: None,
         }
     }
@@ -105,12 +154,21 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the configured address over `service`.  The listener is live
-    /// after `bind` returns (connections queue in the backlog); call
-    /// [`Server::start`] to begin servicing them.
+    /// Binds the configured address over a single service (a one-shard
+    /// server).  The listener is live after `bind` returns (connections
+    /// queue in the backlog); call [`Server::start`] to begin servicing
+    /// them.
     pub fn bind(service: Arc<DiffService>, config: ServeConfig) -> std::io::Result<Server> {
+        let router = ShardRouter::single(service, config.store_dir.clone());
+        Server::bind_sharded(router, config)
+    }
+
+    /// Binds the configured address over a shard router.  Each shard keeps
+    /// its own store directory (the router's per-shard `dir`);
+    /// [`ServeConfig::store_dir`] is ignored on this path.
+    pub fn bind_sharded(router: ShardRouter, config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let state = Arc::new(AppState { service, store_dir: config.store_dir.clone() });
+        let state = Arc::new(AppState::new(router));
         Ok(Server { listener, state, config })
     }
 
@@ -119,33 +177,45 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Spawns the worker pool and returns a handle that can wait for or
-    /// shut down the server.
+    /// Spawns the reactor and the worker pool and returns a handle that can
+    /// wait for or shut down the server.
     pub fn start(self) -> std::io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let listener = Arc::new(self.listener);
-        let workers = (0..self.config.threads.max(1))
-            .map(|i| {
-                let listener = Arc::clone(&listener);
-                let state = Arc::clone(&self.state);
-                let shutdown = Arc::clone(&shutdown);
-                let max_body = self.config.max_body_bytes;
-                let timeout = self.config.read_timeout;
+        self.listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared::new());
+        let workers = self.config.threads.max(1);
+        self.state.metrics().workers().set(workers as i64);
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let state = Arc::clone(&self.state);
+            threads.push(
                 std::thread::Builder::new()
-                    .name(format!("wfdiff-serve-{i}"))
-                    .spawn(move || worker_loop(&listener, &state, &shutdown, max_body, timeout))
-            })
-            .collect::<std::io::Result<Vec<_>>>()?;
-        Ok(ServerHandle { addr, shutdown, workers })
+                    .name(format!("wfdiff-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &state))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            let state = Arc::clone(&self.state);
+            let listener = self.listener;
+            let config = self.config;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("wfdiff-reactor".to_string())
+                    .spawn(move || reactor_loop(&listener, &shared, &state, &config))?,
+            );
+        }
+        Ok(ServerHandle { addr, shared, threads })
     }
 }
 
 /// A running server: joinable, shut-downable, addressable.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -154,123 +224,406 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Blocks until every worker exits (for a server that runs until the
+    /// Blocks until the server exits (for a server that runs until the
     /// process is killed).
     pub fn join(mut self) {
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
         }
     }
 
-    /// Stops accepting, wakes blocked workers and joins them.  In-flight
-    /// requests finish; idle keep-alive connections are dropped the next
-    /// time their worker checks the flag (at the latest when their read
-    /// timeout elapses).
+    /// Stops accepting, lets in-flight requests finish (bounded by a grace
+    /// period), closes every connection and joins all threads.
     pub fn shutdown(mut self) {
         self.request_shutdown();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
         }
     }
 
-    /// Sets the flag and unblocks every worker that sits in `accept`.
+    /// Sets the flag and wakes the reactor and every idle worker.
     fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        for _ in 0..self.workers.len() {
-            // A throw-away connection per worker wakes the blocking accepts;
-            // workers re-check the flag before servicing it.
-            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
-        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.jobs_cv.notify_all();
+        self.shared.reactor_cv.notify_all();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         // Best effort: a dropped (not joined) handle still stops the
-        // workers; join errors are irrelevant during unwinding.
-        if !self.workers.is_empty() {
+        // threads; join errors are irrelevant during unwinding.
+        if !self.threads.is_empty() {
             self.request_shutdown();
-            for w in self.workers.drain(..) {
-                let _ = w.join();
+            for t in self.threads.drain(..) {
+                let _ = t.join();
             }
         }
     }
 }
 
-/// One worker: accept, service the connection to completion, repeat.
-fn worker_loop(
-    listener: &TcpListener,
-    state: &AppState,
-    shutdown: &AtomicBool,
-    max_body: usize,
-    timeout: Duration,
-) {
+/// A complete request handed from the reactor to the worker pool.
+struct Job {
+    conn: usize,
+    token: u64,
+    request: http::Request,
+    enqueued: Instant,
+}
+
+/// Rendered response bytes handed back from a worker to the reactor.
+struct Done {
+    conn: usize,
+    token: u64,
+    bytes: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// State shared between the reactor and the worker pool.
+struct Shared {
+    jobs: Mutex<VecDeque<Job>>,
+    jobs_cv: Condvar,
+    done: Mutex<Vec<Done>>,
+    reactor_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Shared {
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_cv: Condvar::new(),
+            done: Mutex::new(Vec::new()),
+            reactor_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn lock_jobs(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.jobs.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_done(&self) -> std::sync::MutexGuard<'_, Vec<Done>> {
+        self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// One worker: pull a complete request, run the handler (under
+/// `catch_unwind`), render the response bytes, hand them back.
+fn worker_loop(shared: &Shared, state: &AppState) {
     loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if shutdown.load(Ordering::SeqCst) {
+        let job = {
+            let mut queue = shared.lock_jobs();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                // Connection-level failures (reset, timeout) only end this
-                // connection; the worker keeps serving.
-                let _ = handle_connection(stream, state, max_body, timeout, shutdown);
+                queue =
+                    shared.jobs_cv.wait(queue).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
-            Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Transient accept failure (e.g. fd exhaustion): back off
-                // briefly instead of spinning.
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
+        };
+        let metrics = state.metrics();
+        metrics.workers_busy().inc();
+        let segments: Vec<&str> = job.request.segments.iter().map(String::as_str).collect();
+        let endpoint = metrics::Endpoint::classify(&segments);
+        // A panicking handler must not take the worker down with it: answer
+        // 500 and carry on.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handlers::dispatch(state, &job.request)
+        }));
+        let response = outcome.unwrap_or_else(|_| {
+            let e = ApiError::new(500, "internal_panic", "handler panicked; see server log");
+            handlers::Response::json(e.status, e.body())
+        });
+        metrics.observe_request(endpoint, response.status, job.enqueued.elapsed());
+        metrics.workers_busy().dec();
+        let keep_alive = job.request.keep_alive && !shared.shutdown.load(Ordering::SeqCst);
+        let bytes = http::render_response(
+            response.status,
+            response.content_type,
+            &response.body,
+            keep_alive,
+        );
+        shared.lock_done().push(Done { conn: job.conn, token: job.token, bytes, keep_alive });
+        shared.reactor_cv.notify_all();
     }
 }
 
-/// Services one connection: a keep-alive loop of read → route → respond.
-fn handle_connection(
+/// One connection owned by the reactor.
+struct Conn {
     stream: TcpStream,
-    state: &AppState,
-    max_body: usize,
-    timeout: Duration,
-    shutdown: &AtomicBool,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    /// Generation token: a [`Done`] whose token mismatches is for an
+    /// earlier connection that occupied the same slot, and is dropped.
+    token: u64,
+    /// Bytes read but not yet consumed by a parsed request.
+    buf: Vec<u8>,
+    /// Response bytes queued for writing.
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Whether a request from this connection is queued or executing.
+    in_flight: bool,
+    close_after_write: bool,
+    /// The client half-closed its sending side; buffered requests are still
+    /// served (their responses can be written), then the connection closes.
+    eof: bool,
+    last_activity: Instant,
+}
+
+/// The reactor: owns the listener and every connection, never blocks on any
+/// of them, and sleeps (briefly, interruptibly) only when a full pass made
+/// no progress.
+fn reactor_loop(listener: &TcpListener, shared: &Shared, state: &AppState, config: &ServeConfig) {
+    let metrics = Arc::clone(state.metrics());
+    let max_body = config.max_body_bytes;
+    // The parser bounds how much buffered input one request may occupy; cap
+    // reads just above it so a flooding client cannot grow the buffer past
+    // what the parser will reject anyway.
+    let read_cap = http::MAX_HEAD_BYTES + max_body + 1024;
+    let max_conns = config.max_connections.max(1);
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut active = 0usize;
+    let mut next_token = 0u64;
+    let mut chunk = vec![0u8; 16 * 1024];
+    let mut shutdown_since: Option<Instant> = None;
+
     loop {
-        match http::read_request(&mut reader, max_body) {
-            Ok(req) => {
-                // A panicking handler must not take the connection (or the
-                // worker) down with it: answer 500 and carry on.
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handlers::route(state, &req)
-                }));
-                let (status, body) = outcome.unwrap_or_else(|_| {
-                    let e =
-                        ApiError::new(500, "internal_panic", "handler panicked; see server log");
-                    (e.status, e.body())
-                });
-                let keep_alive = req.keep_alive && !shutdown.load(Ordering::SeqCst);
-                http::write_json_response(&mut writer, status, &body, keep_alive)?;
-                if !keep_alive {
-                    return Ok(());
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        let now = Instant::now();
+        let mut progress = false;
+
+        // 1. Accept everything pending (unless shutting down).  The loop
+        // exits via the WouldBlock/error arms once the backlog is empty.
+        #[allow(clippy::while_immutable_condition)]
+        while !shutting_down {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    metrics.connections_opened().inc();
+                    if active >= max_conns {
+                        // Over the table limit: answer 503 best-effort and
+                        // close.  The client's request bytes are drained
+                        // (briefly, bounded) before the drop so the close is
+                        // an orderly FIN rather than a reset that could
+                        // discard the 503 from the client's receive buffer.
+                        metrics.connections_rejected().inc();
+                        metrics.connections_closed().inc();
+                        let e = ApiError::new(503, "overloaded", "connection table is full");
+                        let bytes =
+                            http::render_response(503, "application/json", &e.body(), false);
+                        let mut s = stream;
+                        let _ = s.write_all(&bytes);
+                        let _ = s.set_read_timeout(Some(Duration::from_millis(20)));
+                        let mut sink = [0u8; 4096];
+                        for _ in 0..8 {
+                            match s.read(&mut sink) {
+                                Ok(n) if n > 0 => continue,
+                                _ => break,
+                            }
+                        }
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        metrics.connections_closed().inc();
+                        continue;
+                    }
+                    next_token += 1;
+                    let conn = Conn {
+                        stream,
+                        token: next_token,
+                        buf: Vec::new(),
+                        write_buf: Vec::new(),
+                        write_pos: 0,
+                        in_flight: false,
+                        close_after_write: false,
+                        eof: false,
+                        last_activity: now,
+                    };
+                    let slot = free.pop().unwrap_or_else(|| {
+                        conns.push(None);
+                        conns.len() - 1
+                    });
+                    conns[slot] = Some(conn);
+                    active += 1;
+                    metrics.connections_active().inc();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break, // transient (e.g. fd exhaustion); retry next tick
+            }
+        }
+
+        // 2. Drain finished responses onto their connections' write buffers.
+        let done: Vec<Done> = std::mem::take(&mut *shared.lock_done());
+        for d in done {
+            progress = true;
+            metrics.requests_in_flight().dec();
+            if let Some(conn) = conns.get_mut(d.conn).and_then(Option::as_mut) {
+                if conn.token == d.token {
+                    conn.write_buf = d.bytes;
+                    conn.write_pos = 0;
+                    conn.in_flight = false;
+                    conn.close_after_write = !d.keep_alive;
+                    conn.last_activity = now;
                 }
             }
-            Err(http::RequestError::Closed) => return Ok(()),
-            Err(http::RequestError::Io(e)) => return Err(e),
-            Err(http::RequestError::Bad { status, message }) => {
-                let e = ApiError::new(status, "malformed_request", message);
-                // Framing is unreliable after a malformed request: close.
-                http::write_json_response(&mut writer, status, &e.body(), false)?;
-                return Ok(());
+        }
+
+        // 3. Per-connection I/O: flush writes, then read + parse + dispatch.
+        for (id, slot) in conns.iter_mut().enumerate() {
+            let Some(conn) = slot.as_mut() else { continue };
+            let mut close = false;
+
+            // Writes first: a queued response gets out before anything else.
+            while conn.write_pos < conn.write_buf.len() {
+                match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.write_pos += n;
+                        metrics.bytes_written().add(n as u64);
+                        conn.last_activity = now;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                }
+            }
+            if !close && conn.write_pos == conn.write_buf.len() && !conn.write_buf.is_empty() {
+                conn.write_buf = Vec::new();
+                conn.write_pos = 0;
+                if conn.close_after_write {
+                    close = true;
+                }
+            }
+
+            // Read only while nothing is pending on this connection: a
+            // client that pipelines (or floods) waits for its own previous
+            // response instead of ballooning the job queue.
+            if !close && !conn.in_flight && conn.write_buf.is_empty() && !shutting_down {
+                while !conn.eof {
+                    if conn.buf.len() >= read_cap {
+                        break;
+                    }
+                    match conn.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            // Half-close: no more requests will arrive, but
+                            // whatever is buffered is still served below.
+                            conn.eof = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.buf.extend_from_slice(&chunk[..n]);
+                            metrics.bytes_read().add(n as u64);
+                            conn.last_activity = now;
+                            progress = true;
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            close = true;
+                            break;
+                        }
+                    }
+                }
+                if !close && !conn.buf.is_empty() {
+                    match http::parse_request(&conn.buf, max_body) {
+                        Ok(http::ParseOutcome::Incomplete) => {}
+                        Ok(http::ParseOutcome::Complete { request, consumed }) => {
+                            conn.buf.drain(..consumed);
+                            conn.in_flight = true;
+                            metrics.requests_in_flight().inc();
+                            shared.lock_jobs().push_back(Job {
+                                conn: id,
+                                token: conn.token,
+                                request,
+                                enqueued: now,
+                            });
+                            shared.jobs_cv.notify_one();
+                            progress = true;
+                        }
+                        Err(http::ParseError { status, message }) => {
+                            // Framing is unreliable after a parse failure:
+                            // answer and close.
+                            let e = ApiError::new(status, "malformed_request", message);
+                            conn.write_buf =
+                                http::render_response(status, "application/json", &e.body(), false);
+                            conn.write_pos = 0;
+                            conn.close_after_write = true;
+                            conn.buf.clear();
+                            progress = true;
+                        }
+                    }
+                }
+                // After EOF, once nothing is queued and nothing remains to
+                // write, the connection is spent (leftover bytes that never
+                // parsed into a request can never complete).
+                if !close && conn.eof && !conn.in_flight && conn.write_buf.is_empty() {
+                    close = true;
+                }
+            }
+
+            // Idle timeout: nothing in flight, nothing to write, silent too
+            // long.  (A connection waiting on its own response is exempt.)
+            if !close
+                && !conn.in_flight
+                && conn.write_buf.is_empty()
+                && now.duration_since(conn.last_activity) > config.read_timeout
+            {
+                close = true;
+            }
+
+            if close {
+                *slot = None;
+                free.push(id);
+                active -= 1;
+                metrics.connections_closed().inc();
+                metrics.connections_active().dec();
+            }
+        }
+
+        // 4. Shutdown: stop accepting (done above), let in-flight requests
+        // drain within the grace period, then close everything and exit.
+        if shutting_down {
+            let since = *shutdown_since.get_or_insert(now);
+            let pending = conns.iter().flatten().any(|c| c.in_flight || conn_has_unwritten(c));
+            if !pending || now.duration_since(since) > SHUTDOWN_GRACE {
+                for conn in conns.iter_mut() {
+                    if conn.take().is_some() {
+                        metrics.connections_closed().inc();
+                        metrics.connections_active().dec();
+                    }
+                }
+                // Idle workers may still be waiting; the flag is set, wake
+                // them so they exit.
+                shared.jobs_cv.notify_all();
+                return;
+            }
+        }
+
+        // 5. Nothing moved: sleep until a worker finishes or the tick ends.
+        if !progress {
+            let guard = shared.lock_done();
+            if guard.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                let _ = shared
+                    .reactor_cv
+                    .wait_timeout(guard, REACTOR_IDLE_WAIT)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         }
     }
+}
+
+/// Whether a connection still has response bytes to flush.
+fn conn_has_unwritten(c: &Conn) -> bool {
+    c.write_pos < c.write_buf.len()
 }
 
 #[cfg(test)]
@@ -294,8 +647,30 @@ mod tests {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream.write_all(request.as_bytes()).unwrap();
         let mut out = String::new();
-        stream.read_to_string(&mut out).unwrap();
+        // A reset after partial delivery still yields the delivered bytes;
+        // the caller's assertion reports whatever arrived.
+        let _ = stream.read_to_string(&mut out);
         out
+    }
+
+    /// Reads exactly one `Content-Length`-framed response off a keep-alive
+    /// connection and returns its body.
+    fn read_one_response(reader: &mut impl std::io::BufRead) -> String {
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        String::from_utf8(body).unwrap()
     }
 
     #[test]
@@ -361,26 +736,47 @@ mod tests {
         handle.shutdown();
     }
 
-    /// Reads one `Content-Length`-framed response and returns its body.
-    fn read_one_response(reader: &mut std::io::BufReader<TcpStream>) -> String {
-        use std::io::BufRead;
-        let mut line = String::new();
-        reader.read_line(&mut line).unwrap();
-        assert!(line.starts_with("HTTP/1.1 "), "{line}");
-        let mut content_length = 0usize;
-        loop {
-            let mut header = String::new();
-            reader.read_line(&mut header).unwrap();
-            let header = header.trim();
-            if header.is_empty() {
-                break;
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let handle = started_server();
+        let addr = handle.addr();
+        // Generate some traffic first so counters are non-zero.
+        let _ = raw_request(
+            addr,
+            "GET /diff?spec=fig2&a=r1&b=r2 HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        let response = raw_request(addr, "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("Content-Type: text/plain"), "{response}");
+        assert!(response.contains("# TYPE wfdiff_http_requests_total counter"), "{response}");
+        assert!(
+            response.contains("wfdiff_http_requests_total{endpoint=\"diff\",code=\"2xx\"} 1"),
+            "{response}"
+        );
+        assert!(response.contains("wfdiff_diff_cache_misses_total{shard=\"0\"}"), "{response}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connection_table_overflow_answers_503() {
+        let store = Arc::new(WorkflowStore::new());
+        let service = Arc::new(DiffService::new(store));
+        let config = ServeConfig { threads: 1, max_connections: 2, ..ServeConfig::default() };
+        let handle = Server::bind(service, config).unwrap().start().unwrap();
+        let addr = handle.addr();
+        // Two idle connections fill the table (give the reactor a moment to
+        // accept them), then a third is refused.
+        let _a = TcpStream::connect(addr).unwrap();
+        let _b = TcpStream::connect(addr).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let response = loop {
+            let r = raw_request(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+            if r.starts_with("HTTP/1.1 503") || Instant::now() > deadline {
+                break r;
             }
-            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
-                content_length = v.trim().parse().unwrap();
-            }
-        }
-        let mut body = vec![0u8; content_length];
-        reader.read_exact(&mut body).unwrap();
-        String::from_utf8(body).unwrap()
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        handle.shutdown();
     }
 }
