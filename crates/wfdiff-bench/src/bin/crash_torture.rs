@@ -1,0 +1,43 @@
+//! Crash-injection torture driver for the WAL persistence stack.
+//!
+//! ```text
+//! crash_torture [quick|full]
+//! ```
+//!
+//! Enumerates every durability operation of a scripted workload, re-executes
+//! itself as a child that deterministically crashes at each one (process
+//! kill and torn-write modes), and asserts that recovery is
+//! prefix-consistent: the reloaded store's run set, full pairwise distance
+//! matrix and k-medoids partition equal a never-crashed in-memory replay of
+//! the surviving operation prefix.  See `wfdiff_bench::torture` for the
+//! invariant and `docs/OPERATIONS.md` for operational context.
+//!
+//! Writes `BENCH_crash_torture.json` (the fault-coverage report CI uploads)
+//! and exits non-zero on any violation.
+
+use std::path::Path;
+use wfdiff_bench::benchjson::write_bench_json;
+use wfdiff_bench::torture::{
+    child_main, render, run_torture, TortureReportJson, TortureScale, CHILD_FAILURE_EXIT,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("__child") {
+        let (Some(dir), Some(ack), Some(scale)) = (args.get(2), args.get(3), args.get(4)) else {
+            eprintln!("usage: crash_torture __child <dir> <ack_path> <quick|full>");
+            std::process::exit(CHILD_FAILURE_EXIT);
+        };
+        child_main(Path::new(dir), Path::new(ack), TortureScale::parse(scale));
+    }
+
+    let scale = TortureScale::parse(args.get(1).map(String::as_str).unwrap_or("full"));
+    let report = run_torture(scale);
+    print!("{}", render(&report));
+    write_bench_json("BENCH_crash_torture.json", &TortureReportJson::from(&report))
+        .expect("writing BENCH_crash_torture.json");
+    println!("wrote BENCH_crash_torture.json");
+    if !report.violations.is_empty() {
+        std::process::exit(1);
+    }
+}

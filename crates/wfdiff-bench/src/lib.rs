@@ -37,6 +37,7 @@ pub mod fig14;
 pub mod fig16;
 pub mod loadgen;
 pub mod table1;
+pub mod torture;
 pub mod warmstart;
 
 /// Measures the wall-clock time of a closure in milliseconds.

@@ -1,0 +1,566 @@
+//! Deterministic crash-injection torture harness for the WAL persistence
+//! stack — the executable form of the dashflow TLA+ invariants
+//! (`CheckpointConsistency.tla` / TLA-004 and `WALAppendOrdering.tla` /
+//! TLA-005).
+//!
+//! A **child** process (re-executed from the current binary with the
+//! `__child` argument) runs a scripted workload — initial save, run
+//! inserts/removals through the write-ahead log, reclusters, full
+//! checkpoints — against a store whose I/O is wrapped in a
+//! [`FaultIo`] that kills the process at the N-th durability operation
+//! (`kill` mode) or writes half of the N-th write and then dies (`torn`
+//! mode).  After every completed logical operation the child appends an
+//! acknowledgement line to a side file *outside* the faulted I/O path.
+//!
+//! The **parent** first runs the child fault-free to count the total number
+//! of durability operations T, then sweeps every fault point `N ∈ 1..=T` in
+//! both modes.  After each crash it checks the prefix-consistency
+//! invariant: loading the surviving directory must succeed (torn WAL tails
+//! repaired), and the recovered store must equal a never-crashed in-memory
+//! replay of the first `j` or `j+1` scripted operations, where `j` is the
+//! acknowledged count — byte-for-byte on the run name set, exactly on the
+//! full pairwise distance matrix, and exactly on the k-medoids partition.
+//! One operation of slack is inherent: a crash inside operation `j+1` may
+//! land before or after its single durable append.
+//!
+//! The sweep covers 100% of the enumerated fault points; `quick` mode
+//! shrinks the scripted workload (for CI), not the coverage.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Arc;
+use wfdiff_pdiffview::{
+    DiffService, FaultIo, RealIo, StoreIo, WorkflowStore, FAULT_EXIT_CODE, FAULT_MODE_ENV,
+    FAULT_POINT_ENV,
+};
+use wfdiff_sptree::Specification;
+use wfdiff_workloads::generator::{random_specification, SpecGenConfig};
+use wfdiff_workloads::runs::{generate_run, RunGenConfig};
+
+/// The single specification every scripted operation touches.
+pub const TORTURE_SPEC: &str = "torture";
+
+/// Seed of the clustering passes (scripted and verifying).
+pub const TORTURE_CLUSTER_SEED: u64 = 7;
+
+/// WAL fold threshold the child runs with — small enough that threshold
+/// folds fire mid-script, putting crash points inside the fold itself.
+pub const TORTURE_FOLD_THRESHOLD: u64 = 2048;
+
+/// Exit code of a child whose workload failed for a non-injected reason.
+pub const CHILD_FAILURE_EXIT: i32 = 70;
+
+/// One scripted logical operation.
+#[derive(Debug, Clone)]
+pub enum TortureOp {
+    /// Create the specification with `runs` initial runs and save the
+    /// store to the directory.
+    Init {
+        /// Initial run count.
+        runs: usize,
+    },
+    /// Insert run `index` (in memory + WAL append) and notify the cluster
+    /// index.
+    Insert {
+        /// Deterministic run index; also seeds the run's content.
+        index: usize,
+    },
+    /// Remove run `index` (in memory + WAL append) and notify the cluster
+    /// index.
+    Remove {
+        /// Index of a previously inserted run.
+        index: usize,
+    },
+    /// Cluster the spec's runs with `k` medoids and checkpoint the cluster
+    /// state (a WAL delta append).
+    Recluster {
+        /// Medoid count.
+        k: usize,
+    },
+    /// Full save: fold the WAL into the manifest and truncate it.
+    Checkpoint,
+}
+
+/// Workload size of a torture sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TortureScale {
+    /// CI-sized script (fewer operations, same 100% fault-point coverage).
+    Quick,
+    /// The default, larger script.
+    Full,
+}
+
+impl TortureScale {
+    /// The spelling used on the command line and in the report.
+    pub fn name(self) -> &'static str {
+        match self {
+            TortureScale::Quick => "quick",
+            TortureScale::Full => "full",
+        }
+    }
+
+    /// Parses the command-line spelling (anything unknown is `Full`).
+    pub fn parse(s: &str) -> TortureScale {
+        if s == "quick" {
+            TortureScale::Quick
+        } else {
+            TortureScale::Full
+        }
+    }
+}
+
+/// The deterministic operation script for a scale.
+pub fn script(scale: TortureScale) -> Vec<TortureOp> {
+    use TortureOp::*;
+    match scale {
+        TortureScale::Quick => vec![
+            Init { runs: 2 },
+            Insert { index: 2 },
+            Recluster { k: 2 },
+            Insert { index: 3 },
+            Remove { index: 2 },
+            Checkpoint,
+            Insert { index: 4 },
+        ],
+        TortureScale::Full => vec![
+            Init { runs: 2 },
+            Insert { index: 2 },
+            Insert { index: 3 },
+            Recluster { k: 2 },
+            Insert { index: 4 },
+            Remove { index: 1 },
+            Checkpoint,
+            Insert { index: 5 },
+            Recluster { k: 3 },
+            Insert { index: 6 },
+            Remove { index: 4 },
+            Recluster { k: 3 },
+            Checkpoint,
+            Insert { index: 7 },
+        ],
+    }
+}
+
+/// The scripted specification (shared by child and verifier; content is
+/// deterministic, so both processes build identical trees).
+pub fn torture_spec() -> Specification {
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0x70_77);
+    random_specification(
+        TORTURE_SPEC,
+        &SpecGenConfig { target_edges: 18, series_parallel_ratio: 1.0, forks: 2, loops: 1 },
+        &mut rng,
+    )
+}
+
+fn run_name(index: usize) -> String {
+    format!("r{index:03}")
+}
+
+/// The content of run `index`, seeded per index so a prefix replay
+/// regenerates byte-identical runs no matter which earlier operations ran.
+fn torture_run(spec: &Specification, index: usize) -> wfdiff_sptree::Run {
+    let mut rng =
+        <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0xC0DE ^ index as u64);
+    let config = RunGenConfig { prob_p: 0.7, max_f: 2, prob_f: 0.5, max_l: 2, prob_l: 0.5 };
+    generate_run(spec, &config, &mut rng)
+}
+
+/// Applies one scripted operation durably (child side).
+fn apply_durable(
+    store: &Arc<WorkflowStore>,
+    service: &DiffService,
+    dir: &Path,
+    op: &TortureOp,
+) -> Result<(), String> {
+    match op {
+        TortureOp::Init { runs } => {
+            let spec = store.insert_spec(torture_spec()).map_err(|e| e.to_string())?;
+            for index in 0..*runs {
+                store
+                    .insert_run(&run_name(index), torture_run(&spec, index))
+                    .map_err(|e| e.to_string())?;
+            }
+            store.save_to_dir(dir).map_err(|e| e.to_string())?;
+        }
+        TortureOp::Insert { index } => {
+            let spec = store.spec(TORTURE_SPEC).ok_or("spec missing")?;
+            let name = run_name(*index);
+            let run =
+                store.insert_run(&name, torture_run(&spec, *index)).map_err(|e| e.to_string())?;
+            store.append_run_to_dir(dir, &name, &run).map_err(|e| e.to_string())?;
+            service.notify_run_inserted(TORTURE_SPEC, &name);
+        }
+        TortureOp::Remove { index } => {
+            let name = run_name(*index);
+            store.remove_run(TORTURE_SPEC, &name);
+            store.append_run_removal_to_dir(dir, TORTURE_SPEC, &name).map_err(|e| e.to_string())?;
+            service.notify_run_removed(TORTURE_SPEC, &name);
+        }
+        TortureOp::Recluster { k } => {
+            service
+                .cluster_medoids(TORTURE_SPEC, *k, TORTURE_CLUSTER_SEED)
+                .map_err(|e| e.to_string())?;
+            service.save_cluster_state(dir).map_err(|e| e.to_string())?;
+        }
+        TortureOp::Checkpoint => {
+            store.save_to_dir(dir).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// Replays the first `prefix` scripted operations purely in memory — the
+/// never-crashed reference the recovered store must match.
+pub fn replay_prefix(ops: &[TortureOp], prefix: usize) -> Arc<WorkflowStore> {
+    let store = Arc::new(WorkflowStore::new());
+    for op in &ops[..prefix] {
+        match op {
+            TortureOp::Init { runs } => {
+                let spec = store.insert_spec(torture_spec()).expect("fresh spec");
+                for index in 0..*runs {
+                    store
+                        .insert_run(&run_name(index), torture_run(&spec, index))
+                        .expect("fresh run");
+                }
+            }
+            TortureOp::Insert { index } => {
+                let spec = store.spec(TORTURE_SPEC).expect("init precedes inserts");
+                store
+                    .insert_run(&run_name(*index), torture_run(&spec, *index))
+                    .expect("replayed insert");
+            }
+            TortureOp::Remove { index } => {
+                store.remove_run(TORTURE_SPEC, &run_name(*index));
+            }
+            TortureOp::Recluster { .. } | TortureOp::Checkpoint => {}
+        }
+    }
+    store
+}
+
+/// Entry point of the re-executed child: runs the scripted workload with
+/// fault injection configured from the environment, acknowledging each
+/// completed operation in `ack_path`, and prints `TORTURE_OPS <n>` (the
+/// durability-operation count) on clean completion.  Never returns.
+pub fn child_main(dir: &Path, ack_path: &Path, scale: TortureScale) -> ! {
+    let fault = Arc::new(FaultIo::from_env(Arc::new(RealIo)));
+    let store = Arc::new(WorkflowStore::with_io(Arc::clone(&fault) as Arc<dyn StoreIo>));
+    store.set_wal_fold_threshold(TORTURE_FOLD_THRESHOLD);
+    let service = DiffService::new(Arc::clone(&store));
+    for (i, op) in script(scale).iter().enumerate() {
+        if let Err(e) = apply_durable(&store, &service, dir, op) {
+            eprintln!("torture child: op {i} failed: {e}");
+            std::process::exit(CHILD_FAILURE_EXIT);
+        }
+        // The acknowledgement bypasses the faulted I/O path on purpose: it
+        // records progress, it is not part of the store's durability.
+        let mut acks = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(ack_path)
+            .expect("ack file opens");
+        use std::io::Write as _;
+        writeln!(acks, "{i}").expect("ack write");
+        acks.sync_all().expect("ack sync");
+    }
+    println!("TORTURE_OPS {}", fault.ops());
+    std::process::exit(0)
+}
+
+/// One fault-point iteration's outcome.
+#[derive(Debug)]
+enum Outcome {
+    /// The child crashed at the injected point and recovery was
+    /// prefix-consistent.
+    Consistent,
+    /// The invariant failed.
+    Violation(String),
+}
+
+/// Result of a full torture sweep.
+#[derive(Debug)]
+pub struct TortureReport {
+    /// Workload scale the sweep ran at.
+    pub scale: TortureScale,
+    /// Scripted logical operations.
+    pub ops: usize,
+    /// Enumerated durability operations (fault points per mode).
+    pub fault_points: u64,
+    /// Crash iterations executed (fault points × modes).
+    pub iterations: u64,
+    /// Prefix-consistency violations, with their fault point and mode.
+    pub violations: Vec<String>,
+}
+
+/// JSON shape of a [`TortureReport`] (`BENCH_crash_torture.json`).
+#[derive(Debug, Serialize)]
+pub struct TortureReportJson {
+    /// Workload scale (`quick`/`full`).
+    pub scale: String,
+    /// Scripted logical operations.
+    pub ops: usize,
+    /// Enumerated durability operations (fault points per mode).
+    pub fault_points: u64,
+    /// Crash iterations executed (fault points × modes).
+    pub iterations: u64,
+    /// Fraction of enumerated fault points exercised (always 1.0 — quick
+    /// mode shrinks the workload, not the sweep).
+    pub fault_coverage: f64,
+    /// Prefix-consistency violations found.
+    pub violations: usize,
+}
+
+impl From<&TortureReport> for TortureReportJson {
+    fn from(report: &TortureReport) -> Self {
+        TortureReportJson {
+            scale: report.scale.name().to_string(),
+            ops: report.ops,
+            fault_points: report.fault_points,
+            iterations: report.iterations,
+            fault_coverage: 1.0,
+            violations: report.violations.len(),
+        }
+    }
+}
+
+/// Renders the human-readable summary.
+pub fn render(report: &TortureReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "crash torture [{}]: {} scripted ops, {} fault points x 2 modes = {} crashes\n",
+        report.scale.name(),
+        report.ops,
+        report.fault_points,
+        report.iterations,
+    ));
+    if report.violations.is_empty() {
+        out.push_str("prefix consistency held at every fault point\n");
+    } else {
+        for v in &report.violations {
+            out.push_str(&format!("VIOLATION: {v}\n"));
+        }
+    }
+    out
+}
+
+fn fresh_dir(root: &Path, tag: &str) -> PathBuf {
+    let dir = root.join(tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("torture work dir");
+    dir
+}
+
+/// Counts acknowledged operations (lines) in the child's ack file.
+fn acked_ops(ack_path: &Path) -> usize {
+    std::fs::read_to_string(ack_path).map(|s| s.lines().count()).unwrap_or(0)
+}
+
+/// Spawns the child once with no fault injected and returns the number of
+/// durability operations the script performs.
+fn count_fault_points(exe: &Path, root: &Path, scale: TortureScale) -> u64 {
+    let dir = fresh_dir(root, "count");
+    let ack = root.join("count.ack");
+    let _ = std::fs::remove_file(&ack);
+    let output = Command::new(exe)
+        .args(["__child"])
+        .arg(&dir)
+        .arg(&ack)
+        .arg(scale.name())
+        .env(FAULT_POINT_ENV, "0")
+        .env(FAULT_MODE_ENV, "kill")
+        .output()
+        .expect("torture child spawns");
+    assert!(
+        output.status.success(),
+        "fault-free torture run failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("TORTURE_OPS "))
+        .and_then(|n| n.trim().parse().ok())
+        .expect("child reports its op count")
+}
+
+/// Checks the prefix-consistency invariant of one crashed directory.
+fn verify_recovery(dir: &Path, ack_path: &Path, ops: &[TortureOp]) -> Outcome {
+    let acked = acked_ops(ack_path);
+    if !dir.join("manifest.json").exists() {
+        // The crash predates the very first manifest commit; nothing was
+        // ever durable, which is only consistent before the first ack.
+        return if acked == 0 {
+            Outcome::Consistent
+        } else {
+            Outcome::Violation(format!("manifest missing after {acked} acked ops"))
+        };
+    }
+    let loaded = match WorkflowStore::load_from_dir(dir) {
+        Ok(store) => Arc::new(store),
+        Err(e) => return Outcome::Violation(format!("load after crash failed: {e}")),
+    };
+    match wfdiff_pdiffview::wal::inspect(dir) {
+        Ok(summary) if summary.torn_bytes == 0 => {}
+        Ok(summary) => {
+            return Outcome::Violation(format!(
+                "load left {} torn bytes in the WAL",
+                summary.torn_bytes
+            ))
+        }
+        Err(e) => return Outcome::Violation(format!("WAL unreadable after load: {e}")),
+    }
+    let mut loaded_runs = loaded.run_names(TORTURE_SPEC);
+    loaded_runs.sort();
+    // The crash landed inside op `acked + 1`; its single durable append may
+    // or may not have happened, so either adjacent prefix is legal.
+    let candidates = [acked, (acked + 1).min(ops.len())];
+    for &prefix in &candidates {
+        let replay = replay_prefix(ops, prefix);
+        let mut replay_runs = replay.run_names(TORTURE_SPEC);
+        replay_runs.sort();
+        if replay_runs != loaded_runs {
+            continue;
+        }
+        return match states_equal(&loaded, &replay) {
+            Ok(()) => Outcome::Consistent,
+            Err(e) => Outcome::Violation(format!("prefix {prefix}: {e}")),
+        };
+    }
+    Outcome::Violation(format!(
+        "recovered run set {loaded_runs:?} matches neither prefix {acked} nor {}",
+        candidates[1]
+    ))
+}
+
+/// Compares the recovered store against the reference replay: full pairwise
+/// distance matrix and k-medoids partition must be identical, and the
+/// recovered directory's cluster checkpoint must restore without poisoning
+/// either.
+fn states_equal(loaded: &Arc<WorkflowStore>, replay: &Arc<WorkflowStore>) -> Result<(), String> {
+    let loaded_service = DiffService::new(Arc::clone(loaded));
+    let replay_service = DiffService::new(Arc::clone(replay));
+    let runs = replay.run_names(TORTURE_SPEC);
+    if runs.is_empty() {
+        return Ok(());
+    }
+    for (i, a) in runs.iter().enumerate() {
+        for b in &runs[i + 1..] {
+            let got = loaded_service
+                .diff(TORTURE_SPEC, a, b)
+                .map_err(|e| format!("diff {a}/{b} on recovered store: {e}"))?
+                .distance;
+            let want = replay_service
+                .diff(TORTURE_SPEC, a, b)
+                .map_err(|e| format!("diff {a}/{b} on replay store: {e}"))?
+                .distance;
+            if got != want {
+                return Err(format!("distance({a}, {b}) = {got}, replay says {want}"));
+            }
+        }
+    }
+    let k = 2.min(runs.len());
+    let got = loaded_service
+        .cluster_medoids(TORTURE_SPEC, k, TORTURE_CLUSTER_SEED)
+        .map_err(|e| format!("clustering recovered store: {e}"))?;
+    let want = replay_service
+        .cluster_medoids(TORTURE_SPEC, k, TORTURE_CLUSTER_SEED)
+        .map_err(|e| format!("clustering replay store: {e}"))?;
+    if got.partition() != want.partition() {
+        return Err(format!(
+            "partition {:?} diverges from replay {:?}",
+            got.partition(),
+            want.partition()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the full sweep: enumerate fault points, crash at every one in both
+/// `kill` and `torn` modes, verify recovery each time.
+pub fn run_torture(scale: TortureScale) -> TortureReport {
+    let exe = std::env::current_exe().expect("current exe");
+    let root = std::env::temp_dir().join(format!("wfdiff-torture-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("torture root");
+    let ops = script(scale);
+    let fault_points = count_fault_points(&exe, &root, scale);
+    // The cluster-checkpoint reload of a crashed directory must never fail
+    // the boot; exercise it on the fault-free directory once.
+    let clean = Arc::new(
+        WorkflowStore::load_from_dir(root.join("count")).expect("fault-free directory loads"),
+    );
+    DiffService::new(clean).load_cluster_state(root.join("count"));
+
+    let mut report = TortureReport {
+        scale,
+        ops: ops.len(),
+        fault_points,
+        iterations: 0,
+        violations: Vec::new(),
+    };
+    for mode in ["kill", "torn"] {
+        for point in 1..=fault_points {
+            let tag = format!("{mode}-{point}");
+            let dir = fresh_dir(&root, &tag);
+            let ack = root.join(format!("{tag}.ack"));
+            let _ = std::fs::remove_file(&ack);
+            let output = Command::new(&exe)
+                .args(["__child"])
+                .arg(&dir)
+                .arg(&ack)
+                .arg(scale.name())
+                .env(FAULT_POINT_ENV, point.to_string())
+                .env(FAULT_MODE_ENV, mode)
+                .output()
+                .expect("torture child spawns");
+            report.iterations += 1;
+            let code = output.status.code();
+            if code != Some(FAULT_EXIT_CODE) {
+                report.violations.push(format!(
+                    "{mode} fault {point}: child exited {code:?} instead of crashing: {}",
+                    String::from_utf8_lossy(&output.stderr)
+                ));
+                continue;
+            }
+            if let Outcome::Violation(why) = verify_recovery(&dir, &ack, &ops) {
+                report.violations.push(format!("{mode} fault {point}: {why}"));
+            } else {
+                let _ = std::fs::remove_dir_all(&dir);
+                let _ = std::fs::remove_file(&ack);
+            }
+        }
+    }
+    if report.violations.is_empty() {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replayed_prefixes_are_deterministic() {
+        let ops = script(TortureScale::Quick);
+        let a = replay_prefix(&ops, ops.len());
+        let b = replay_prefix(&ops, ops.len());
+        assert_eq!(a.run_names(TORTURE_SPEC), b.run_names(TORTURE_SPEC));
+        let sa = DiffService::new(a);
+        let sb = DiffService::new(b);
+        let ca = sa.cluster_medoids(TORTURE_SPEC, 2, TORTURE_CLUSTER_SEED).unwrap();
+        let cb = sb.cluster_medoids(TORTURE_SPEC, 2, TORTURE_CLUSTER_SEED).unwrap();
+        assert_eq!(ca.partition(), cb.partition());
+    }
+
+    #[test]
+    fn the_script_grows_and_shrinks_the_run_set() {
+        let ops = script(TortureScale::Full);
+        let full = replay_prefix(&ops, ops.len());
+        assert!(full.run_count() >= 4, "the full script leaves a clusterable store");
+        assert!(
+            ops.iter().any(|op| matches!(op, TortureOp::Remove { .. })),
+            "removals are part of the torture"
+        );
+    }
+}

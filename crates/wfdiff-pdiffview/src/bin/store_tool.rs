@@ -12,7 +12,20 @@
 //!
 //! store_tool verify <dir>
 //!     Load the store at <dir>, warm-start a DiffService over it and
-//!     difference every run pair of every specification.
+//!     difference every run pair of every specification.  A directory
+//!     holding shard-NNN subdirectories is verified shard by shard, plus
+//!     cross-shard checks: no specification may appear in two shards, and
+//!     every specification must live in the shard the pinned routing hash
+//!     assigns it.
+//!
+//! store_tool wal <dir>
+//!     Print write-ahead-log record counts (inserts/removals/cluster
+//!     deltas), byte sizes and any torn-tail bytes, per shard when the
+//!     directory is sharded.
+//!
+//! store_tool checkpoint <dir>
+//!     Force a checkpoint fold: load each store (replaying its WAL), save
+//!     it back (folding the WAL into the manifest) and truncate the log.
 //!
 //! store_tool diff <dir> <spec> <run-a> <run-b>
 //!     Load the store at <dir> and print the edit distance of one pair to
@@ -53,6 +66,8 @@ use wfdiff_workloads::runs::{generate_run, RunGenConfig};
 const USAGE: &str = "usage: store_tool export <dir> [specs] [runs-per-spec] [seed]\n\
                      \u{20}      store_tool import <src> <dst>\n\
                      \u{20}      store_tool verify <dir>\n\
+                     \u{20}      store_tool wal <dir>\n\
+                     \u{20}      store_tool checkpoint <dir>\n\
                      \u{20}      store_tool diff <dir> <spec> <run-a> <run-b>\n\
                      \u{20}      store_tool shard <src> <dst> <n>";
 
@@ -76,6 +91,8 @@ fn main() {
         Some("export") => export(&args[1..]),
         Some("import") => import(&args[1..]),
         Some("verify") => verify(&args[1..]),
+        Some("wal") => wal(&args[1..]),
+        Some("checkpoint") => checkpoint(&args[1..]),
         Some("diff") => diff(&args[1..]),
         Some("shard") => shard(&args[1..]),
         Some(other) => Err(ToolError::Usage(format!("unknown subcommand {other:?}"))),
@@ -157,16 +174,50 @@ fn import(args: &[String]) -> Result<(), ToolError> {
     Ok(())
 }
 
-/// Loads a store, warms a service over it and differences every pair.
+/// Loads a store (or every shard of a sharded layout), warms a service
+/// over it and differences every pair.  Sharded layouts additionally get
+/// cross-shard checks: spec-slug disjointness and routing-hash placement.
 fn verify(args: &[String]) -> Result<(), ToolError> {
     let dir = arg(args, 0, "store directory")?;
+    let shards = wfdiff_pdiffview::serve::shard::detect_shard_dirs(dir);
+    if shards.is_empty() {
+        verify_one(std::path::Path::new(dir), "")?;
+        println!("store at {dir} verifies clean");
+        return Ok(());
+    }
+    let n = shards.len();
+    let mut owner: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for (i, shard_dir) in shards.iter().enumerate() {
+        let label = wfdiff_pdiffview::serve::shard::shard_dir_name(i);
+        let specs = verify_one(shard_dir, &format!("{label}: "))?;
+        for spec in specs {
+            let routed = wfdiff_pdiffview::serve::shard::shard_of(&spec, n);
+            if routed != i {
+                return Err(ToolError::Data(format!(
+                    "specification {spec:?} lives in {label} but the routing hash places it \
+                     in shard {routed} of {n}"
+                )));
+            }
+            if let Some(previous) = owner.insert(spec.clone(), i) {
+                return Err(ToolError::Data(format!(
+                    "specification {spec:?} appears in both shard {previous} and shard {i}"
+                )));
+            }
+        }
+    }
+    println!("sharded store at {dir} verifies clean ({n} shard(s), {} spec(s))", owner.len());
+    Ok(())
+}
+
+/// Verifies one store directory; returns its specification names.
+fn verify_one(dir: &std::path::Path, prefix: &str) -> Result<Vec<String>, ToolError> {
     let store = Arc::new(WorkflowStore::load_from_dir(dir).map_err(|e| e.to_string())?);
     let names = store.spec_names();
     let service = DiffService::new(Arc::clone(&store));
     let report = service.warm_start().map_err(|e| e.to_string())?;
-    println!("loaded {} spec(s), {} run(s); cache warmed", report.specs, report.runs);
-    for name in names {
-        let result = service.diff_all_pairs(&name).map_err(|e| e.to_string())?;
+    println!("{prefix}loaded {} spec(s), {} run(s); cache warmed", report.specs, report.runs);
+    for name in &names {
+        let result = service.diff_all_pairs(name).map_err(|e| e.to_string())?;
         let n = result.runs.len();
         let mut max = 0.0f64;
         for (_, _, d) in result.pairs() {
@@ -178,11 +229,63 @@ fn verify(args: &[String]) -> Result<(), ToolError> {
             max = max.max(d);
         }
         println!(
-            "  {name}: {n} run(s), {} pair(s), max distance {max}",
+            "{prefix}  {name}: {n} run(s), {} pair(s), max distance {max}",
             n * n.saturating_sub(1) / 2
         );
     }
-    println!("store at {dir} verifies clean");
+    Ok(names)
+}
+
+/// The store directories a WAL/checkpoint subcommand operates on: the
+/// shard subdirectories of a sharded layout, or the directory itself.
+fn store_dirs(dir: &str) -> Vec<(String, std::path::PathBuf)> {
+    let shards = wfdiff_pdiffview::serve::shard::detect_shard_dirs(dir);
+    if shards.is_empty() {
+        vec![(dir.to_string(), std::path::PathBuf::from(dir))]
+    } else {
+        shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (wfdiff_pdiffview::serve::shard::shard_dir_name(i), p))
+            .collect()
+    }
+}
+
+/// Prints WAL record counts, kinds and byte sizes, per shard.
+fn wal(args: &[String]) -> Result<(), ToolError> {
+    let dir = arg(args, 0, "store directory")?;
+    for (label, path) in store_dirs(dir) {
+        if !path.join("manifest.json").exists() {
+            return Err(ToolError::Data(format!("{label}: not a store directory")));
+        }
+        let summary = wfdiff_pdiffview::wal::inspect(&path).map_err(|e| e.to_string())?;
+        println!(
+            "{label}: {} record(s) ({} insert(s), {} removal(s), {} cluster delta(s)), \
+             {} byte(s), {} torn byte(s)",
+            summary.records,
+            summary.run_inserts,
+            summary.run_removes,
+            summary.cluster_deltas,
+            summary.bytes,
+            summary.torn_bytes
+        );
+    }
+    Ok(())
+}
+
+/// Forces a checkpoint fold: load (replaying the WAL), save (folding it
+/// into the manifest), truncate the log.
+fn checkpoint(args: &[String]) -> Result<(), ToolError> {
+    let dir = arg(args, 0, "store directory")?;
+    for (label, path) in store_dirs(dir) {
+        let before = wfdiff_pdiffview::wal::inspect(&path).map_err(|e| e.to_string())?;
+        let store = WorkflowStore::load_from_dir(&path).map_err(|e| e.to_string())?;
+        let summary = store.save_to_dir(&path).map_err(|e| e.to_string())?;
+        println!(
+            "{label}: folded {} WAL record(s) into {} spec(s), {} run(s)",
+            before.records, summary.specs, summary.runs
+        );
+    }
     Ok(())
 }
 

@@ -261,6 +261,13 @@ pub struct IncrementalClusterIndex {
     /// Set by every state mutation, consumed by the persistence layer so a
     /// checkpoint after a read-only query costs nothing.
     dirty: std::sync::atomic::AtomicBool,
+    /// Names of the specifications mutated since the last checkpoint — the
+    /// WAL checkpoint appends one delta record per entry instead of
+    /// rewriting the whole cache file.
+    dirty_specs: Mutex<std::collections::BTreeSet<String>>,
+    /// Set by [`Self::mark_dirty`]: every tracked spec must be re-appended
+    /// (e.g. after a load pass rejected on-disk entries).
+    all_dirty: std::sync::atomic::AtomicBool,
 }
 
 impl IncrementalClusterIndex {
@@ -269,15 +276,40 @@ impl IncrementalClusterIndex {
         IncrementalClusterIndex::default()
     }
 
-    /// Marks the index as changed since the last checkpoint.
+    /// Marks the whole index as changed since the last checkpoint: the next
+    /// checkpoint re-appends every tracked specification.
     pub(crate) fn mark_dirty(&self) {
+        self.all_dirty.store(true, std::sync::atomic::Ordering::Release);
         self.dirty.store(true, std::sync::atomic::Ordering::Release);
     }
 
-    /// Consumes the dirty flag: `true` exactly when a mutation happened
-    /// since the last successful checkpoint (or [`Self::mark_dirty`] call).
-    pub(crate) fn take_dirty(&self) -> bool {
-        self.dirty.swap(false, std::sync::atomic::Ordering::AcqRel)
+    /// Marks one specification's state as changed since the last
+    /// checkpoint.  Callers may hold the `states` lock; this only touches
+    /// the (leaf) dirty-set lock.
+    pub(crate) fn mark_spec_dirty(&self, spec: &str) {
+        self.dirty_specs.lock().insert(spec.to_string());
+        self.dirty.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Consumes the dirty state: `None` when nothing changed since the last
+    /// successful checkpoint, otherwise the sorted spec names to append
+    /// delta records for (all tracked specs after a [`Self::mark_dirty`]).
+    /// The set may name specs whose state has since been dropped; the
+    /// checkpoint simply skips those.
+    pub(crate) fn take_dirty_specs(&self) -> Option<Vec<String>> {
+        if !self.dirty.swap(false, std::sync::atomic::Ordering::AcqRel) {
+            return None;
+        }
+        let all = self.all_dirty.swap(false, std::sync::atomic::Ordering::AcqRel);
+        // Statement-scoped lock: never held while taking the states lock.
+        let mut dirty: Vec<String> =
+            std::mem::take(&mut *self.dirty_specs.lock()).into_iter().collect();
+        if all {
+            dirty.extend(self.with_states(|states| states.keys().cloned().collect::<Vec<_>>()));
+            dirty.sort();
+            dirty.dedup();
+        }
+        Some(dirty)
     }
 
     /// Returns the clustering of `spec`'s runs, building (or rebuilding) it
@@ -318,7 +350,7 @@ impl IncrementalClusterIndex {
         }
         if members.is_empty() {
             if states.remove(spec).is_some() {
-                self.mark_dirty();
+                self.mark_spec_dirty(spec);
             }
             return Ok(ClusterSnapshot {
                 spec: spec.to_string(),
@@ -350,7 +382,7 @@ impl IncrementalClusterIndex {
         state.reseed_and_stabilize(oracle, k.clamp(1, n))?;
         let snapshot = state.snapshot(spec);
         states.insert(spec.to_string(), state);
-        self.mark_dirty();
+        self.mark_spec_dirty(spec);
         Ok(snapshot)
     }
 
@@ -373,7 +405,7 @@ impl IncrementalClusterIndex {
         };
         if state.version != version {
             states.remove(spec);
-            self.mark_dirty();
+            self.mark_spec_dirty(spec);
             return Ok(false);
         }
         if state.members.binary_search(&run_name.to_string()).is_ok() {
@@ -418,7 +450,7 @@ impl IncrementalClusterIndex {
             let initial = state.medoid_indices();
             state.stabilize(oracle, initial)?;
         }
-        self.mark_dirty();
+        self.mark_spec_dirty(spec);
         Ok(true)
     }
 
@@ -441,7 +473,7 @@ impl IncrementalClusterIndex {
         state.assignments.remove(run_name);
         let name = run_name.to_string();
         state.distances.retain(|(a, b), _| *a != name && *b != name);
-        self.mark_dirty();
+        self.mark_spec_dirty(spec);
         if state.members.is_empty() {
             states.remove(spec);
             return Ok(true);
@@ -493,7 +525,7 @@ impl IncrementalClusterIndex {
     /// Drops the state of one specification (e.g. after a spec replacement).
     pub fn invalidate(&self, spec: &str) {
         if self.states.lock().remove(spec).is_some() {
-            self.mark_dirty();
+            self.mark_spec_dirty(spec);
         }
     }
 

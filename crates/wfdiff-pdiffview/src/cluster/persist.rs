@@ -25,8 +25,10 @@
 use super::incremental::{IncrementalClusterIndex, SpecClusterState};
 use crate::persist::{read_json, write_json_atomic, PersistError};
 use crate::store::WorkflowStore;
+use crate::storeio::StoreIo;
+use crate::wal::{self, ClusterDeltaRecord, WalRecord};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 use wfdiff_sptree::Fingerprint;
 
@@ -62,9 +64,13 @@ struct ClusterCacheDoc {
     specs: Vec<SpecClusterDoc>,
 }
 
-/// One specification's checkpointed clustering.
+/// One specification's checkpointed clustering.  Also the payload of a
+/// [`ClusterDeltaRecord`] in the write-ahead log, which is why the type is
+/// crate-visible: the WAL holds whole per-spec snapshots (last-wins on
+/// replay), never partial diffs, so a delta validates exactly like a file
+/// entry.
 #[derive(Debug, Serialize, Deserialize)]
-struct SpecClusterDoc {
+pub(crate) struct SpecClusterDoc {
     spec: String,
     /// Version fingerprint (hex) of the specification the clustering was
     /// computed against; must match the loaded store's version exactly.
@@ -106,73 +112,123 @@ fn run_content_fingerprint(run: &wfdiff_sptree::Run) -> Fingerprint {
     wfdiff_sptree::TreeFingerprints::compute(run.tree()).of(run.tree().root())
 }
 
-/// Serialises the index into `dir/cluster_cache.json` (atomic rename, like
-/// every other store document).  Returns the number of checkpointed specs.
+/// Builds the checkpoint document for one spec's live state, or `None` when
+/// a member cannot be resolved in `store` any more (a concurrent removal) —
+/// such a state is left out rather than written inconsistently.
+fn build_doc(
+    spec: &str,
+    state: &SpecClusterState,
+    store: &WorkflowStore,
+) -> Option<SpecClusterDoc> {
+    let run_fingerprints: Vec<String> = state
+        .members
+        .iter()
+        .map(|m| store.run(spec, m).map(|run| run_content_fingerprint(&run).to_string()))
+        .collect::<Option<_>>()?;
+    let index_of: HashMap<&str, usize> =
+        state.members.iter().enumerate().map(|(i, m)| (m.as_str(), i)).collect();
+    let mut distances: Vec<DistanceEntry> = state
+        .distances
+        .iter()
+        .filter_map(|((a, b), &d)| {
+            // Entries for runs that have since been removed are already
+            // pruned by the index; be defensive anyway.
+            let (i, j) = (*index_of.get(a.as_str())?, *index_of.get(b.as_str())?);
+            Some(DistanceEntry { i: i.min(j), j: i.max(j), d })
+        })
+        .collect();
+    distances.sort_by_key(|x| (x.i, x.j));
+    Some(SpecClusterDoc {
+        spec: spec.to_string(),
+        spec_fingerprint: state.version.to_string(),
+        k: state.k,
+        seed: state.seed,
+        members: state.members.clone(),
+        run_fingerprints,
+        assignments: state.members.iter().map(|m| state.assignments[m]).collect(),
+        medoids: state.medoids.clone(),
+        distances,
+        silhouette: state.silhouette,
+        cost: state.cost,
+    })
+}
+
+/// Checkpoints the index by *appending* one [`ClusterDeltaRecord`] per dirty
+/// spec to the store directory's write-ahead log — O(changed specs), not
+/// O(all specs) — instead of rewriting `cluster_cache.json` whole.  The next
+/// full save ([`WorkflowStore::save_to_dir`](crate::store::WorkflowStore))
+/// folds the deltas into the file via [`fold_wal_deltas`].  Returns the
+/// number of specs currently tracked by the index.
 ///
-/// The write is skipped entirely — the index tracks a dirty flag — when
-/// nothing changed since the last successful checkpoint, so calling this
-/// after every read-only query costs nothing.  A spec whose members cannot
-/// all be resolved in `store` any more (a concurrent removal) is left out
-/// of the checkpoint rather than written inconsistently.
-pub(crate) fn save(
+/// The append is skipped entirely — the index tracks per-spec dirty sets —
+/// when nothing changed since the last successful checkpoint, so calling
+/// this after every read-only query costs nothing.
+pub(crate) fn save_wal(
     index: &IncrementalClusterIndex,
     store: &WorkflowStore,
     cost_key: u64,
     dir: &Path,
 ) -> Result<usize, PersistError> {
-    if !index.take_dirty() {
-        return Ok(index.with_states(|states| states.len()));
-    }
-    let specs = index.with_states(|states| {
-        let mut docs: Vec<SpecClusterDoc> = states
+    let count = index.with_states(|states| states.len());
+    let Some(dirty) = index.take_dirty_specs() else {
+        return Ok(count);
+    };
+    let records: Vec<WalRecord> = index.with_states(|states| {
+        dirty
             .iter()
-            .filter_map(|(spec, state)| {
-                let run_fingerprints: Vec<String> = state
-                    .members
-                    .iter()
-                    .map(|m| {
-                        store.run(spec, m).map(|run| run_content_fingerprint(&run).to_string())
-                    })
-                    .collect::<Option<_>>()?;
-                let index_of: HashMap<&str, usize> =
-                    state.members.iter().enumerate().map(|(i, m)| (m.as_str(), i)).collect();
-                let mut distances: Vec<DistanceEntry> = state
-                    .distances
-                    .iter()
-                    .filter_map(|((a, b), &d)| {
-                        // Entries for runs that have since been removed are
-                        // already pruned by the index; be defensive anyway.
-                        let (i, j) = (*index_of.get(a.as_str())?, *index_of.get(b.as_str())?);
-                        Some(DistanceEntry { i: i.min(j), j: i.max(j), d })
-                    })
-                    .collect();
-                distances.sort_by_key(|x| (x.i, x.j));
-                Some(SpecClusterDoc {
-                    spec: spec.clone(),
-                    spec_fingerprint: state.version.to_string(),
-                    k: state.k,
-                    seed: state.seed,
-                    members: state.members.clone(),
-                    run_fingerprints,
-                    assignments: state.members.iter().map(|m| state.assignments[m]).collect(),
-                    medoids: state.medoids.clone(),
-                    distances,
-                    silhouette: state.silhouette,
-                    cost: state.cost,
-                })
+            .filter_map(|spec| {
+                let doc = build_doc(spec, states.get(spec)?, store)?;
+                Some(WalRecord::ClusterDelta(ClusterDeltaRecord { cost_key, doc }))
             })
-            .collect();
-        docs.sort_by(|a, b| a.spec.cmp(&b.spec));
-        docs
+            .collect()
     });
-    let count = specs.len();
-    let doc = ClusterCacheDoc { format: CLUSTER_CACHE_FORMAT, cost_key, specs };
-    if let Err(e) = write_json_atomic(&dir.join(CLUSTER_CACHE_FILE), &doc) {
-        // The state is still unpersisted; make sure the next save retries.
-        index.mark_dirty();
+    if let Err(e) = store.append_wal_records(dir, &records) {
+        // The states are still unpersisted; make sure the next save retries.
+        for spec in &dirty {
+            index.mark_spec_dirty(spec);
+        }
         return Err(e);
     }
     Ok(count)
+}
+
+/// Folds WAL cluster deltas into `dir/cluster_cache.json` during a full
+/// save: existing file entries are kept as the base (when the file is
+/// readable and keyed by the same cost model) and each delta overwrites its
+/// spec's entry, last-wins.  Deltas keyed by a different cost model are
+/// dropped — their distances are meaningless under the folding service's
+/// cost model.  An unreadable base file is treated as empty rather than an
+/// error: the cache is derived data and must never block a save.
+pub(crate) fn fold_wal_deltas(
+    io: &dyn StoreIo,
+    dir: &Path,
+    deltas: Vec<ClusterDeltaRecord>,
+) -> Result<(), PersistError> {
+    let Some(final_key) = deltas.last().map(|d| d.cost_key) else {
+        return Ok(());
+    };
+    let path = dir.join(CLUSTER_CACHE_FILE);
+    let mut merged: BTreeMap<String, SpecClusterDoc> = BTreeMap::new();
+    if path.exists() {
+        if let Ok(doc) = read_json::<ClusterCacheDoc>(&path) {
+            if doc.format == CLUSTER_CACHE_FORMAT && doc.cost_key == final_key {
+                for entry in doc.specs {
+                    merged.insert(entry.spec.clone(), entry);
+                }
+            }
+        }
+    }
+    for delta in deltas {
+        if delta.cost_key == final_key {
+            merged.insert(delta.doc.spec.clone(), delta.doc);
+        }
+    }
+    let doc = ClusterCacheDoc {
+        format: CLUSTER_CACHE_FORMAT,
+        cost_key: final_key,
+        specs: merged.into_values().collect(),
+    };
+    write_json_atomic(io, &path, &doc)
 }
 
 /// Restores checkpointed states into the index, validating every entry
@@ -186,21 +242,37 @@ pub(crate) fn load(
     dir: &Path,
 ) -> ClusterCacheReport {
     let path = dir.join(CLUSTER_CACHE_FILE);
-    if !path.exists() {
-        return ClusterCacheReport::default();
-    }
-    let doc: ClusterCacheDoc = match read_json(&path) {
-        Ok(doc) => doc,
-        Err(_) => return ClusterCacheReport { loaded: 0, stale: 1 },
-    };
-    if doc.format != CLUSTER_CACHE_FORMAT || doc.cost_key != cost_key {
-        return ClusterCacheReport { loaded: 0, stale: 1 };
-    }
     let mut report = ClusterCacheReport::default();
-    for entry in doc.specs {
+    // The checkpoint file is the base; WAL deltas appended after the last
+    // fold supersede its entry for the same spec (last-wins), and a
+    // superseded entry is never validated — it is simply outdated, not
+    // stale.
+    let mut entries: BTreeMap<String, SpecClusterDoc> = BTreeMap::new();
+    if path.exists() {
+        match read_json::<ClusterCacheDoc>(&path) {
+            Ok(doc) if doc.format == CLUSTER_CACHE_FORMAT && doc.cost_key == cost_key => {
+                for entry in doc.specs {
+                    entries.insert(entry.spec.clone(), entry);
+                }
+            }
+            _ => report.stale += 1,
+        }
+    }
+    if let Ok(scan) = wal::scan(dir) {
+        for record in scan.records {
+            if let WalRecord::ClusterDelta(delta) = record {
+                if delta.cost_key == cost_key {
+                    entries.insert(delta.doc.spec.clone(), delta.doc);
+                } else {
+                    report.stale += 1;
+                }
+            }
+        }
+    }
+    for (spec, entry) in entries {
         match validate(&entry, store) {
             Some(state) => {
-                index.with_states(|states| states.insert(entry.spec.clone(), state));
+                index.with_states(|states| states.insert(spec, state));
                 report.loaded += 1;
             }
             None => report.stale += 1,

@@ -12,6 +12,12 @@
 //! * [`persist`] — durable, versioned on-disk persistence for the store
 //!   (crash-safe saves, fully validated loads) and the
 //!   [`DiffService::warm_start`] cache-priming path,
+//! * [`wal`] — the append-only write-ahead log behind hot-path durability:
+//!   run inserts/removals and cluster deltas become O(append) records that
+//!   [`WorkflowStore::load_from_dir`] replays past the manifest commit point,
+//! * [`storeio`] — the [`StoreIo`] trait abstracting every durability-relevant
+//!   filesystem operation, with a [`RealIo`] passthrough and a deterministic
+//!   crash-injecting [`FaultIo`] used by the crash-torture harness,
 //! * [`io`] — JSON import/export and a simple XML export of specifications,
 //!   runs and edit scripts (the paper's prototype stored runs as XML),
 //! * [`session`] — differencing sessions that compute the distance, the
@@ -66,6 +72,8 @@ pub mod serve;
 pub mod service;
 pub mod session;
 pub mod store;
+pub mod storeio;
+pub mod wal;
 
 pub use cluster::{
     ClusterCacheReport, ClusterDiff, ClusterSnapshot, Clustering, IncrementalClusterIndex,
@@ -79,4 +87,8 @@ pub use service::{
     AllPairsResult, DiffService, DiffServiceBuilder, PairDistance, ServiceError, WarmStartReport,
 };
 pub use session::DiffSession;
-pub use store::{SpecSnapshot, StoreError, WorkflowStore};
+pub use store::{SpecSnapshot, StoreError, WorkflowStore, DEFAULT_WAL_FOLD_THRESHOLD};
+pub use storeio::{
+    FaultIo, FaultMode, RealIo, StoreIo, FAULT_EXIT_CODE, FAULT_MODE_ENV, FAULT_POINT_ENV,
+};
+pub use wal::{WalStatsSnapshot, WalSummary, WAL_FILE};

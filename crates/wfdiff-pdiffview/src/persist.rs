@@ -11,12 +11,20 @@
 //! ```text
 //! <dir>/
 //!   manifest.json                    # StoreManifest: format version + spec index
+//!   wal.log                          # write-ahead log of post-manifest mutations
 //!   specs/<slug>-<fp8>/spec.json     # spec document: version, fingerprint, SpecDescriptor
 //!   specs/<slug>-<fp8>/runs/<n>.json # one self-describing run document per run
 //! ```
 //!
 //! * The **manifest** is the root of truth: only specification directories it
 //!   lists are loaded, so stray or orphaned directories are ignored.
+//! * The **write-ahead log** holds the mutations appended *since* the
+//!   manifest committed: run inserts, run removals and cluster-checkpoint
+//!   deltas, each a length-prefixed checksummed record (see [`crate::wal`]).
+//!   [`WorkflowStore::load_from_dir`] replays it past the manifest state
+//!   (truncating a torn tail first), and a full save **folds** it — merges
+//!   the cluster deltas into `cluster_cache.json`, commits the snapshot,
+//!   truncates the log to zero.
 //! * Each specification directory is keyed by a slug of the name plus the
 //!   first 8 hex digits of the spec's **canonical persistent fingerprint**
 //!   (the arena fingerprint of the specification *as rebuilt from its
@@ -36,7 +44,13 @@
 //! mid-save leaves the previous manifest pointing at the previous (still
 //! complete) spec directories; at worst a fingerprint-identical spec
 //! directory has gained or lost some run files, all of which remain valid
-//! for that exact spec version.
+//! for that exact spec version.  WAL replay is idempotent, so a crash
+//! anywhere between a manifest commit and the WAL truncation that follows
+//! it merely replays records whose effects the manifest already holds.
+//! Every durability-relevant operation runs through the store's
+//! [`StoreIo`] trait object, which is how the
+//! crash-torture harness proves these windows safe at every single fault
+//! point.
 //!
 //! Saves from one process are serialised internally (a per-store lock).
 //! **Concurrent saves into one directory from different processes are not
@@ -56,10 +70,14 @@
 
 use crate::io::{RunDescriptor, SpecDescriptor};
 use crate::store::{StoreError, WorkflowStore};
+use crate::storeio::StoreIo;
+use crate::wal;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use wfdiff_sptree::{Fingerprint, SpTreeError};
 
 /// Version tag of the store directory format written by this module.
@@ -310,8 +328,11 @@ fn check_dir_component(manifest_path: &Path, dir: &str) -> Result<(), PersistErr
 /// the store state, so skipping unchanged files keeps a re-save's durable
 /// writes (each a write + fsync + rename) proportional to the delta rather
 /// than to the whole store.
-pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<(), PersistError> {
-    use std::io::Write;
+pub(crate) fn write_json_atomic<T: Serialize>(
+    io: &dyn StoreIo,
+    path: &Path,
+    value: &T,
+) -> Result<(), PersistError> {
     let json = serde_json::to_string_pretty(value)
         .map_err(|source| PersistError::Json { path: path.to_path_buf(), source })?;
     if fs::read_to_string(path).is_ok_and(|existing| existing == json) {
@@ -322,25 +343,21 @@ pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> Result<
     // never truncate each other's in-flight temp file; saves within one
     // process are additionally serialised by the store's save lock.
     static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".{}-{seq}.tmp", std::process::id()));
     let tmp = PathBuf::from(tmp);
     // The data must be on stable storage *before* the rename is: journalling
     // filesystems may otherwise persist the rename ahead of the data blocks
     // and a power loss would leave a committed-looking but truncated file.
-    let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, "writing", e))?;
-    file.write_all(json.as_bytes()).map_err(|e| io_err(&tmp, "writing", e))?;
-    file.sync_all().map_err(|e| io_err(&tmp, "syncing", e))?;
-    drop(file);
-    fs::rename(&tmp, path).map_err(|e| io_err(path, "committing", e))?;
+    io.write_file(&tmp, json.as_bytes()).map_err(|e| io_err(&tmp, "writing", e))?;
+    io.fsync_file(&tmp).map_err(|e| io_err(&tmp, "syncing", e))?;
+    io.rename(&tmp, path).map_err(|e| io_err(path, "committing", e))?;
     // Make the rename itself durable by syncing the parent directory.
     // Best-effort: not every platform lets a directory be opened and synced,
     // and a failure here only weakens durability, never atomicity.
     if let Some(parent) = path.parent() {
-        if let Ok(d) = fs::File::open(parent) {
-            let _ = d.sync_all();
-        }
+        let _ = io.fsync_dir(parent);
     }
     Ok(())
 }
@@ -386,7 +403,17 @@ impl WorkflowStore {
         // the other's manifest is about to reference.  (Writers in other
         // *processes* must coordinate externally — see the module docs.)
         let _guard = self.save_lock.lock();
-        let dir = dir.as_ref();
+        self.save_to_dir_locked(dir.as_ref())
+    }
+
+    /// The body of [`WorkflowStore::save_to_dir`]; the caller holds
+    /// `save_lock` (either the public wrapper or a WAL append whose
+    /// threshold check escalated into a fold).
+    fn save_to_dir_locked(&self, dir: &Path) -> Result<SaveSummary, PersistError> {
+        // The records appended since the last fold.  Scanned up front so the
+        // cluster deltas can be merged into `cluster_cache.json` before the
+        // log is truncated; nothing can append concurrently (save_lock).
+        let wal_scan = wal::scan(dir)?;
         // Refuse to clobber a store this build cannot read: the
         // garbage-collection pass below would otherwise silently destroy a
         // newer-format (or foreign) store's spec directories.  Only the
@@ -416,7 +443,7 @@ impl WorkflowStore {
             }
         }
         let specs_root = dir.join("specs");
-        fs::create_dir_all(&specs_root).map_err(|e| io_err(&specs_root, "creating", e))?;
+        self.io.create_dir_all(&specs_root).map_err(|e| io_err(&specs_root, "creating", e))?;
 
         let snapshot = self.snapshot_all();
         let mut manifest = StoreManifest { format: STORE_FORMAT, specs: Vec::new() };
@@ -487,10 +514,11 @@ impl WorkflowStore {
             used_dirs.insert(dir_name.clone());
             let spec_dir = specs_root.join(&dir_name);
             let runs_dir = spec_dir.join("runs");
-            fs::create_dir_all(&runs_dir).map_err(|e| io_err(&runs_dir, "creating", e))?;
+            self.io.create_dir_all(&runs_dir).map_err(|e| io_err(&runs_dir, "creating", e))?;
 
             let spec_path = spec_dir.join("spec.json");
             write_json_atomic(
+                &*self.io,
                 &spec_path,
                 &SpecDocument {
                     format: STORE_FORMAT,
@@ -517,6 +545,7 @@ impl WorkflowStore {
                 }
                 let run_path = runs_dir.join(&file);
                 write_json_atomic(
+                    &*self.io,
                     &run_path,
                     &RunDocument {
                         format: STORE_FORMAT,
@@ -538,7 +567,7 @@ impl WorkflowStore {
                 let stale_doc = file_name.ends_with(".json") && !written.contains(&file_name);
                 if stale_doc || file_name.ends_with(".tmp") {
                     let stale = entry.path();
-                    fs::remove_file(&stale).map_err(|e| io_err(&stale, "pruning", e))?;
+                    self.io.remove_file(&stale).map_err(|e| io_err(&stale, "pruning", e))?;
                 }
             }
 
@@ -549,9 +578,30 @@ impl WorkflowStore {
             });
         }
 
+        // Fold the WAL's cluster deltas into `cluster_cache.json` before the
+        // commit point.  A crash after this merge is safe on both sides of
+        // the manifest rename: the cache is validated entry by entry on
+        // load, and the still-untruncated WAL replays to the same state.
+        let cluster_deltas: Vec<wal::ClusterDeltaRecord> = wal_scan
+            .records
+            .into_iter()
+            .filter_map(|record| match record {
+                wal::WalRecord::ClusterDelta(delta) => Some(delta),
+                _ => None,
+            })
+            .collect();
+        crate::cluster::persist::fold_wal_deltas(&*self.io, dir, cluster_deltas)?;
+
         // Commit point: the manifest rename atomically switches loaders from
         // the previous state to this one.
-        write_json_atomic(&dir.join("manifest.json"), &manifest)?;
+        write_json_atomic(&*self.io, &dir.join("manifest.json"), &manifest)?;
+
+        // The manifest now holds everything the WAL recorded; truncate it.
+        // (Replay past the *new* manifest is idempotent, so a crash anywhere
+        // between the rename above and this truncation loses nothing.)
+        wal::truncate_to(&*self.io, dir, 0)?;
+        self.wal_stats.bytes.store(0, Ordering::Release);
+        self.wal_stats.folds_total.fetch_add(1, Ordering::AcqRel);
 
         // Garbage-collect spec directories the new manifest does not
         // reference (left over from replaced spec versions), plus `.tmp`
@@ -583,9 +633,10 @@ impl WorkflowStore {
         Ok(SaveSummary { specs: manifest.specs.len(), runs: total_runs })
     }
 
-    /// Appends one run as a single atomic run document to an existing store
-    /// directory, without rewriting the manifest or any other document —
-    /// the persistence path of the diff server's `POST /runs` endpoint.
+    /// Makes one run durable by appending a single checksummed record to the
+    /// store directory's write-ahead log — the persistence path of the diff
+    /// server's `POST /runs` endpoint.  One append plus one fsync, O(run):
+    /// no manifest rewrite, no document rename, no checkpoint rewrite.
     ///
     /// The run must already be stored in (and validated by) this store, and
     /// the directory must hold the **same specification version**: the
@@ -595,19 +646,18 @@ impl WorkflowStore {
     /// all) is refused with [`PersistError::Format`] — run a full
     /// [`WorkflowStore::save_to_dir`] instead.
     ///
-    /// The write shares the save path's crash-safety properties: the
-    /// document is written to a temp sibling, fsynced and renamed into
-    /// place, and the file name is the same deterministic function of the
-    /// run name that `save_to_dir` uses, so a later full save rewrites the
-    /// appended document in place.  Appends take the store's save lock, so
-    /// they cannot interleave with (or be pruned by) an in-flight save from
-    /// this process.
+    /// [`WorkflowStore::load_from_dir`] replays the record after the
+    /// manifest-committed documents; the next full save folds it into a
+    /// regular run document and truncates the log (appends past the
+    /// [`WorkflowStore::set_wal_fold_threshold`] trigger that fold
+    /// themselves).  Appends take the store's save lock, so they cannot
+    /// interleave with an in-flight save from this process.
     pub fn append_run_to_dir(
         &self,
         dir: impl AsRef<Path>,
         run_name: &str,
         run: &wfdiff_sptree::Run,
-    ) -> Result<PathBuf, PersistError> {
+    ) -> Result<(), PersistError> {
         let _guard = self.save_lock.lock();
         let dir = dir.as_ref();
         let spec = self.spec(run.spec_name()).ok_or_else(|| PersistError::Store {
@@ -668,51 +718,109 @@ impl WorkflowStore {
             ));
         }
         check_dir_component(&manifest_path, &entry.dir)?;
-        let runs_dir = dir.join("specs").join(&entry.dir).join("runs");
-        fs::create_dir_all(&runs_dir).map_err(|e| io_err(&runs_dir, "creating", e))?;
 
-        // Same naming scheme as `save_to_dir`: slug + name hash, bumped past
-        // any existing document that belongs to a *different* run name (a
-        // residual hash collision); a document with the same name is simply
-        // replaced in place.
-        let base = format!("{}-{}", slug(run_name), name_hash(run_name));
-        let mut file = format!("{base}.json");
-        let mut bump = 1usize;
-        loop {
-            let candidate = runs_dir.join(&file);
-            let occupied = match fs::read_to_string(&candidate) {
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
-                Err(e) => return Err(io_err(&candidate, "probing", e)),
-                Ok(text) => match serde_json::from_str::<RunDocument>(&text) {
-                    Ok(doc) => doc.name != run_name,
-                    // Corrupt document: nothing loadable owns this slot.
-                    Err(_) => false,
-                },
-            };
-            if !occupied {
-                break;
-            }
-            bump += 1;
-            file = format!("{base}-{bump}.json");
+        let record = wal::WalRecord::RunInsert(wal::RunInsertRecord {
+            spec: spec.name().to_string(),
+            spec_fingerprint: fp_hex,
+            name: run_name.to_string(),
+            run: RunDescriptor::from_run(run),
+        });
+        self.append_wal_locked(dir, &[record])
+    }
+
+    /// Makes one run *removal* durable by appending a record to the
+    /// write-ahead log — the mirror of [`WorkflowStore::append_run_to_dir`],
+    /// used by the server's `DELETE /runs` path.  Replay removes the run
+    /// whether it lives in a manifest-committed document or an earlier WAL
+    /// record; removing a run the directory never held is a durable no-op.
+    ///
+    /// The directory must be a readable store of the current format; a
+    /// specification the manifest does not list needs no removal record, so
+    /// that case returns `Ok` without appending.
+    pub fn append_run_removal_to_dir(
+        &self,
+        dir: impl AsRef<Path>,
+        spec: &str,
+        run_name: &str,
+    ) -> Result<(), PersistError> {
+        let _guard = self.save_lock.lock();
+        let dir = dir.as_ref();
+        let manifest_path = dir.join("manifest.json");
+        let manifest: StoreManifest = read_json(&manifest_path)?;
+        if manifest.format != STORE_FORMAT {
+            return Err(format_err(
+                &manifest_path,
+                format!(
+                    "store format {} is not supported by this build (expected {STORE_FORMAT})",
+                    manifest.format
+                ),
+            ));
         }
-        let run_path = runs_dir.join(&file);
-        write_json_atomic(
-            &run_path,
-            &RunDocument {
-                format: STORE_FORMAT,
-                name: run_name.to_string(),
-                spec_fingerprint: fp_hex,
-                run: RunDescriptor::from_run(run),
-            },
-        )?;
-        Ok(run_path)
+        if !manifest.specs.iter().any(|s| s.name == spec) {
+            return Ok(());
+        }
+        let record = wal::WalRecord::RunRemove(wal::RunRemoveRecord {
+            spec: spec.to_string(),
+            name: run_name.to_string(),
+        });
+        self.append_wal_locked(dir, &[record])
+    }
+
+    /// Appends pre-built records to `dir`'s WAL under the save lock — the
+    /// entry point the cluster checkpoint's delta writer uses.
+    pub(crate) fn append_wal_records(
+        &self,
+        dir: &Path,
+        records: &[wal::WalRecord],
+    ) -> Result<(), PersistError> {
+        let _guard = self.save_lock.lock();
+        self.append_wal_locked(dir, records)
+    }
+
+    /// Appends records and maintains the counters + fold threshold; the
+    /// caller holds `save_lock`.
+    fn append_wal_locked(
+        &self,
+        dir: &Path,
+        records: &[wal::WalRecord],
+    ) -> Result<(), PersistError> {
+        let appended = wal::append(&*self.io, dir, records)?;
+        self.wal_stats.appends_total.fetch_add(records.len() as u64, Ordering::AcqRel);
+        let bytes = self.wal_stats.bytes.fetch_add(appended, Ordering::AcqRel) + appended;
+        let threshold = self.wal_fold_threshold.load(Ordering::Acquire);
+        if threshold != 0 && bytes >= threshold {
+            // The log has grown past the fold threshold: absorb it into a
+            // full checkpoint so replay time stays bounded.
+            self.save_to_dir_locked(dir)?;
+        }
+        Ok(())
     }
 
     /// Loads a store previously written by [`WorkflowStore::save_to_dir`],
     /// validating every document (see the [module docs](self)); corrupt,
     /// truncated, hand-edited or version-mismatched input returns a
     /// [`PersistError`] instead of panicking or loading garbage.
+    ///
+    /// After the manifest-committed documents, the directory's write-ahead
+    /// log is replayed in append order: a torn tail (a crashed append) is
+    /// truncated off first, run inserts and removals are re-applied
+    /// idempotently, and records against a specification version the
+    /// manifest no longer lists are skipped.  The loaded store keeps the
+    /// surviving log — its cluster deltas feed
+    /// [`DiffService::load_cluster_state`](crate::service::DiffService::load_cluster_state),
+    /// and the next full save folds everything.
     pub fn load_from_dir(dir: impl AsRef<Path>) -> Result<WorkflowStore, PersistError> {
+        WorkflowStore::load_from_dir_with_io(dir, Arc::new(crate::storeio::RealIo))
+    }
+
+    /// [`WorkflowStore::load_from_dir`] with an explicit
+    /// [`StoreIo`] handle: the torn-tail truncation runs through it, and the
+    /// returned store keeps it for every later save/append — the loading
+    /// half of the crash-torture seam.
+    pub fn load_from_dir_with_io(
+        dir: impl AsRef<Path>,
+        io: Arc<dyn StoreIo>,
+    ) -> Result<WorkflowStore, PersistError> {
         let dir = dir.as_ref();
         let manifest_path = dir.join("manifest.json");
         let manifest: StoreManifest = read_json(&manifest_path)?;
@@ -726,7 +834,7 @@ impl WorkflowStore {
             ));
         }
 
-        let store = WorkflowStore::new();
+        let store = WorkflowStore::with_io(io);
         let mut seen_spec_names = std::collections::BTreeSet::new();
         for entry in &manifest.specs {
             check_dir_component(&manifest_path, &entry.dir)?;
@@ -845,6 +953,54 @@ impl WorkflowStore {
                 store.insert_run(&doc.name, run)?;
             }
         }
+
+        // Replay the write-ahead log past the manifest commit point.  A
+        // torn tail — the only damage a crashed append can do — is
+        // truncated off first; valid records are applied in append order.
+        let wal_scan = wal::scan(dir)?;
+        if wal_scan.valid_len < wal_scan.total_len {
+            wal::truncate_to(&*store.io, dir, wal_scan.valid_len)?;
+        }
+        let wal_file = wal::wal_path(dir);
+        let mut replayed = 0u64;
+        for record in &wal_scan.records {
+            match record {
+                wal::WalRecord::RunInsert(insert) => {
+                    // The record carries the persistent fingerprint it was
+                    // validated against; a manifest that has since moved to
+                    // another spec version (or dropped the spec) makes the
+                    // record stale — skipped, exactly like a stale run
+                    // document would be pruned by the next save.
+                    let entry = manifest.specs.iter().find(|s| {
+                        s.name == insert.spec && s.fingerprint == insert.spec_fingerprint
+                    });
+                    if entry.is_none() {
+                        continue;
+                    }
+                    let spec_arc = store
+                        .spec(&insert.spec)
+                        .expect("every manifest-listed specification was just loaded");
+                    let run = insert
+                        .run
+                        .to_run(&spec_arc)
+                        .map_err(|source| PersistError::Tree { path: wal_file.clone(), source })?;
+                    // Replaces any manifest-committed document of the same
+                    // name — the WAL is newer by construction.
+                    store.insert_run(&insert.name, run)?;
+                    replayed += 1;
+                }
+                wal::WalRecord::RunRemove(remove) => {
+                    store.remove_run(&remove.spec, &remove.name);
+                    replayed += 1;
+                }
+                // Consumed by `DiffService::load_cluster_state`, which
+                // overlays deltas on the checkpoint file and validates the
+                // result against this store.
+                wal::WalRecord::ClusterDelta(_) => replayed += 1,
+            }
+        }
+        store.wal_stats.replayed_records.store(replayed, Ordering::Release);
+        store.wal_stats.bytes.store(wal_scan.valid_len, Ordering::Release);
         Ok(store)
     }
 }
@@ -853,6 +1009,7 @@ impl WorkflowStore {
 mod tests {
     use super::*;
     use crate::service::DiffService;
+    use crate::storeio::RealIo;
     use std::sync::Arc;
     use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_run3, fig2_specification};
 
@@ -949,7 +1106,7 @@ mod tests {
             spec_fingerprint: manifest.specs[0].fingerprint.clone(),
             run: RunDescriptor::from_run(&fig2_run1(&spec)),
         };
-        write_json_atomic(&spec_dir.join("runs").join("zz-appended.json"), &doc).unwrap();
+        write_json_atomic(&RealIo, &spec_dir.join("runs").join("zz-appended.json"), &doc).unwrap();
 
         let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
         assert_eq!(loaded.run_count(), 4);
@@ -1095,7 +1252,7 @@ mod tests {
             spec_fingerprint: manifest.specs[0].fingerprint.clone(),
             run: RunDescriptor::from_run(&fig2_run2(&spec)),
         };
-        write_json_atomic(&spec_dir.join("runs").join("zz-dup.json"), &doc).unwrap();
+        write_json_atomic(&RealIo, &spec_dir.join("runs").join("zz-dup.json"), &doc).unwrap();
         let err = WorkflowStore::load_from_dir(dir.path()).unwrap_err();
         assert!(matches!(err, PersistError::Format { .. }), "got {err}");
         assert!(err.to_string().contains("more than one document"), "got {err}");
@@ -1138,26 +1295,106 @@ mod tests {
         let store = seeded_store();
         store.save_to_dir(dir.path()).unwrap();
 
-        // Append through the public API (the server's POST /runs path).
+        // Append through the public API (the server's POST /runs path):
+        // one WAL record, no manifest rewrite.
+        let manifest_before = fs::read(dir.path().join("manifest.json")).unwrap();
         let spec = store.spec("fig2").unwrap();
         let run = store.insert_run("r4", fig2_run1(&spec)).unwrap();
-        let path = store.append_run_to_dir(dir.path(), "r4", &run).unwrap();
-        assert!(path.exists());
+        store.append_run_to_dir(dir.path(), "r4", &run).unwrap();
+        assert_eq!(fs::read(dir.path().join("manifest.json")).unwrap(), manifest_before);
+        assert_eq!(crate::wal::inspect(dir.path()).unwrap().run_inserts, 1);
 
         let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
         assert_eq!(loaded.run_count(), 4);
         assert!(loaded.run("fig2", "r4").is_some());
+        assert_eq!(loaded.wal_stats().replayed_records, 1);
 
-        // A later full save rewrites the appended document in place (same
-        // deterministic file name), not beside it.
+        // A later full save folds the log: the run becomes a regular
+        // document and the WAL resets to empty.
         store.save_to_dir(dir.path()).unwrap();
-        assert!(path.exists(), "full save keeps the appended run's file name");
+        assert_eq!(crate::wal::inspect(dir.path()).unwrap().records, 0);
+        assert_eq!(store.wal_stats().bytes, 0);
         assert_eq!(WorkflowStore::load_from_dir(dir.path()).unwrap().run_count(), 4);
 
-        // Re-appending the same run name replaces the document.
-        let again = store.append_run_to_dir(dir.path(), "r4", &run).unwrap();
-        assert_eq!(again, path);
+        // Re-appending the same run name replaces it at replay time.
+        store.append_run_to_dir(dir.path(), "r4", &run).unwrap();
+        store.append_run_to_dir(dir.path(), "r4", &run).unwrap();
         assert_eq!(WorkflowStore::load_from_dir(dir.path()).unwrap().run_count(), 4);
+    }
+
+    #[test]
+    fn removals_and_torn_tails_replay_correctly() {
+        let dir = TempDir::new("wal-remove");
+        let store = seeded_store();
+        store.save_to_dir(dir.path()).unwrap();
+        store.remove_run("fig2", "r2");
+        store.append_run_removal_to_dir(dir.path(), "fig2", "r2").unwrap();
+        let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+        assert_eq!(loaded.run_names("fig2"), vec!["r1".to_string(), "r3".to_string()]);
+
+        // A torn tail (half-written record) is truncated on load and the
+        // valid prefix still replays.
+        use std::io::Write as _;
+        let wal_file = dir.path().join(crate::wal::WAL_FILE);
+        let mut f = fs::OpenOptions::new().append(true).open(&wal_file).unwrap();
+        f.write_all(&[0x55; 13]).unwrap();
+        drop(f);
+        assert_eq!(crate::wal::inspect(dir.path()).unwrap().torn_bytes, 13);
+        let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+        assert_eq!(loaded.run_names("fig2"), vec!["r1".to_string(), "r3".to_string()]);
+        assert_eq!(
+            crate::wal::inspect(dir.path()).unwrap().torn_bytes,
+            0,
+            "load repaired the file"
+        );
+
+        // Removing a run the directory never held is a durable no-op, and a
+        // spec the manifest does not list appends nothing at all.
+        store.append_run_removal_to_dir(dir.path(), "fig2", "ghost").unwrap();
+        let before = fs::metadata(&wal_file).unwrap().len();
+        store.append_run_removal_to_dir(dir.path(), "no-such-spec", "r1").unwrap();
+        assert_eq!(fs::metadata(&wal_file).unwrap().len(), before);
+        assert_eq!(WorkflowStore::load_from_dir(dir.path()).unwrap().run_count(), 2);
+    }
+
+    #[test]
+    fn threshold_folds_absorb_the_wal_into_a_checkpoint() {
+        let dir = TempDir::new("wal-threshold");
+        let store = seeded_store();
+        store.save_to_dir(dir.path()).unwrap();
+        store.set_wal_fold_threshold(1); // every append folds immediately
+        let spec = store.spec("fig2").unwrap();
+        let run = store.insert_run("r4", fig2_run1(&spec)).unwrap();
+        store.append_run_to_dir(dir.path(), "r4", &run).unwrap();
+        assert_eq!(crate::wal::inspect(dir.path()).unwrap().records, 0, "append folded");
+        assert_eq!(store.wal_stats().bytes, 0);
+        assert!(store.wal_stats().folds_total >= 2);
+        let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+        assert_eq!(loaded.run_count(), 4);
+        assert_eq!(loaded.wal_stats().replayed_records, 0);
+    }
+
+    #[test]
+    fn stale_wal_records_from_a_replaced_spec_are_skipped() {
+        let dir = TempDir::new("wal-stale");
+        let store = seeded_store();
+        store.save_to_dir(dir.path()).unwrap();
+        let spec = store.spec("fig2").unwrap();
+        let run = store.insert_run("r4", fig2_run1(&spec)).unwrap();
+        store.append_run_to_dir(dir.path(), "r4", &run).unwrap();
+
+        // Simulate the crash window after a spec replacement's manifest
+        // commit but before the WAL truncation: the old record survives in
+        // the log while the manifest lists a different fingerprint.
+        let wal_bytes = fs::read(dir.path().join(crate::wal::WAL_FILE)).unwrap();
+        let mut b = wfdiff_sptree::SpecificationBuilder::new("fig2");
+        b.path(&["1", "2", "6", "7"]);
+        store.replace_spec(b.build().unwrap());
+        store.save_to_dir(dir.path()).unwrap();
+        fs::write(dir.path().join(crate::wal::WAL_FILE), &wal_bytes).unwrap();
+
+        let loaded = WorkflowStore::load_from_dir(dir.path()).unwrap();
+        assert_eq!(loaded.run_count(), 0, "records against the old spec version are skipped");
     }
 
     #[test]

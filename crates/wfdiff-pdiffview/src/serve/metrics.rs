@@ -593,6 +593,54 @@ impl ServeMetrics {
             );
         }
 
+        let wal: Vec<_> = router.shards().iter().map(|s| s.service().wal_stats()).collect();
+        head(
+            m,
+            "wfdiff_wal_appends_total",
+            "counter",
+            "Write-ahead-log records appended, per shard.",
+        );
+        for (i, s) in wal.iter().enumerate() {
+            sample(
+                m,
+                "wfdiff_wal_appends_total",
+                &[("shard", &i.to_string())],
+                &s.appends_total.to_string(),
+            );
+        }
+        head(m, "wfdiff_wal_bytes", "gauge", "Write-ahead-log bytes pending a fold, per shard.");
+        for (i, s) in wal.iter().enumerate() {
+            sample(m, "wfdiff_wal_bytes", &[("shard", &i.to_string())], &s.bytes.to_string());
+        }
+        head(
+            m,
+            "wfdiff_wal_replayed_records",
+            "gauge",
+            "Write-ahead-log records replayed at the last load, per shard.",
+        );
+        for (i, s) in wal.iter().enumerate() {
+            sample(
+                m,
+                "wfdiff_wal_replayed_records",
+                &[("shard", &i.to_string())],
+                &s.replayed_records.to_string(),
+            );
+        }
+        head(
+            m,
+            "wfdiff_checkpoint_folds_total",
+            "counter",
+            "Checkpoints that folded the write-ahead log into the manifest, per shard.",
+        );
+        for (i, s) in wal.iter().enumerate() {
+            sample(
+                m,
+                "wfdiff_checkpoint_folds_total",
+                &[("shard", &i.to_string())],
+                &s.folds_total.to_string(),
+            );
+        }
+
         out
     }
 }

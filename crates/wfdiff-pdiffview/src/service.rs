@@ -20,7 +20,7 @@
 
 use crate::cluster::incremental::{ClusterSnapshot, DistanceOracle, IncrementalClusterIndex};
 use crate::cluster::persist::{
-    load as load_cluster_cache, save as save_cluster_cache, ClusterCacheReport,
+    load as load_cluster_cache, save_wal as save_cluster_cache, ClusterCacheReport,
 };
 use crate::persist::PersistError;
 use crate::session::DiffSession;
@@ -467,13 +467,21 @@ impl DiffService {
         &self.clusters
     }
 
-    /// Checkpoints the cluster index into `dir/cluster_cache.json` (see
-    /// [`crate::cluster::persist`]); returns the number of checkpointed
-    /// specs.  When nothing changed since the last successful checkpoint
-    /// the write is skipped entirely, so calling this after every query is
-    /// cheap.
+    /// Checkpoints the cluster index by appending one delta record per
+    /// changed spec to the store directory's write-ahead log (see
+    /// [`crate::cluster::persist`] and [`crate::wal`]) — O(changed specs),
+    /// not a whole `cluster_cache.json` rewrite; the next full save folds
+    /// the deltas into the file.  Returns the number of tracked specs.
+    /// When nothing changed since the last successful checkpoint the append
+    /// is skipped entirely, so calling this after every query is cheap.
     pub fn save_cluster_state(&self, dir: impl AsRef<Path>) -> Result<usize, PersistError> {
         save_cluster_cache(&self.clusters, &self.store, self.cost.cache_key(), dir.as_ref())
+    }
+
+    /// Write-ahead-log counters of the underlying store (appends, bytes,
+    /// replayed records, checkpoint folds) — the `/metrics` numbers.
+    pub fn wal_stats(&self) -> crate::wal::WalStatsSnapshot {
+        self.store.wal_stats()
     }
 
     /// Restores a cluster-index checkpoint from `dir`, validating every

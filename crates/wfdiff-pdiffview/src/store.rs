@@ -32,11 +32,18 @@
 //! performs it atomically by invalidating (removing) the stale runs in the
 //! same critical section.
 
+use crate::storeio::{IoHandle, StoreIo};
+use crate::wal::{WalStats, WalStatsSnapshot};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use wfdiff_sptree::{Run, Specification};
+
+/// Default WAL size (bytes) past which a hot-path append triggers a
+/// checkpoint fold; see [`WorkflowStore::set_wal_fold_threshold`].
+pub const DEFAULT_WAL_FOLD_THRESHOLD: u64 = 1024 * 1024;
 
 /// Errors raised by store mutations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -108,10 +115,17 @@ pub type SpecSnapshot = (Arc<Specification>, Vec<(String, Arc<Run>)>);
 ///
 /// See the [module docs](self) for the locking discipline and the
 /// specification-versioning rules.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WorkflowStore {
     specs: RwLock<BTreeMap<String, Arc<Specification>>>,
     runs: RwLock<BTreeMap<(String, String), Arc<Run>>>,
+    /// Every durability-relevant filesystem operation goes through this
+    /// handle, so a crash-injection wrapper can fault any of them.
+    pub(crate) io: IoHandle,
+    /// Live WAL counters (appends, bytes, replays, folds).
+    pub(crate) wal_stats: WalStats,
+    /// WAL size past which appends fold; 0 disables the automatic fold.
+    pub(crate) wal_fold_threshold: AtomicU64,
     /// Serialises [`WorkflowStore::save_to_dir`] calls (two interleaved
     /// saves could tear each other's temp files and garbage-collection);
     /// held for the whole save, never while `specs`/`runs` are locked.
@@ -135,10 +149,51 @@ fn runs_of<'a>(
     runs.range((owned.clone(), String::new())..).take_while(move |((s, _), _)| *s == owned)
 }
 
+impl Default for WorkflowStore {
+    fn default() -> Self {
+        WorkflowStore {
+            specs: RwLock::default(),
+            runs: RwLock::default(),
+            io: IoHandle::default(),
+            wal_stats: WalStats::default(),
+            wal_fold_threshold: AtomicU64::new(DEFAULT_WAL_FOLD_THRESHOLD),
+            save_lock: parking_lot::Mutex::default(),
+            persist_fp_cache: parking_lot::Mutex::default(),
+        }
+    }
+}
+
 impl WorkflowStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         WorkflowStore::default()
+    }
+
+    /// Creates an empty store whose durability operations run through `io`
+    /// instead of the default [`RealIo`](crate::storeio::RealIo) — the seam
+    /// the crash-torture harness uses to inject a
+    /// [`FaultIo`](crate::storeio::FaultIo).
+    pub fn with_io(io: Arc<dyn StoreIo>) -> Self {
+        WorkflowStore { io: IoHandle(io), ..WorkflowStore::default() }
+    }
+
+    /// Sets the WAL size (bytes) past which the next hot-path append folds
+    /// the log into a full checkpoint (see the [`crate::wal`] docs).  `0`
+    /// disables the automatic fold; the default is
+    /// [`DEFAULT_WAL_FOLD_THRESHOLD`].
+    pub fn set_wal_fold_threshold(&self, bytes: u64) {
+        self.wal_fold_threshold.store(bytes, Ordering::Release);
+    }
+
+    /// The current automatic-fold threshold in bytes (0 = disabled).
+    pub fn wal_fold_threshold(&self) -> u64 {
+        self.wal_fold_threshold.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the store's WAL counters (appends, bytes, replayed
+    /// records, folds) — the numbers `/metrics` exports per shard.
+    pub fn wal_stats(&self) -> WalStatsSnapshot {
+        self.wal_stats.snapshot()
     }
 
     /// Inserts a specification and returns its shared handle.

@@ -240,32 +240,42 @@ fn cluster_checkpoints_reload_when_valid_and_rebuild_when_stale() {
     let report = swapped_service.load_cluster_state(dir.path());
     assert_eq!((report.loaded, report.stale), (0, 1), "content swap is detected");
 
-    // A clean index skips the checkpoint write entirely; a mutation
-    // re-arms it.
+    // A clean index skips the checkpoint append entirely; a mutation
+    // re-arms it.  Checkpoints are WAL deltas now, so "written" means the
+    // log grew, not that `cluster_cache.json` was rewritten.
     let fresh_dir = TempDir::new("dirty-skip");
     store_with(&spec, &runs).save_to_dir(fresh_dir.path()).unwrap();
     let tracked = Arc::new(WorkflowStore::load_from_dir(fresh_dir.path()).unwrap());
     let tracked_service = DiffService::new(Arc::clone(&tracked));
     tracked_service.cluster_medoids("clustered", FAMILIES, 5).unwrap();
     assert_eq!(tracked_service.save_cluster_state(fresh_dir.path()).unwrap(), 1);
-    let artifact = fresh_dir.path().join("cluster_cache.json");
-    std::fs::remove_file(&artifact).unwrap();
+    let after_first = pdiffview::pdiffview::wal::inspect(fresh_dir.path()).unwrap();
+    assert_eq!(after_first.cluster_deltas, 1);
     tracked_service.save_cluster_state(fresh_dir.path()).unwrap();
-    assert!(!artifact.exists(), "a clean index does not rewrite the checkpoint");
+    let after_clean = pdiffview::pdiffview::wal::inspect(fresh_dir.path()).unwrap();
+    assert_eq!(after_clean.bytes, after_first.bytes, "a clean index appends nothing");
     let tracked_spec = tracked.spec("clustered").unwrap();
     let extra = tracked_spec.execute(&mut wfdiff_sptree::FullDecider).unwrap();
     tracked.insert_run("zz-tracked", extra).unwrap();
     tracked_service.notify_run_inserted("clustered", "zz-tracked");
     assert_eq!(tracked_service.save_cluster_state(fresh_dir.path()).unwrap(), 1);
-    assert!(artifact.exists(), "a mutation re-arms the checkpoint");
+    let after_mutation = pdiffview::pdiffview::wal::inspect(fresh_dir.path()).unwrap();
+    assert_eq!(after_mutation.cluster_deltas, 2, "a mutation re-arms the checkpoint");
+
+    // A full save folds the pending delta into `cluster_cache.json` and
+    // truncates the log; the folded file alone restores the state.
+    loaded.save_to_dir(dir.path()).unwrap();
+    let artifact = dir.path().join("cluster_cache.json");
+    assert!(artifact.exists(), "the fold materialised the checkpoint file");
+    assert_eq!(pdiffview::pdiffview::wal::inspect(dir.path()).unwrap().records, 0);
 
     // A corrupt checkpoint is reported stale and ignored, never an error.
-    std::fs::write(dir.path().join("cluster_cache.json"), "{not json").unwrap();
+    std::fs::write(&artifact, "{not json").unwrap();
     let fresh = DiffService::new(Arc::new(WorkflowStore::load_from_dir(dir.path()).unwrap()));
     let report = fresh.load_cluster_state(dir.path());
     assert_eq!((report.loaded, report.stale), (0, 1));
     // A missing checkpoint is simply an empty report.
-    std::fs::remove_file(dir.path().join("cluster_cache.json")).unwrap();
+    std::fs::remove_file(&artifact).unwrap();
     let report = fresh.load_cluster_state(dir.path());
     assert_eq!((report.loaded, report.stale), (0, 0));
 }

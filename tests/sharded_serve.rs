@@ -349,6 +349,10 @@ fn metrics_scrape_is_valid_prometheus_text() {
     );
     assert!(scrape.contains("wfdiff_shards 2"), "{scrape}");
     assert!(scrape.contains("wfdiff_store_runs{shard=\"0\"}"), "{scrape}");
+    assert!(scrape.contains("wfdiff_wal_appends_total{shard=\"0\"}"), "{scrape}");
+    assert!(scrape.contains("wfdiff_wal_bytes{shard=\"1\"}"), "{scrape}");
+    assert!(scrape.contains("wfdiff_wal_replayed_records{shard=\"0\"}"), "{scrape}");
+    assert!(scrape.contains("wfdiff_checkpoint_folds_total{shard=\"1\"}"), "{scrape}");
     assert!(scrape.contains("wfdiff_http_request_duration_seconds_bucket"), "{scrape}");
     handle.shutdown();
 }
