@@ -1,0 +1,548 @@
+//! A lightweight Rust tokenizer with line/column tracking and test-region
+//! detection.
+//!
+//! This is **not** a full Rust lexer — it is exactly the subset the rule
+//! engine needs to scan source without being fooled by non-code bytes:
+//!
+//! * line comments, nested block comments and doc comments are dropped,
+//! * string literals (plain, raw with any `#` count, byte, byte-raw) become
+//!   single [`TokenKind::Str`] tokens carrying their inner text, so
+//!   `"unwrap()"` inside a string can never look like a call,
+//! * char literals are distinguished from lifetimes,
+//! * numbers collapse to one token,
+//! * everything else is an identifier or a single-char punctuation token.
+//!
+//! A second pass ([`mark_test_regions`]) flags every token that lives inside
+//! `#[cfg(test)]`-gated items, `#[test]` functions or `mod tests { ... }`
+//! blocks, so rules can skip test code without understanding the grammar.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers, without `r#`).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A string literal (plain, raw, byte or byte-raw); `text` holds the
+    /// inner bytes without quotes/hashes, un-unescaped.
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A lifetime (`'a`), without the leading quote.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Identifier text, punctuation character or literal contents.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+    /// Whether the token lies inside a detected test region.
+    pub in_test: bool,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token of exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == ch.len_utf8() && {
+            let mut it = self.text.chars();
+            it.next() == Some(ch)
+        }
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `source`.  Never fails: unterminated literals simply swallow
+/// the rest of the file (the rules then see fewer tokens, which is the safe
+/// direction for a checker that reports *violations*, not proofs).
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor { chars: source.chars().collect(), i: 0, line: 1, col: 1 };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes and raw identifiers.
+        if c == 'r' || c == 'b' {
+            if let Some(token) = lex_prefixed(&mut cur, line, col) {
+                out.push(token);
+                continue;
+            }
+        }
+        if c == '"' {
+            cur.bump();
+            out.push(lex_plain_string(&mut cur, line, col));
+            continue;
+        }
+        if c == '\'' {
+            out.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        if is_ident_start(c) {
+            out.push(lex_ident(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        cur.bump();
+        out.push(Token { kind: TokenKind::Punct, text: c.to_string(), line, col, in_test: false });
+    }
+    mark_test_regions(&mut out);
+    out
+}
+
+fn lex_ident(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token { kind: TokenKind::Ident, text, line, col, in_test: false }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        let float_dot =
+            c == '.' && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) && !text.contains('.');
+        if !is_ident_continue(c) && !float_dot {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token { kind: TokenKind::Num, text, line, col, in_test: false }
+}
+
+/// Handles tokens starting with `r` or `b`: raw strings `r"`/`r#"`, byte
+/// strings `b"`, byte-raw `br#"`, byte chars `b'`, and raw identifiers
+/// `r#ident`.  Returns `None` when the prefix turns out to be a plain
+/// identifier (e.g. `runs`), leaving the cursor untouched.
+fn lex_prefixed(cur: &mut Cursor, line: u32, col: u32) -> Option<Token> {
+    let c0 = cur.peek(0)?;
+    // How many prefix chars before a possible quote/hash sequence.
+    let (skip, rest) = match (c0, cur.peek(1)) {
+        ('r', Some('"')) => (1, '"'),
+        ('r', Some('#')) => (1, '#'),
+        ('b', Some('"')) => (1, '"'),
+        ('b', Some('\'')) => (1, '\''),
+        ('b', Some('r')) if matches!(cur.peek(2), Some('"') | Some('#')) => {
+            (2, cur.peek(2).unwrap_or('"'))
+        }
+        _ => return None,
+    };
+    if rest == '\'' {
+        // Byte char literal b'x'.
+        cur.bump(); // b
+        return Some(lex_quote(cur, line, col));
+    }
+    if rest == '"' {
+        for _ in 0..=skip {
+            cur.bump(); // prefix chars + opening quote
+        }
+        if cur.chars.get(cur.i.wrapping_sub(1)).copied() == Some('"') {
+            // `r"` / `b"` with zero hashes is still raw for `r`, plain-ish
+            // for `b`; escapes only matter for non-raw, but treating `b"`
+            // as escape-aware matches the grammar.
+            if c0 == 'b' && skip == 1 {
+                return Some(lex_plain_string(cur, line, col));
+            }
+            return Some(lex_raw_string(cur, line, col, 0));
+        }
+        return None;
+    }
+    // rest == '#': raw string with hashes, or a raw identifier r#name.
+    let mut hashes = 0usize;
+    while cur.peek(skip + hashes) == Some('#') {
+        hashes += 1;
+    }
+    match cur.peek(skip + hashes) {
+        Some('"') => {
+            for _ in 0..(skip + hashes + 1) {
+                cur.bump();
+            }
+            Some(lex_raw_string(cur, line, col, hashes))
+        }
+        Some(c) if c0 == 'r' && hashes == 1 && is_ident_start(c) => {
+            cur.bump(); // r
+            cur.bump(); // #
+            Some(lex_ident(cur, line, col))
+        }
+        _ => None,
+    }
+}
+
+fn lex_plain_string(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                text.push(c);
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            _ => text.push(c),
+        }
+    }
+    Token { kind: TokenKind::Str, text, line, col, in_test: false }
+}
+
+fn lex_raw_string(cur: &mut Cursor, line: u32, col: u32, hashes: usize) -> Token {
+    let mut text = String::new();
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for k in 0..hashes {
+                if cur.peek(k) != Some('#') {
+                    text.push(c);
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        text.push(c);
+    }
+    Token { kind: TokenKind::Str, text, line, col, in_test: false }
+}
+
+/// Lexes a `'`-introduced token: a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Token {
+    cur.bump(); // the opening quote
+                // Lifetime: 'ident not closed by a quote right after one char.
+    if cur.peek(0).is_some_and(is_ident_start) && cur.peek(1) != Some('\'') {
+        let mut text = String::new();
+        while let Some(c) = cur.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        }
+        return Token { kind: TokenKind::Lifetime, text, line, col, in_test: false };
+    }
+    // Char literal, possibly escaped.
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\'' => break,
+            '\\' => {
+                text.push(c);
+                if let Some(esc) = cur.bump() {
+                    text.push(esc);
+                }
+            }
+            _ => text.push(c),
+        }
+    }
+    Token { kind: TokenKind::Char, text, line, col, in_test: false }
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Flags every token inside `#[cfg(test)]` items, `#[test]` functions and
+/// `mod tests { ... }` blocks with `in_test = true`.
+///
+/// The attribute check is deliberately conservative in the *safe* direction
+/// for each construct: `cfg(any(test, ...))` counts as a test region (its
+/// code never ships), while `cfg(not(test))` and `cfg_attr(test, ...)` do
+/// not (their code does).
+pub fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    let mut pending_test_attr: Option<usize> = None;
+    while i < tokens.len() {
+        // Inner attribute `#![...]`: skip, never opens an item.
+        if tokens[i].is_punct('#')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('['))
+        {
+            i = skip_group(tokens, i + 2, '[', ']');
+            continue;
+        }
+        // Outer attribute `#[...]`.
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let end = skip_group(tokens, i + 1, '[', ']');
+            if attr_is_test(&tokens[i + 2..end.saturating_sub(1)]) {
+                pending_test_attr.get_or_insert(i);
+            }
+            i = end;
+            continue;
+        }
+        if let Some(start) = pending_test_attr {
+            // The attribute covers the next item: everything up to the end
+            // of its `{ ... }` block (or its terminating `;`).
+            let item_end = item_end(tokens, i);
+            for t in tokens[start..item_end].iter_mut() {
+                t.in_test = true;
+            }
+            pending_test_attr = None;
+            i = item_end;
+            continue;
+        }
+        // `mod tests { ... }` without an (already-handled) cfg attribute.
+        if tokens[i].is_ident("mod")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident("tests"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('{'))
+        {
+            let end = skip_group(tokens, i + 2, '{', '}');
+            for t in tokens[i..end].iter_mut() {
+                t.in_test = true;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// True when attribute body tokens denote a test-only item: exactly `test`,
+/// or a `cfg(...)` group that mentions `test` and never `not`.
+fn attr_is_test(body: &[Token]) -> bool {
+    if body.len() == 1 && body[0].is_ident("test") {
+        return true;
+    }
+    if body.first().is_some_and(|t| t.is_ident("cfg"))
+        && body.get(1).is_some_and(|t| t.is_punct('('))
+    {
+        let mentions_test = body.iter().any(|t| t.is_ident("test"));
+        let mentions_not = body.iter().any(|t| t.is_ident("not"));
+        return mentions_test && !mentions_not;
+    }
+    false
+}
+
+/// Returns the index one past the end of the item starting at `i`: past the
+/// matching `}` of its first depth-0 `{`, or past its first depth-0 `;`.
+fn item_end(tokens: &[Token], i: usize) -> usize {
+    let mut depth_round = 0i32;
+    let mut depth_square = 0i32;
+    let mut j = i;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" => depth_round += 1,
+                ")" => depth_round -= 1,
+                "[" => depth_square += 1,
+                "]" => depth_square -= 1,
+                "{" if depth_round == 0 && depth_square == 0 => {
+                    return skip_group(tokens, j, '{', '}');
+                }
+                ";" if depth_round == 0 && depth_square == 0 => return j + 1,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Given `tokens[open_idx]` == the opening delimiter, returns the index one
+/// past its matching closer (or `tokens.len()` when unbalanced).
+fn skip_group(tokens: &[Token], open_idx: usize, open: char, close: char) -> usize {
+    let mut depth = 0i32;
+    let mut j = open_idx;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_code_tokens() {
+        let src = r###"
+// let x = a.unwrap();
+/* nested /* block */ comment with panic!() */
+let s = "call .unwrap() here";
+let r = r#"raw "quoted" unwrap()"#;
+let b = b"bytes unwrap()";
+"###;
+        let tokens = lex(src);
+        assert!(!idents(&tokens).contains(&"unwrap"));
+        assert!(!idents(&tokens).contains(&"panic"));
+        let strs: Vec<&str> =
+            tokens.iter().filter(|t| t.kind == TokenKind::Str).map(|t| t.text.as_str()).collect();
+        assert_eq!(strs.len(), 3);
+        assert!(strs[1].contains("\"quoted\""), "raw string keeps inner quotes: {:?}", strs[1]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_distinguished() {
+        let tokens = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars: Vec<&str> =
+            tokens.iter().filter(|t| t.kind == TokenKind::Char).map(|t| t.text.as_str()).collect();
+        assert_eq!(chars, vec!["x", "\\n"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let tokens = lex("a\n  bb\n");
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked_as_test_region() {
+        let src = r#"
+fn live() { work(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+fn also_live() {}
+"#;
+        let tokens = lex(src);
+        let unwrap = tokens.iter().find(|t| t.is_ident("unwrap")).expect("lexed");
+        assert!(unwrap.in_test);
+        let live = tokens.iter().find(|t| t.is_ident("live")).expect("lexed");
+        assert!(!live.in_test);
+        let also = tokens.iter().find(|t| t.is_ident("also_live")).expect("lexed");
+        assert!(!also.in_test);
+    }
+
+    #[test]
+    fn test_attribute_marks_only_its_function() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn live() { b(); }";
+        let tokens = lex(src);
+        assert!(tokens.iter().find(|t| t.is_ident("unwrap")).expect("lexed").in_test);
+        assert!(!tokens.iter().find(|t| t.is_ident("live")).expect("lexed").in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_and_cfg_attr_are_not_test_regions() {
+        let src =
+            "#[cfg(not(test))]\nfn live() {}\n#[cfg_attr(test, allow(dead_code))]\nfn also() {}";
+        let tokens = lex(src);
+        assert!(tokens.iter().all(|t| !t.in_test));
+    }
+
+    #[test]
+    fn mod_tests_without_cfg_is_marked() {
+        let src = "mod tests { fn helper() { x.unwrap(); } }\nfn live() {}";
+        let tokens = lex(src);
+        assert!(tokens.iter().find(|t| t.is_ident("unwrap")).expect("lexed").in_test);
+        assert!(!tokens.iter().find(|t| t.is_ident("live")).expect("lexed").in_test);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let tokens = lex("let r#fn = 1; let rx = r");
+        assert!(tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(tokens.iter().any(|t| t.is_ident("rx")));
+    }
+}

@@ -66,6 +66,7 @@
 
 pub mod cluster;
 pub mod io;
+mod lockrank;
 pub mod persist;
 pub mod render;
 pub mod serve;

@@ -612,7 +612,7 @@ impl WorkflowStore {
             if let Ok(entries) = fs::read_dir(d) {
                 for entry in entries.flatten() {
                     if entry.file_name().to_string_lossy().ends_with(".tmp") {
-                        let _ = fs::remove_file(entry.path());
+                        let _ = self.io.remove_file(&entry.path());
                     }
                 }
             }
@@ -623,7 +623,7 @@ impl WorkflowStore {
                 manifest.specs.iter().map(|s| s.dir.as_str()).collect();
             for entry in entries.flatten() {
                 if !live.contains(entry.file_name().to_string_lossy().as_ref()) {
-                    let _ = fs::remove_dir_all(entry.path());
+                    let _ = self.io.remove_dir_all(&entry.path());
                 } else {
                     sweep_tmp(&entry.path());
                 }

@@ -329,7 +329,16 @@ impl From<SpTreeError> for ApiError {
 
 impl From<PersistError> for ApiError {
     fn from(e: PersistError) -> Self {
-        ApiError::new(500, "persist_failed", e.to_string())
+        // Every variant maps to 500 today, but the match stays exhaustive by
+        // variant (WFL005): adding a PersistError variant must force the
+        // author to decide its status here, not fall through silently.
+        match &e {
+            PersistError::Io { .. } => ApiError::new(500, "persist_failed", e.to_string()),
+            PersistError::Json { .. } => ApiError::new(500, "persist_failed", e.to_string()),
+            PersistError::Format { .. } => ApiError::new(500, "persist_failed", e.to_string()),
+            PersistError::Tree { .. } => ApiError::new(500, "persist_failed", e.to_string()),
+            PersistError::Store { .. } => ApiError::new(500, "persist_failed", e.to_string()),
+        }
     }
 }
 

@@ -19,6 +19,12 @@
 //!
 //! Never acquire `specs` while holding `runs`.
 //!
+//! The full rank order across every store lock is `save_lock` → `specs` →
+//! `runs` → `persist_fp_cache`.  This is enforced twice: statically by
+//! `wfdiff-lint`'s WFL002 rule, and dynamically by the
+//! `lockrank` module's wrappers around these fields, which panic on any
+//! out-of-order acquisition when `debug_assertions` are on.
+//!
 //! # Specification versions
 //!
 //! Runs are validated against the exact [`Specification`] stored at insert
@@ -32,9 +38,9 @@
 //! performs it atomically by invalidating (removing) the stale runs in the
 //! same critical section.
 
+use crate::lockrank::{LockRank, RankedMutex, RankedRwLock};
 use crate::storeio::{IoHandle, StoreIo};
 use crate::wal::{WalStats, WalStatsSnapshot};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -117,8 +123,8 @@ pub type SpecSnapshot = (Arc<Specification>, Vec<(String, Arc<Run>)>);
 /// specification-versioning rules.
 #[derive(Debug)]
 pub struct WorkflowStore {
-    specs: RwLock<BTreeMap<String, Arc<Specification>>>,
-    runs: RwLock<BTreeMap<(String, String), Arc<Run>>>,
+    specs: RankedRwLock<BTreeMap<String, Arc<Specification>>>,
+    runs: RankedRwLock<BTreeMap<(String, String), Arc<Run>>>,
     /// Every durability-relevant filesystem operation goes through this
     /// handle, so a crash-injection wrapper can fault any of them.
     pub(crate) io: IoHandle,
@@ -129,12 +135,12 @@ pub struct WorkflowStore {
     /// Serialises [`WorkflowStore::save_to_dir`] calls (two interleaved
     /// saves could tear each other's temp files and garbage-collection);
     /// held for the whole save, never while `specs`/`runs` are locked.
-    pub(crate) save_lock: parking_lot::Mutex<()>,
+    pub(crate) save_lock: RankedMutex<()>,
     /// Memoised persistent fingerprints, keyed by in-memory arena
     /// fingerprint: both are deterministic functions of the specification,
     /// so repeated saves skip the full descriptor → specification rebuild.
     /// Bounded by the number of distinct spec versions ever saved.
-    pub(crate) persist_fp_cache: parking_lot::Mutex<
+    pub(crate) persist_fp_cache: RankedMutex<
         std::collections::HashMap<wfdiff_sptree::Fingerprint, wfdiff_sptree::Fingerprint>,
     >,
 }
@@ -152,13 +158,13 @@ fn runs_of<'a>(
 impl Default for WorkflowStore {
     fn default() -> Self {
         WorkflowStore {
-            specs: RwLock::default(),
-            runs: RwLock::default(),
+            specs: RankedRwLock::new(LockRank::Specs, BTreeMap::new()),
+            runs: RankedRwLock::new(LockRank::Runs, BTreeMap::new()),
             io: IoHandle::default(),
             wal_stats: WalStats::default(),
             wal_fold_threshold: AtomicU64::new(DEFAULT_WAL_FOLD_THRESHOLD),
-            save_lock: parking_lot::Mutex::default(),
-            persist_fp_cache: parking_lot::Mutex::default(),
+            save_lock: RankedMutex::new(LockRank::Save, ()),
+            persist_fp_cache: RankedMutex::new(LockRank::FpCache, std::collections::HashMap::new()),
         }
     }
 }
@@ -627,5 +633,29 @@ mod tests {
         for r in readers {
             r.join().unwrap();
         }
+    }
+
+    /// The runtime lock-rank guard (see `crate::lockrank`) fires on the
+    /// store's own locks: acquiring `specs` while holding `runs` — the exact
+    /// inversion the module docs forbid — panics deterministically in a
+    /// debug build instead of deadlocking some unlucky concurrent test.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn lock_rank_guard_rejects_runs_before_specs() {
+        let store = WorkflowStore::new();
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _runs = store.runs.read();
+            let _specs = store.specs.read();
+        }));
+        std::panic::set_hook(hook);
+        let payload = result.expect_err("inverted acquisition must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("lock-rank violation"), "unexpected panic: {msg:?}");
     }
 }

@@ -77,6 +77,10 @@ pub trait StoreIo: fmt::Debug + Send + Sync {
     /// Removes a file.
     fn remove_file(&self, path: &Path) -> std::io::Result<()>;
 
+    /// Removes a directory and everything under it (the garbage-collection
+    /// sweep of replaced spec versions).
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()>;
+
     /// Truncates (or extends) `path` to exactly `len` bytes, without
     /// syncing — pair with [`StoreIo::fsync_file`].
     fn truncate_file(&self, path: &Path, len: u64) -> std::io::Result<()>;
@@ -115,6 +119,10 @@ impl StoreIo for RealIo {
 
     fn remove_file(&self, path: &Path) -> std::io::Result<()> {
         fs::remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        fs::remove_dir_all(path)
     }
 
     fn truncate_file(&self, path: &Path, len: u64) -> std::io::Result<()> {
@@ -281,6 +289,13 @@ impl StoreIo for FaultIo {
     fn remove_file(&self, path: &Path) -> std::io::Result<()> {
         match self.trip() {
             Trip::Pass => self.inner.remove_file(path),
+            Trip::Fault => self.fault_plain(),
+        }
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        match self.trip() {
+            Trip::Pass => self.inner.remove_dir_all(path),
             Trip::Fault => self.fault_plain(),
         }
     }

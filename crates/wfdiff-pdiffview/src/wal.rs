@@ -190,6 +190,13 @@ pub(crate) struct WalScan {
     pub(crate) total_len: u64,
 }
 
+/// Reads a little-endian `u32` at `offset`, or `None` past the end — the
+/// panic-free form of `bytes[offset..offset + 4].try_into().unwrap()`.
+fn read_u32_le(bytes: &[u8], offset: usize) -> Option<u32> {
+    let s = bytes.get(offset..offset.checked_add(4)?)?;
+    Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
 /// Reads and decodes `dir/wal.log`.  A missing file is an empty log; a
 /// decode failure ends the log at that offset (`valid_len < total_len`
 /// flags the torn tail) and is never an error — only unreadable storage is.
@@ -203,8 +210,10 @@ pub(crate) fn scan(dir: &Path) -> Result<WalScan, PersistError> {
     let mut out = WalScan { total_len: bytes.len() as u64, ..WalScan::default() };
     let mut offset = 0usize;
     while bytes.len() - offset >= HEADER_BYTES {
-        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let (Some(len), Some(crc)) = (read_u32_le(&bytes, offset), read_u32_le(&bytes, offset + 4))
+        else {
+            break;
+        };
         if len == 0 || len > MAX_RECORD_BYTES {
             break;
         }
