@@ -19,17 +19,26 @@
 //!   cold at the end and compared too.  Writes `load_gen_cluster.csv` and
 //!   `BENCH_cluster.json`.
 //!
+//! * **similar** — exact-sweep vs metric-index nearest-run queries over a
+//!   synthetic store scaled to 10⁵+ runs: per-mode latency percentiles,
+//!   distance-evaluation counts (the pruned mode must need ≥ 5x fewer at
+//!   10⁴+ runs), certified-answer equality (0 mismatches required) and
+//!   approximate-mode recall.  Writes `load_gen_similar.csv` and
+//!   `BENCH_similar.json`.
+//!
 //! ```text
 //! load_gen [runs] [spec_edges] [requests_per_client] [clients...]
 //! load_gen sharded [specs] [runs_per_spec] [spec_edges] [requests_per_client] [shards...]
 //! load_gen cluster [initial_runs] [spec_edges] [inserts] [k]
+//! load_gen similar [runs] [queries] [k] [seed]
 //! ```
 //!
 //! Defaults: mixed — 50 runs, 60-edge specification, 25 requests per
 //! client, client counts 1 2 4; sharded — 6 specs, 4 runs each, 12 edges,
 //! 40 requests per client, shard counts 1 2 4 (small specs keep per-op CPU
 //! low so the per-shard durable-append serialisation is the measured
-//! bottleneck); cluster — 20 initial runs, 60 edges, 10 inserts, k=4.
+//! bottleneck); cluster — 20 initial runs, 60 edges, 10 inserts, k=4;
+//! similar — 5000 runs, 20 queries, k=10.
 //!
 //! Exits non-zero if any protocol error or verification mismatch occurred.
 
@@ -39,13 +48,75 @@ use wfdiff_bench::loadgen::{
     render, render_cluster, render_sharded, run, run_cluster, run_sharded, ClusterStreamConfig,
     LoadGenConfig, ShardedLoadConfig,
 };
+use wfdiff_bench::similar::{render_similar, run_similar, SimilarBenchConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("cluster") => cluster_mode(&args[2..]),
         Some("sharded") => sharded_mode(&args[2..]),
+        Some("similar") => similar_mode(&args[2..]),
         _ => mixed_mode(&args[1..]),
+    }
+}
+
+fn similar_mode(args: &[String]) {
+    let runs: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(5000);
+    let queries: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let mut config = SimilarBenchConfig::new(runs, queries, k);
+    if let Some(seed) = args.get(3).and_then(|s| s.parse().ok()) {
+        config.seed = seed;
+    }
+
+    let report = run_similar(&config);
+    print!("{}", render_similar(&report));
+
+    let rows: Vec<Vec<String>> = [&report.exact, &report.pruned, &report.approx]
+        .iter()
+        .map(|mode| {
+            vec![
+                report.label.clone(),
+                mode.mode.clone(),
+                mode.count.to_string(),
+                mode.p50_us.to_string(),
+                mode.p90_us.to_string(),
+                mode.p99_us.to_string(),
+                mode.max_us.to_string(),
+                mode.distance_evals.to_string(),
+                report.mismatches.to_string(),
+                fmt(report.approx_recall),
+            ]
+        })
+        .collect();
+    write_csv(
+        "load_gen_similar.csv",
+        &[
+            "workload",
+            "mode",
+            "count",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "max_us",
+            "distance_evals",
+            "mismatches",
+            "approx_recall",
+        ],
+        &rows,
+    )
+    .expect("write load_gen_similar.csv");
+    write_bench_json("BENCH_similar.json", &report).expect("write BENCH_similar.json");
+    eprintln!("wrote load_gen_similar.csv and BENCH_similar.json");
+
+    assert_eq!(report.mismatches, 0, "pruned /similar answers diverged from the exact sweep");
+    if runs >= 10_000 {
+        assert!(
+            report.eval_reduction >= 5.0,
+            "pruning saved only {:.2}x distance evaluations at {runs} runs (need >= 5x)",
+            report.eval_reduction
+        );
     }
 }
 

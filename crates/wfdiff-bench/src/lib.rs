@@ -36,6 +36,7 @@ pub mod fig12;
 pub mod fig14;
 pub mod fig16;
 pub mod loadgen;
+pub mod similar;
 pub mod table1;
 pub mod torture;
 pub mod warmstart;

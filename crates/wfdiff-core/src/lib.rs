@@ -6,6 +6,8 @@
 //!
 //! * [`cost`] — the cost model `γ(l, A, B)` (unit, length, power `l^ε`,
 //!   label-weighted) and its metric axioms,
+//! * [`bounds`] — triangle-inequality distance bounds, the certificates the
+//!   metric index prunes with,
 //! * [`deletion`] — **Algorithm 3**: minimum-cost subtree deletion/insertion,
 //! * [`surcharge`] — the `W_TG` unstable-pair surcharge and witness paths,
 //! * [`mapping`] — well-formed mappings (Definition 5.1) with an independent
@@ -50,6 +52,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod bounds;
 pub mod cache;
 pub mod cost;
 pub mod deletion;
@@ -63,6 +66,7 @@ pub mod ops;
 pub mod script;
 pub mod surcharge;
 
+pub use bounds::{pivot_lower_bound, triangle_lower_bound, triangle_upper_bound};
 pub use cache::{CacheStats, DeletionKey, DiffCache, PairKey, ShardedDiffCache};
 pub use cost::{check_metric_axioms, CostModel, LengthCost, PowerCost, UnitCost};
 pub use deletion::{DeletionEntry, DeletionTables};

@@ -180,6 +180,28 @@ fn wfl004_accepts_a_compliant_registry_and_skips_non_serve_files() {
     assert!(check(&[("crates/x/src/render.rs", bad_elsewhere)]).is_empty());
 }
 
+#[test]
+fn wfl004_covers_the_similar_query_counters() {
+    // The metric-index counters ship under these exact names; keep the rule
+    // accepting them and still firing on the obvious near-misses (a dropped
+    // `_total`, a second registration).
+    let good = "pub fn render(out: &mut String) {\n\
+                \x20   counter_head_sample(out, \"wfdiff_similar_pruned_total\", \"h\", 1);\n\
+                \x20   counter_head_sample(out, \"wfdiff_similar_distance_evals_total\", \"h\", 1);\n\
+                }\n";
+    assert!(check(&[("crates/x/src/serve/metrics.rs", good)]).is_empty());
+
+    let bad = "pub fn render(out: &mut String) {\n\
+               \x20   counter_head_sample(out, \"wfdiff_similar_distance_evals\", \"h\", 1);\n\
+               \x20   counter_head_sample(out, \"wfdiff_similar_pruned_total\", \"h\", 1);\n\
+               \x20   counter_head_sample(out, \"wfdiff_similar_pruned_total\", \"h\", 1);\n\
+               }\n";
+    let vs = check(&[("crates/x/src/serve/metrics.rs", bad)]);
+    assert_eq!(rules_of(&vs), vec!["WFL004"; 2], "{vs:?}");
+    assert!(vs[0].message.contains("must end with `_total`"), "{}", vs[0].message);
+    assert!(vs[1].message.contains("registered more than once"), "{}", vs[1].message);
+}
+
 // ---------------------------------------------------------------------------
 // WFL005 — error-status exhaustiveness
 // ---------------------------------------------------------------------------

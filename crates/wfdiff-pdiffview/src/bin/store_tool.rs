@@ -38,6 +38,14 @@
 //!     migration path to a sharded `wfdiff_serve` deployment (see
 //!     docs/OPERATIONS.md).  Cluster caches are not migrated; each shard
 //!     rebuilds its own on the first cluster query.
+//!
+//! store_tool bench-compare <baseline.json> <current.json> [max-ratio]
+//!     Compare two bench JSON documents (BENCH_serve.json and friends):
+//!     every numeric leaf whose key contains "p50" is matched by path and
+//!     the current value must not exceed `max-ratio` (default 2.0) times
+//!     the baseline.  Exits 1 listing every regressed latency, 0 when the
+//!     baseline file does not exist (first run: nothing to compare) — the
+//!     CI bench-regression gate.
 //! ```
 //!
 //! # Exit codes
@@ -69,7 +77,8 @@ const USAGE: &str = "usage: store_tool export <dir> [specs] [runs-per-spec] [see
                      \u{20}      store_tool wal <dir>\n\
                      \u{20}      store_tool checkpoint <dir>\n\
                      \u{20}      store_tool diff <dir> <spec> <run-a> <run-b>\n\
-                     \u{20}      store_tool shard <src> <dst> <n>";
+                     \u{20}      store_tool shard <src> <dst> <n>\n\
+                     \u{20}      store_tool bench-compare <baseline.json> <current.json> [max-ratio]";
 
 /// A failure, split by who caused it: the invocation or the data.
 enum ToolError {
@@ -95,6 +104,7 @@ fn main() {
         Some("checkpoint") => checkpoint(&args[1..]),
         Some("diff") => diff(&args[1..]),
         Some("shard") => shard(&args[1..]),
+        Some("bench-compare") => bench_compare(&args[1..]),
         Some(other) => Err(ToolError::Usage(format!("unknown subcommand {other:?}"))),
         None => Err(ToolError::Usage("no subcommand given".to_string())),
     };
@@ -260,12 +270,13 @@ fn wal(args: &[String]) -> Result<(), ToolError> {
         }
         let summary = wfdiff_pdiffview::wal::inspect(&path).map_err(|e| e.to_string())?;
         println!(
-            "{label}: {} record(s) ({} insert(s), {} removal(s), {} cluster delta(s)), \
-             {} byte(s), {} torn byte(s)",
+            "{label}: {} record(s) ({} insert(s), {} removal(s), {} cluster delta(s), \
+             {} metric delta(s)), {} byte(s), {} torn byte(s)",
             summary.records,
             summary.run_inserts,
             summary.run_removes,
             summary.cluster_deltas,
+            summary.metric_deltas,
             summary.bytes,
             summary.torn_bytes
         );
@@ -304,6 +315,93 @@ fn diff(args: &[String]) -> Result<(), ToolError> {
         "{}",
         serde_json::to_string(&pair.distance).map_err(|e| ToolError::Data(e.to_string()))?
     );
+    Ok(())
+}
+
+/// Collects every numeric leaf of a bench JSON document whose key mentions
+/// `p50`, as `(dotted.path, value)` pairs — the latencies the regression
+/// gate guards.
+fn p50_leaves(value: &serde::Value, path: &str, out: &mut Vec<(String, f64)>) {
+    match value {
+        serde::Value::Map(entries) => {
+            for (key, child) in entries {
+                let child_path =
+                    if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                p50_leaves(child, &child_path, out);
+            }
+        }
+        serde::Value::Seq(items) => {
+            for (i, child) in items.iter().enumerate() {
+                p50_leaves(child, &format!("{path}[{i}]"), out);
+            }
+        }
+        serde::Value::Int(v) => leaf(path, *v as f64, out),
+        serde::Value::UInt(v) => leaf(path, *v as f64, out),
+        serde::Value::Float(v) => leaf(path, *v, out),
+        serde::Value::Null | serde::Value::Bool(_) | serde::Value::Str(_) => {}
+    }
+}
+
+fn leaf(path: &str, value: f64, out: &mut Vec<(String, f64)>) {
+    let key = path.rsplit('.').next().unwrap_or(path);
+    if key.contains("p50") {
+        out.push((path.to_string(), value));
+    }
+}
+
+/// Compares the `p50` latencies of two bench JSON documents; any current
+/// value above `max-ratio` times its baseline is a regression (exit 1).  A
+/// missing baseline file is a clean pass — the first CI run has no previous
+/// artifact to compare against.
+fn bench_compare(args: &[String]) -> Result<(), ToolError> {
+    let baseline_path = arg(args, 0, "baseline JSON file")?;
+    let current_path = arg(args, 1, "current JSON file")?;
+    let max_ratio: f64 = parse_or(args, 2, "max-ratio", 2.0)?;
+    if !(max_ratio.is_finite() && max_ratio > 0.0) {
+        return Err(ToolError::Usage(format!(
+            "max-ratio must be a positive number, got {max_ratio}"
+        )));
+    }
+    if !std::path::Path::new(baseline_path).exists() {
+        println!("bench-compare: no baseline at {baseline_path}, nothing to compare");
+        return Ok(());
+    }
+    let read = |path: &str| -> Result<serde::Value, ToolError> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| ToolError::Data(format!("{path}: {e}")))
+    };
+    let mut baseline = Vec::new();
+    p50_leaves(&read(baseline_path)?, "", &mut baseline);
+    let mut current = Vec::new();
+    p50_leaves(&read(current_path)?, "", &mut current);
+    let current: std::collections::BTreeMap<String, f64> = current.into_iter().collect();
+
+    let mut compared = 0usize;
+    let mut regressions = Vec::new();
+    for (path, base) in &baseline {
+        let Some(now) = current.get(path) else {
+            continue; // the metric disappeared: schema evolution, not a regression
+        };
+        compared += 1;
+        // Sub-microsecond baselines are noise-dominated; never gate on them.
+        if *base <= 1e-6 {
+            continue;
+        }
+        let ratio = now / base;
+        if ratio > max_ratio {
+            regressions.push(format!("  {path}: {base} -> {now} ({ratio:.2}x > {max_ratio}x)"));
+        } else {
+            println!("  {path}: {base} -> {now} ({ratio:.2}x, limit {max_ratio}x)");
+        }
+    }
+    if !regressions.is_empty() {
+        return Err(ToolError::Data(format!(
+            "{} of {compared} p50 latenc(ies) regressed beyond {max_ratio}x:\n{}",
+            regressions.len(),
+            regressions.join("\n")
+        )));
+    }
+    println!("bench-compare: {compared} p50 latenc(ies) within {max_ratio}x of {baseline_path}");
     Ok(())
 }
 

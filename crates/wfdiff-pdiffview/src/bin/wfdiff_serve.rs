@@ -75,6 +75,16 @@ fn load_shard(dir: &Path, threads: usize) -> Result<(ShardEntry, usize, usize), 
             clusters.stale
         );
     }
+    // Same resume for the vantage-point metric index behind pruned /similar.
+    let metric = service.load_metric_state(dir);
+    if metric.loaded > 0 || metric.stale > 0 {
+        println!(
+            "wfdiff_serve metric index [{}]: {} tree(s) resumed, {} stale entr(ies) to rebuild",
+            dir.display(),
+            metric.loaded,
+            metric.stale
+        );
+    }
     Ok((ShardEntry::new(service, Some(dir.to_path_buf())), report.specs, report.runs))
 }
 

@@ -547,6 +547,43 @@ impl IncrementalClusterIndex {
         self.states.lock().get(spec).map(|s| s.distances.len()).unwrap_or(0)
     }
 
+    /// The memoised medoid-to-member distance rows of `spec`, for the
+    /// metric index's candidate screening: `rows[member][i]` is the cached
+    /// `d(member, medoid_i)` when the clustering happened to fetch it
+    /// (`None` otherwise — rows are reused, never computed here).  The
+    /// stabilisation iteration touches every member-to-medoid pair, so a
+    /// settled clustering yields complete rows for free.
+    pub(crate) fn medoid_distance_rows(
+        &self,
+        spec: &str,
+    ) -> Option<HashMap<String, Vec<Option<f64>>>> {
+        let states = self.states.lock();
+        let state = states.get(spec)?;
+        if state.medoids.is_empty() {
+            return None;
+        }
+        Some(
+            state
+                .members
+                .iter()
+                .map(|member| {
+                    let row = state
+                        .medoids
+                        .iter()
+                        .map(|medoid| {
+                            if member == medoid {
+                                Some(0.0)
+                            } else {
+                                state.distances.get(&pair_key(member, medoid)).copied()
+                            }
+                        })
+                        .collect();
+                    (member.clone(), row)
+                })
+                .collect(),
+        )
+    }
+
     /// Internal access for the persistence layer.
     pub(crate) fn with_states<T>(
         &self,

@@ -1,0 +1,408 @@
+//! [`IncrementalMetricIndex`] — a per-specification [`VpTree`] that follows
+//! the store, the nearest-run analogue of
+//! [`IncrementalClusterIndex`](crate::cluster::incremental::IncrementalClusterIndex).
+//!
+//! The index holds one vantage-point tree per specification, tagged with
+//! the specification's version fingerprint and the exact member set it was
+//! built over.  [`IncrementalMetricIndex::nearest`] rebuilds lazily when
+//! either diverges; [`IncrementalMetricIndex::insert_run`] descends the
+//! existing tree (O(depth) distance evaluations) instead of rebuilding, and
+//! [`IncrementalMetricIndex::remove_run`] removes leaf members in place.  A
+//! removal that hits a *pivot* — or a run replaced under an unchanged name,
+//! whose old distances shaped the tree — drops the specification's state;
+//! the next query rebuilds it.  Like the cluster index, every state is a
+//! cache of derived data: dropping one never loses information, and
+//! [`persist`](crate::metricindex::persist) checkpoints it beside the store
+//! so a restarted server resumes without re-differencing.
+//!
+//! Dirty tracking mirrors the cluster index record for record: mutations
+//! mark their specification dirty, and the persistence layer consumes the
+//! set to append one WAL delta per changed spec.
+
+use super::vptree::{MedoidPivots, QueryStats, RemoveOutcome, VpTree};
+use crate::cluster::incremental::DistanceOracle;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use wfdiff_sptree::Fingerprint;
+
+/// Default pivot-draw seed of the metric index; a constant so every server
+/// builds the same tree over the same store.
+pub const DEFAULT_METRIC_SEED: u64 = 0x9D17;
+
+/// Statistics of one pruned `/similar` query — how much work the triangle
+/// inequality saved, and under what guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PruneStats {
+    /// Distances requested from the oracle (the exact sweep needs `n - 1`).
+    pub distance_evals: usize,
+    /// Vantage-point-tree nodes visited.
+    pub nodes_visited: usize,
+    /// Subtrees excluded by a certified (or ε-relaxed) bound.
+    pub subtrees_pruned: usize,
+    /// Leaf candidates excluded by a memoized medoid-pivot bound.
+    pub members_pruned: usize,
+    /// The ε the query ran under: `0` means every reported neighbour is
+    /// certified exact; `ε > 0` guarantees every reported distance is at
+    /// most `(1 + ε)` times the true `k`-th distance.
+    pub approx_epsilon: f64,
+}
+
+/// Per-specification metric-index state.
+#[derive(Debug, Clone)]
+pub(crate) struct SpecMetricState {
+    /// Seed of the pivot draw the tree was built with.
+    pub(crate) seed: u64,
+    /// The specification version the tree was built against.
+    pub(crate) version: Fingerprint,
+    /// Indexed runs, sorted by name.
+    pub(crate) members: Vec<String>,
+    /// The vantage-point tree over `members`.
+    pub(crate) tree: VpTree,
+}
+
+/// A thread-safe registry of per-specification vantage-point trees; see the
+/// [module docs](self).  Mutations are serialised per index, and the lock is
+/// held across the distance fetches a rebuild performs — exactly the
+/// cluster index's discipline.
+#[derive(Debug, Default)]
+pub struct IncrementalMetricIndex {
+    states: Mutex<HashMap<String, SpecMetricState>>,
+    /// Set by every state mutation, consumed by the persistence layer.
+    dirty: std::sync::atomic::AtomicBool,
+    /// Specifications mutated since the last checkpoint.
+    dirty_specs: Mutex<std::collections::BTreeSet<String>>,
+    /// Set by [`Self::mark_dirty`]: every tracked spec must be re-appended.
+    all_dirty: std::sync::atomic::AtomicBool,
+}
+
+impl IncrementalMetricIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        IncrementalMetricIndex::default()
+    }
+
+    /// Marks the whole index as changed since the last checkpoint.
+    pub(crate) fn mark_dirty(&self) {
+        self.all_dirty.store(true, std::sync::atomic::Ordering::Release);
+        self.dirty.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Marks one specification's state as changed since the last checkpoint.
+    pub(crate) fn mark_spec_dirty(&self, spec: &str) {
+        self.dirty_specs.lock().insert(spec.to_string());
+        self.dirty.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Consumes the dirty state; see
+    /// [`IncrementalClusterIndex::take_dirty_specs`](crate::cluster::incremental::IncrementalClusterIndex)
+    /// for the contract.
+    pub(crate) fn take_dirty_specs(&self) -> Option<Vec<String>> {
+        if !self.dirty.swap(false, std::sync::atomic::Ordering::AcqRel) {
+            return None;
+        }
+        let all = self.all_dirty.swap(false, std::sync::atomic::Ordering::AcqRel);
+        let mut dirty: Vec<String> =
+            std::mem::take(&mut *self.dirty_specs.lock()).into_iter().collect();
+        if all {
+            dirty.extend(self.with_states(|states| states.keys().cloned().collect::<Vec<_>>()));
+            dirty.sort();
+            dirty.dedup();
+        }
+        Some(dirty)
+    }
+
+    /// The `k` nearest indexed runs to `query`, pruned by the triangle
+    /// inequality, building (or rebuilding) the specification's tree when
+    /// the index holds no state for the given member set and version.
+    ///
+    /// With `epsilon == 0` the result is certified identical — order and
+    /// tie-breaks included — to the exact O(n) sweep of
+    /// [`DiffService::nearest_runs`](crate::service::DiffService::nearest_runs);
+    /// `epsilon > 0` trades exactness for pruning under the `(1 + ε)` bound
+    /// reported in [`PruneStats::approx_epsilon`].  `pivots` optionally
+    /// screens leaf candidates with distances the cluster index already
+    /// memoized.  The returned [`PruneStats`] counts query-time work only;
+    /// a rebuild's distance fetches are amortised over subsequent queries.
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub fn nearest<O: DistanceOracle>(
+        &self,
+        spec: &str,
+        version: Fingerprint,
+        run_names: &[String],
+        query: &str,
+        k: usize,
+        epsilon: f64,
+        pivots: Option<&MedoidPivots>,
+        seed: u64,
+        oracle: &O,
+    ) -> Result<(Vec<(String, f64)>, PruneStats), O::Error> {
+        let mut members: Vec<String> = run_names.to_vec();
+        members.sort();
+        members.dedup();
+        let mut states = self.states.lock();
+        let fresh = states
+            .get(spec)
+            .is_some_and(|s| s.seed == seed && s.version == version && s.members == members);
+        if !fresh {
+            let mut row = |source: &str, targets: &[&str]| oracle.distances(source, targets);
+            let tree = VpTree::build(&members, seed, &mut row)?;
+            states.insert(spec.to_string(), SpecMetricState { seed, version, members, tree });
+            self.mark_spec_dirty(spec);
+        }
+        let Some(state) = states.get(spec) else {
+            // Unreachable — the branch above inserted or verified the state —
+            // but a serving process must not panic over it.
+            let stats = PruneStats {
+                distance_evals: 0,
+                nodes_visited: 0,
+                subtrees_pruned: 0,
+                members_pruned: 0,
+                approx_epsilon: epsilon,
+            };
+            return Ok((Vec::new(), stats));
+        };
+        let mut row = |source: &str, targets: &[&str]| oracle.distances(source, targets);
+        let (neighbors, query_stats) = state.tree.nearest(query, k, epsilon, pivots, &mut row)?;
+        let QueryStats { distance_evals, nodes_visited, subtrees_pruned, members_pruned } =
+            query_stats;
+        let stats = PruneStats {
+            distance_evals,
+            nodes_visited,
+            subtrees_pruned,
+            members_pruned,
+            approx_epsilon: epsilon,
+        };
+        Ok((neighbors, stats))
+    }
+
+    /// Folds a just-stored run into the tree, if the index holds state for
+    /// the specification.  Returns `true` when a state absorbed the run; a
+    /// version mismatch or a run replaced under an existing name drops the
+    /// state instead (rebuilt on the next query).
+    pub fn insert_run<O: DistanceOracle>(
+        &self,
+        spec: &str,
+        version: Fingerprint,
+        run_name: &str,
+        oracle: &O,
+    ) -> Result<bool, O::Error> {
+        let mut states = self.states.lock();
+        let Some(state) = states.get_mut(spec) else {
+            return Ok(false);
+        };
+        if state.version != version || state.members.binary_search(&run_name.to_string()).is_ok() {
+            // A replaced specification or a replaced run: the distances the
+            // tree was shaped by are stale.
+            states.remove(spec);
+            self.mark_spec_dirty(spec);
+            return Ok(false);
+        }
+        let mut row = |source: &str, targets: &[&str]| oracle.distances(source, targets);
+        state.tree.insert(run_name, &mut row)?;
+        let at = state
+            .members
+            .binary_search(&run_name.to_string())
+            .expect_err("name verified absent above");
+        state.members.insert(at, run_name.to_string());
+        self.mark_spec_dirty(spec);
+        Ok(true)
+    }
+
+    /// Removes a run from the tree, if the index holds state for the
+    /// specification.  Returns `true` when state changed.  Removing a pivot
+    /// drops the specification's state (the partition depends on the pivot);
+    /// the next query rebuilds it — no distance evaluation happens here
+    /// either way.
+    pub fn remove_run(&self, spec: &str, run_name: &str) -> bool {
+        let mut states = self.states.lock();
+        let Some(state) = states.get_mut(spec) else {
+            return false;
+        };
+        let Ok(at) = state.members.binary_search(&run_name.to_string()) else {
+            return false;
+        };
+        state.members.remove(at);
+        let emptied = state.members.is_empty();
+        match state.tree.remove(run_name) {
+            RemoveOutcome::Removed if !emptied => {}
+            // Pivot loss, an inconsistent tree, or the last member: drop.
+            _ => {
+                states.remove(spec);
+            }
+        }
+        self.mark_spec_dirty(spec);
+        true
+    }
+
+    /// Drops the state of one specification.
+    pub fn invalidate(&self, spec: &str) {
+        if self.states.lock().remove(spec).is_some() {
+            self.mark_spec_dirty(spec);
+        }
+    }
+
+    /// Names of the specifications the index currently holds a tree for.
+    pub fn specs(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.states.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The indexed member count for `spec` (testing/diagnostics).
+    pub fn member_count(&self, spec: &str) -> usize {
+        self.states.lock().get(spec).map(|s| s.members.len()).unwrap_or(0)
+    }
+
+    /// Internal access for the persistence layer.
+    pub(crate) fn with_states<T>(
+        &self,
+        f: impl FnOnce(&mut HashMap<String, SpecMetricState>) -> T,
+    ) -> T {
+        f(&mut self.states.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    /// A matrix-backed oracle over named points `p0..pN` counting fetches.
+    struct MatrixOracle {
+        matrix: Vec<Vec<f64>>,
+        fetches: RefCell<usize>,
+    }
+
+    impl MatrixOracle {
+        fn new(matrix: Vec<Vec<f64>>) -> Self {
+            MatrixOracle { matrix, fetches: RefCell::new(0) }
+        }
+
+        fn index(name: &str) -> usize {
+            name.trim_start_matches('p').parse().unwrap()
+        }
+    }
+
+    impl DistanceOracle for MatrixOracle {
+        type Error = String;
+
+        fn distances(&self, source: &str, targets: &[&str]) -> Result<Vec<f64>, String> {
+            *self.fetches.borrow_mut() += targets.len();
+            let i = Self::index(source);
+            Ok(targets.iter().map(|t| self.matrix[i][Self::index(t)]).collect())
+        }
+    }
+
+    /// 40 points on a line in three well-separated groups.
+    fn line() -> Vec<Vec<f64>> {
+        let coords: Vec<f64> =
+            (0..40).map(|i| (i / 14) as f64 * 500.0 + (i % 14) as f64 * 2.0).collect();
+        coords.iter().map(|a| coords.iter().map(|b| (a - b).abs()).collect()).collect()
+    }
+
+    fn names(indices: std::ops::Range<usize>) -> Vec<String> {
+        indices.map(|i| format!("p{i}")).collect()
+    }
+
+    fn exact(
+        matrix: &[Vec<f64>],
+        query: usize,
+        members: &[String],
+        k: usize,
+    ) -> Vec<(String, f64)> {
+        let mut all: Vec<(String, f64)> = members
+            .iter()
+            .filter(|n| MatrixOracle::index(n) != query)
+            .map(|n| (n.clone(), matrix[query][MatrixOracle::index(n)]))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    const VERSION: Fingerprint = Fingerprint(42);
+
+    #[test]
+    fn nearest_builds_once_then_serves_and_prunes() {
+        let oracle = MatrixOracle::new(line());
+        let index = IncrementalMetricIndex::new();
+        let members = names(0..40);
+        let (got, stats) = index
+            .nearest("s", VERSION, &members, "p3", 5, 0.0, None, DEFAULT_METRIC_SEED, &oracle)
+            .unwrap();
+        assert_eq!(got, exact(&line(), 3, &members, 5));
+        assert_eq!(stats.approx_epsilon, 0.0);
+        let after_build = *oracle.fetches.borrow();
+        // A repeat query rebuilds nothing: only query-time evals accrue.
+        let (again, stats) = index
+            .nearest("s", VERSION, &members, "p3", 5, 0.0, None, DEFAULT_METRIC_SEED, &oracle)
+            .unwrap();
+        assert_eq!(again, got);
+        assert_eq!(*oracle.fetches.borrow() - after_build, stats.distance_evals);
+        assert!(stats.distance_evals < members.len() - 1, "pruning beat the sweep");
+    }
+
+    #[test]
+    fn streamed_inserts_and_removals_stay_exact() {
+        let oracle = MatrixOracle::new(line());
+        let index = IncrementalMetricIndex::new();
+        let mut members = names(0..35);
+        index
+            .nearest("s", VERSION, &members, "p0", 3, 0.0, None, DEFAULT_METRIC_SEED, &oracle)
+            .unwrap();
+        for i in 35..40 {
+            assert!(index.insert_run("s", VERSION, &format!("p{i}"), &oracle).unwrap());
+            members.push(format!("p{i}"));
+        }
+        assert_eq!(index.member_count("s"), 40);
+        members.sort();
+        let (got, _) = index
+            .nearest("s", VERSION, &members, "p38", 6, 0.0, None, DEFAULT_METRIC_SEED, &oracle)
+            .unwrap();
+        assert_eq!(got, exact(&line(), 38, &members, 6));
+
+        assert!(index.remove_run("s", "p12"));
+        members.retain(|n| n != "p12");
+        let (got, _) = index
+            .nearest("s", VERSION, &members, "p10", 4, 0.0, None, DEFAULT_METRIC_SEED, &oracle)
+            .unwrap();
+        assert_eq!(got, exact(&line(), 10, &members, 4));
+        assert!(!index.remove_run("s", "p12"), "already gone");
+        assert!(!index.remove_run("other", "p0"));
+    }
+
+    #[test]
+    fn version_mismatch_and_replacement_invalidate() {
+        let oracle = MatrixOracle::new(line());
+        let index = IncrementalMetricIndex::new();
+        let members = names(0..10);
+        index
+            .nearest("s", VERSION, &members, "p0", 2, 0.0, None, DEFAULT_METRIC_SEED, &oracle)
+            .unwrap();
+        // Replaced run under an unchanged name: state dropped.
+        assert!(!index.insert_run("s", VERSION, "p3", &oracle).unwrap());
+        assert_eq!(index.member_count("s"), 0);
+        index
+            .nearest("s", VERSION, &members, "p0", 2, 0.0, None, DEFAULT_METRIC_SEED, &oracle)
+            .unwrap();
+        assert!(!index.insert_run("s", Fingerprint(7), "p10", &oracle).unwrap());
+        assert_eq!(index.member_count("s"), 0, "stale state was dropped");
+    }
+
+    #[test]
+    fn dirty_tracking_mirrors_the_cluster_index() {
+        let oracle = MatrixOracle::new(line());
+        let index = IncrementalMetricIndex::new();
+        assert!(index.take_dirty_specs().is_none(), "clean index skips the append");
+        index
+            .nearest("s", VERSION, &names(0..10), "p0", 2, 0.0, None, DEFAULT_METRIC_SEED, &oracle)
+            .unwrap();
+        assert_eq!(index.take_dirty_specs().unwrap(), vec!["s".to_string()]);
+        assert!(index.take_dirty_specs().is_none());
+        index.mark_dirty();
+        assert_eq!(index.take_dirty_specs().unwrap(), vec!["s".to_string()]);
+        index.invalidate("s");
+        assert_eq!(index.take_dirty_specs().unwrap(), vec!["s".to_string()]);
+        assert!(index.specs().is_empty());
+    }
+}

@@ -578,19 +578,21 @@ impl WorkflowStore {
             });
         }
 
-        // Fold the WAL's cluster deltas into `cluster_cache.json` before the
-        // commit point.  A crash after this merge is safe on both sides of
+        // Fold the WAL's cluster and metric deltas into `cluster_cache.json`
+        // and `metric_index.json` before the commit point.  A crash after this merge is safe on both sides of
         // the manifest rename: the cache is validated entry by entry on
         // load, and the still-untruncated WAL replays to the same state.
-        let cluster_deltas: Vec<wal::ClusterDeltaRecord> = wal_scan
-            .records
-            .into_iter()
-            .filter_map(|record| match record {
-                wal::WalRecord::ClusterDelta(delta) => Some(delta),
-                _ => None,
-            })
-            .collect();
+        let mut cluster_deltas: Vec<wal::ClusterDeltaRecord> = Vec::new();
+        let mut metric_deltas: Vec<wal::MetricDeltaRecord> = Vec::new();
+        for record in wal_scan.records {
+            match record {
+                wal::WalRecord::ClusterDelta(delta) => cluster_deltas.push(delta),
+                wal::WalRecord::MetricDelta(delta) => metric_deltas.push(delta),
+                _ => {}
+            }
+        }
         crate::cluster::persist::fold_wal_deltas(&*self.io, dir, cluster_deltas)?;
+        crate::metricindex::persist::fold_wal_deltas(&*self.io, dir, metric_deltas)?;
 
         // Commit point: the manifest rename atomically switches loaders from
         // the previous state to this one.
@@ -997,6 +999,8 @@ impl WorkflowStore {
                 // overlays deltas on the checkpoint file and validates the
                 // result against this store.
                 wal::WalRecord::ClusterDelta(_) => replayed += 1,
+                // Likewise consumed by `DiffService::load_metric_state`.
+                wal::WalRecord::MetricDelta(_) => replayed += 1,
             }
         }
         store.wal_stats.replayed_records.store(replayed, Ordering::Release);

@@ -185,7 +185,8 @@ pub struct SimilarEntry {
 }
 
 /// `GET /similar` response: the `k` stored runs nearest to `run`, nearest
-/// first (exact distances — identical to a from-scratch recompute).
+/// first (exact distances — identical to a from-scratch recompute unless
+/// `approx=` relaxed the query).
 #[derive(Debug, Serialize, Deserialize)]
 pub struct SimilarResponse {
     /// The specification name.
@@ -197,6 +198,24 @@ pub struct SimilarResponse {
     pub k: usize,
     /// Nearest runs, ascending by distance (ties by run name).
     pub neighbors: Vec<SimilarEntry>,
+    /// `true` when the metric index answered (`pruned=1` / `approx=`);
+    /// `false` for the exact O(n) sweep.
+    #[serde(default)]
+    pub pruned: bool,
+    /// The ε error bound of an `approx=` query (0 = certified exact: every
+    /// reported distance and tie-break matches the O(n) sweep).
+    #[serde(default)]
+    pub approx_epsilon: f64,
+    /// Edit-distance evaluations this query performed (the sweep performs
+    /// n−1).
+    #[serde(default)]
+    pub distance_evals: u64,
+    /// Vantage-point subtrees the triangle inequality excluded outright.
+    #[serde(default)]
+    pub subtrees_pruned: u64,
+    /// Leaf candidates excluded by memoized medoid-distance bounds.
+    #[serde(default)]
+    pub members_pruned: u64,
 }
 
 /// One cluster of a `GET /cluster?algo=kmedoids` response.

@@ -255,6 +255,8 @@ pub struct ServeMetrics {
     workers: Gauge,
     workers_busy: Gauge,
     cluster_update: Histogram,
+    similar_pruned: Counter,
+    similar_distance_evals: Counter,
 }
 
 impl ServeMetrics {
@@ -273,6 +275,8 @@ impl ServeMetrics {
             workers: Gauge::new(),
             workers_busy: Gauge::new(),
             cluster_update: Histogram::new(),
+            similar_pruned: Counter::new(),
+            similar_distance_evals: Counter::new(),
         }
     }
 
@@ -342,6 +346,19 @@ impl ServeMetrics {
     /// [`ServeMetrics::workers`] for saturation.
     pub fn workers_busy(&self) -> &Gauge {
         &self.workers_busy
+    }
+
+    /// `GET /similar` queries answered through the metric index
+    /// (`pruned=1` / `approx=`).
+    pub fn similar_pruned(&self) -> &Counter {
+        &self.similar_pruned
+    }
+
+    /// Edit-distance evaluations `GET /similar` queries performed (both the
+    /// exact sweep's n−1 and the metric index's pruned count) — divide by
+    /// `wfdiff_http_requests_total{endpoint="similar"}` for evals per query.
+    pub fn similar_distance_evals(&self) -> &Counter {
+        &self.similar_distance_evals
     }
 
     /// Renders every metric in the Prometheus text exposition format,
@@ -449,6 +466,18 @@ impl ServeMetrics {
             "wfdiff_http_connections_rejected_total",
             "Connections answered 503 because the connection table was full.",
             &self.connections_rejected,
+        );
+        counter_head_sample(
+            m,
+            "wfdiff_similar_pruned_total",
+            "GET /similar queries answered through the metric index.",
+            &self.similar_pruned,
+        );
+        counter_head_sample(
+            m,
+            "wfdiff_similar_distance_evals_total",
+            "Edit-distance evaluations performed by GET /similar queries.",
+            &self.similar_distance_evals,
         );
 
         gauge_head_sample(

@@ -22,6 +22,10 @@ use crate::cluster::incremental::{ClusterSnapshot, DistanceOracle, IncrementalCl
 use crate::cluster::persist::{
     load as load_cluster_cache, save_wal as save_cluster_cache, ClusterCacheReport,
 };
+use crate::metricindex::persist::{load as load_metric_cache, save_wal as save_metric_cache};
+use crate::metricindex::{
+    IncrementalMetricIndex, MedoidPivots, MetricIndexReport, PruneStats, DEFAULT_METRIC_SEED,
+};
 use crate::persist::PersistError;
 use crate::session::DiffSession;
 use crate::store::WorkflowStore;
@@ -166,6 +170,7 @@ impl DiffServiceBuilder {
             cache: self.cache,
             threads: self.threads,
             clusters: IncrementalClusterIndex::new(),
+            metric: IncrementalMetricIndex::new(),
         }
     }
 }
@@ -177,6 +182,7 @@ pub struct DiffService {
     cache: Arc<dyn DiffCache>,
     threads: usize,
     clusters: IncrementalClusterIndex,
+    metric: IncrementalMetricIndex,
 }
 
 impl DiffService {
@@ -410,6 +416,61 @@ impl DiffService {
         Ok(neighbors)
     }
 
+    /// The `k` nearest stored runs to `run` through the metric index —
+    /// `GET /similar?pruned=1` — with triangle-inequality pruning instead
+    /// of the O(n) sweep.
+    ///
+    /// With `epsilon == 0` (the default) the result is **certified**
+    /// identical to [`DiffService::nearest_runs`], ordering and tie-breaks
+    /// included: a subtree or candidate is skipped only when a
+    /// triangle-inequality bound proves it cannot enter the top-`k`.
+    /// `epsilon > 0` opts into approximate answers where every reported
+    /// distance is at most `(1 + ε)` times the true `k`-th distance (the
+    /// bound echoed in [`PruneStats::approx_epsilon`]).  Candidate
+    /// screening additionally reuses medoid distances the cluster index
+    /// already memoized, at zero extra evaluations.  Like the exact path,
+    /// `k` is clamped to the number of other runs and must be at least 1.
+    pub fn nearest_runs_pruned(
+        &self,
+        spec: &str,
+        run: &str,
+        k: usize,
+        epsilon: f64,
+    ) -> Result<(Vec<PairDistance>, PruneStats), ServiceError> {
+        if k == 0 {
+            return Err(ServiceError::InvalidQuery("k must be at least 1".to_string()));
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(ServiceError::InvalidQuery(
+                "approx must be a finite non-negative epsilon".to_string(),
+            ));
+        }
+        let (spec_arc, named_runs) =
+            self.store.snapshot(spec).ok_or_else(|| ServiceError::UnknownSpec(spec.to_string()))?;
+        if !named_runs.iter().any(|(n, _)| n == run) {
+            return Err(ServiceError::UnknownRun { spec: spec.to_string(), run: run.to_string() });
+        }
+        let names: Vec<String> = named_runs.iter().map(|(n, _)| n.clone()).collect();
+        let oracle = ServiceOracle { service: self, spec };
+        let pivots = self.clusters.medoid_distance_rows(spec).map(MedoidPivots::new);
+        let (neighbors, stats) = self.metric.nearest(
+            spec,
+            spec_arc.fingerprint(),
+            &names,
+            run,
+            k,
+            epsilon,
+            pivots.as_ref(),
+            DEFAULT_METRIC_SEED,
+            &oracle,
+        )?;
+        let neighbors = neighbors
+            .into_iter()
+            .map(|(target, distance)| PairDistance { source: run.to_string(), target, distance })
+            .collect();
+        Ok((neighbors, stats))
+    }
+
     /// The k-medoids clustering of every run stored for `spec`, maintained
     /// incrementally by the service's [`IncrementalClusterIndex`].
     ///
@@ -445,11 +506,15 @@ impl DiffService {
     pub fn notify_run_inserted(&self, spec: &str, run: &str) {
         let Some(spec_arc) = self.store.spec(spec) else {
             self.clusters.invalidate(spec);
+            self.metric.invalidate(spec);
             return;
         };
         let oracle = ServiceOracle { service: self, spec };
         if self.clusters.insert_run(spec, spec_arc.fingerprint(), run, &oracle).is_err() {
             self.clusters.invalidate(spec);
+        }
+        if self.metric.insert_run(spec, spec_arc.fingerprint(), run, &oracle).is_err() {
+            self.metric.invalidate(spec);
         }
     }
 
@@ -460,11 +525,17 @@ impl DiffService {
         if self.clusters.remove_run(spec, run, &oracle).is_err() {
             self.clusters.invalidate(spec);
         }
+        self.metric.remove_run(spec, run);
     }
 
     /// The service's incremental run-cluster index.
     pub fn cluster_index(&self) -> &IncrementalClusterIndex {
         &self.clusters
+    }
+
+    /// The service's incremental metric (vantage-point tree) index.
+    pub fn metric_index(&self) -> &IncrementalMetricIndex {
+        &self.metric
     }
 
     /// Checkpoints the cluster index by appending one delta record per
@@ -489,6 +560,21 @@ impl DiffService {
     /// and rebuilt on demand — this never fails the boot).
     pub fn load_cluster_state(&self, dir: impl AsRef<Path>) -> ClusterCacheReport {
         load_cluster_cache(&self.clusters, &self.store, self.cost.cache_key(), dir.as_ref())
+    }
+
+    /// Checkpoints the metric index as WAL delta records — the
+    /// `metric_index.json` analogue of [`DiffService::save_cluster_state`],
+    /// with the same O(changed specs) cost and skip-when-clean behaviour.
+    /// Returns the number of tracked specs.
+    pub fn save_metric_state(&self, dir: impl AsRef<Path>) -> Result<usize, PersistError> {
+        save_metric_cache(&self.metric, &self.store, self.cost.cache_key(), dir.as_ref())
+    }
+
+    /// Restores a metric-index checkpoint from `dir`, validating every tree
+    /// against the live store (stale or corrupt entries are skipped and
+    /// rebuilt on demand — this never fails the boot).
+    pub fn load_metric_state(&self, dir: impl AsRef<Path>) -> MetricIndexReport {
+        load_metric_cache(&self.metric, &self.store, self.cost.cache_key(), dir.as_ref())
     }
 
     /// Runs `work` over `jobs` on the scoped worker pool, preserving job

@@ -14,7 +14,8 @@
 //!
 //! `len` counts the kind byte plus the payload; `crc32` (IEEE) covers the
 //! kind byte plus the payload.  Kinds: 1 = run insert, 2 = run remove,
-//! 3 = cluster delta.  A record is valid only if its header fits, its length
+//! 3 = cluster delta, 4 = metric-index delta.  A record is valid only if its
+//! header fits, its length
 //! is sane, its checksum matches and its payload deserialises; the **first**
 //! invalid record ends the log — everything from its offset on is a torn
 //! tail (a crashed append) and is truncated by the next
@@ -34,8 +35,9 @@
 //! and validates the result like any checkpoint entry.
 //!
 //! A full save **folds** the log: cluster deltas are merged into
-//! `cluster_cache.json`, the snapshot is committed via the manifest rename,
-//! and the WAL is truncated to zero.  The fold runs automatically once the
+//! `cluster_cache.json`, metric-index deltas into `metric_index.json`, the
+//! snapshot is committed via the manifest rename, and the WAL is truncated
+//! to zero.  The fold runs automatically once the
 //! log grows past [`WorkflowStore::set_wal_fold_threshold`].
 //!
 //! [`WorkflowStore::save_to_dir`]: crate::store::WorkflowStore::save_to_dir
@@ -44,6 +46,7 @@
 
 use crate::cluster::persist::SpecClusterDoc;
 use crate::io::RunDescriptor;
+use crate::metricindex::persist::SpecMetricDoc;
 use crate::persist::PersistError;
 use crate::storeio::StoreIo;
 use serde::{Deserialize, Serialize};
@@ -63,6 +66,7 @@ const HEADER_BYTES: usize = 8;
 const KIND_RUN_INSERT: u8 = 1;
 const KIND_RUN_REMOVE: u8 = 2;
 const KIND_CLUSTER_DELTA: u8 = 3;
+const KIND_METRIC_DELTA: u8 = 4;
 
 /// A run insert: enough to rebuild and re-validate the run at replay time.
 #[derive(Debug, Serialize, Deserialize)]
@@ -97,6 +101,16 @@ pub(crate) struct ClusterDeltaRecord {
     pub(crate) doc: SpecClusterDoc,
 }
 
+/// One specification's updated metric-index checkpoint entry (last write
+/// wins), the vantage-point-tree analogue of [`ClusterDeltaRecord`].
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) struct MetricDeltaRecord {
+    /// Cost-model cache key the distances were computed under.
+    pub(crate) cost_key: u64,
+    /// The checkpoint entry, exactly as `metric_index.json` would hold it.
+    pub(crate) doc: SpecMetricDoc,
+}
+
 /// A decoded WAL record.
 #[derive(Debug)]
 pub(crate) enum WalRecord {
@@ -106,6 +120,8 @@ pub(crate) enum WalRecord {
     RunRemove(RunRemoveRecord),
     /// Kind 3.
     ClusterDelta(ClusterDeltaRecord),
+    /// Kind 4.
+    MetricDelta(MetricDeltaRecord),
 }
 
 /// CRC32 (IEEE 802.3, reflected) — dependency-free, table-driven.
@@ -143,6 +159,7 @@ fn encode_one(path: &Path, record: &WalRecord, out: &mut Vec<u8>) -> Result<(), 
         WalRecord::RunInsert(r) => (KIND_RUN_INSERT, serde_json::to_string(r)),
         WalRecord::RunRemove(r) => (KIND_RUN_REMOVE, serde_json::to_string(r)),
         WalRecord::ClusterDelta(r) => (KIND_CLUSTER_DELTA, serde_json::to_string(r)),
+        WalRecord::MetricDelta(r) => (KIND_METRIC_DELTA, serde_json::to_string(r)),
     };
     let payload = payload
         .map_err(|source| PersistError::Json { path: path.to_path_buf(), source })?
@@ -231,6 +248,7 @@ pub(crate) fn scan(dir: &Path) -> Result<WalScan, PersistError> {
             KIND_RUN_INSERT => serde_json::from_str(payload).map(WalRecord::RunInsert),
             KIND_RUN_REMOVE => serde_json::from_str(payload).map(WalRecord::RunRemove),
             KIND_CLUSTER_DELTA => serde_json::from_str(payload).map(WalRecord::ClusterDelta),
+            KIND_METRIC_DELTA => serde_json::from_str(payload).map(WalRecord::MetricDelta),
             _ => break,
         };
         let Ok(record) = record else { break };
@@ -310,6 +328,8 @@ pub struct WalSummary {
     pub run_removes: usize,
     /// Cluster-delta records (kind 3).
     pub cluster_deltas: usize,
+    /// Metric-index-delta records (kind 4).
+    pub metric_deltas: usize,
     /// Bytes of valid records.
     pub bytes: u64,
     /// Trailing bytes that do not decode (a torn append; repaired by the
@@ -332,6 +352,7 @@ pub fn inspect(dir: impl AsRef<Path>) -> Result<WalSummary, PersistError> {
             WalRecord::RunInsert(_) => summary.run_inserts += 1,
             WalRecord::RunRemove(_) => summary.run_removes += 1,
             WalRecord::ClusterDelta(_) => summary.cluster_deltas += 1,
+            WalRecord::MetricDelta(_) => summary.metric_deltas += 1,
         }
     }
     Ok(summary)

@@ -1,0 +1,211 @@
+//! Integration tests for the vantage-point metric index behind pruned
+//! `GET /similar`: across random stores, streamed insertions and removals,
+//! the pruned top-k must equal the exact O(n) sweep bit for bit (same
+//! distances, same tie-break ordering), and the persisted checkpoint must
+//! validate-or-rebuild exactly like the cluster cache.
+
+use pdiffview::pdiffview::{DiffService, PairDistance, WorkflowStore};
+use pdiffview::workloads::generator::{random_specification, SpecGenConfig};
+use pdiffview::workloads::runs::{generate_run, RunGenConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use wfdiff_sptree::{Run, Specification};
+
+/// A random small workload: one specification, `runs` generated runs.
+fn random_workload(spec_seed: u64, runs: usize) -> (Specification, Vec<(String, Run)>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec_seed);
+    let spec = random_specification(
+        "metric",
+        &SpecGenConfig { target_edges: 20, series_parallel_ratio: 0.9, forks: 2, loops: 1 },
+        &mut rng,
+    );
+    let config = RunGenConfig { prob_p: 0.7, max_f: 2, prob_f: 0.6, max_l: 2, prob_l: 0.6 };
+    let named =
+        (0..runs).map(|r| (format!("run{r:03}"), generate_run(&spec, &config, &mut rng))).collect();
+    (spec, named)
+}
+
+fn store_with(spec: &Specification, runs: &[(String, Run)]) -> Arc<WorkflowStore> {
+    let store = Arc::new(WorkflowStore::new());
+    store.insert_spec(spec.clone()).unwrap();
+    for (name, run) in runs {
+        store.insert_run(name, run.clone()).unwrap();
+    }
+    store
+}
+
+/// The certified contract: identical neighbour lists, distances and order.
+fn assert_lists_equal(exact: &[PairDistance], pruned: &[PairDistance], context: &str) {
+    assert_eq!(exact.len(), pruned.len(), "{context}: length");
+    for (i, (e, p)) in exact.iter().zip(pruned).enumerate() {
+        assert_eq!(e.target, p.target, "{context}: rank {i} target");
+        assert_eq!(e.distance, p.distance, "{context}: rank {i} distance");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Pruned == exact over random stores, then again after streamed
+    /// insertions and removals maintained through the notification path.
+    #[test]
+    fn pruned_top_k_equals_the_exact_sweep(
+        spec_seed in 0u64..400,
+        runs in 8usize..24,
+        k in 1usize..8,
+    ) {
+        let (spec, named) = random_workload(spec_seed, runs);
+        // Boot with all but the last three runs; stream those in later.
+        let boot = &named[..runs - 3];
+        let store = store_with(&spec, boot);
+        let service = DiffService::new(Arc::clone(&store));
+
+        for (query, _) in boot.iter().step_by(3) {
+            let exact = service.nearest_runs("metric", query, k).unwrap();
+            let (pruned, stats) =
+                service.nearest_runs_pruned("metric", query, k, 0.0).unwrap();
+            assert_lists_equal(&exact, &pruned, &format!("boot query {query}"));
+            prop_assert!(
+                stats.distance_evals < boot.len(),
+                "pruned mode never evaluates more than the sweep"
+            );
+        }
+
+        // Stream the held-back runs in through the server's path.
+        for (name, run) in &named[runs - 3..] {
+            store.insert_run(name, run.clone()).unwrap();
+            service.notify_run_inserted("metric", name);
+        }
+        // Remove two boot runs (one may be a vantage pivot, forcing the
+        // index to drop and rebuild that spec).
+        for (gone, _) in &boot[..2] {
+            prop_assert!(store.remove_run("metric", gone));
+            service.notify_run_removed("metric", gone);
+        }
+
+        let survivors: Vec<&String> = named[2..].iter().map(|(n, _)| n).collect();
+        for query in survivors.iter().step_by(4) {
+            let exact = service.nearest_runs("metric", query, k).unwrap();
+            let (pruned, _) = service.nearest_runs_pruned("metric", query, k, 0.0).unwrap();
+            assert_lists_equal(&exact, &pruned, &format!("streamed query {query}"));
+        }
+    }
+}
+
+/// A scratch directory that cleans up after itself.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("wfdiff-metricindex-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        TempDir(path)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn metric_checkpoints_reload_when_valid_and_rebuild_when_stale() {
+    let (spec, named) = random_workload(0x4E57, 14);
+    let dir = TempDir::new("checkpoint");
+    store_with(&spec, &named).save_to_dir(dir.path()).unwrap();
+
+    // Serve path: load the directory, answer one pruned query (builds the
+    // tree), checkpoint it as a WAL delta.
+    let loaded = Arc::new(WorkflowStore::load_from_dir(dir.path()).unwrap());
+    let service = DiffService::new(Arc::clone(&loaded));
+    let (answer, _) = service.nearest_runs_pruned("metric", "run000", 5, 0.0).unwrap();
+    assert_eq!(service.save_metric_state(dir.path()).unwrap(), 1);
+    let after_save = pdiffview::pdiffview::wal::inspect(dir.path()).unwrap();
+    assert_eq!(after_save.metric_deltas, 1);
+    // A clean index appends nothing on the next checkpoint.
+    service.save_metric_state(dir.path()).unwrap();
+    let after_clean = pdiffview::pdiffview::wal::inspect(dir.path()).unwrap();
+    assert_eq!(after_clean.bytes, after_save.bytes, "a clean index appends nothing");
+
+    // Restart: a fresh load resumes the exact tree and serves the same
+    // answer without a rebuild.
+    let restarted = DiffService::new(Arc::new(WorkflowStore::load_from_dir(dir.path()).unwrap()));
+    let report = restarted.load_metric_state(dir.path());
+    assert_eq!((report.loaded, report.stale), (1, 0));
+    assert_eq!(restarted.metric_index().member_count("metric"), 14);
+    let (resumed, _) = restarted.nearest_runs_pruned("metric", "run000", 5, 0.0).unwrap();
+    assert_eq!(resumed, answer);
+
+    // A cost-model mismatch rejects the checkpoint wholesale.
+    let other_cost =
+        DiffService::builder(Arc::new(WorkflowStore::load_from_dir(dir.path()).unwrap()))
+            .cost(Arc::new(wfdiff_core::LengthCost))
+            .build();
+    let report = other_cost.load_metric_state(dir.path());
+    assert_eq!((report.loaded, report.stale), (0, 1));
+    assert_eq!(other_cost.metric_index().member_count("metric"), 0);
+
+    // A store that gained a run after the checkpoint: the member set no
+    // longer matches, the entry is stale, and the next query rebuilds —
+    // still equal to the exact sweep over the grown store.
+    let grown = Arc::new(WorkflowStore::load_from_dir(dir.path()).unwrap());
+    let spec_arc = grown.spec("metric").unwrap();
+    let extra = spec_arc.execute(&mut wfdiff_sptree::FullDecider).unwrap();
+    grown.insert_run("zz-extra", extra).unwrap();
+    let grown_service = DiffService::new(Arc::clone(&grown));
+    let report = grown_service.load_metric_state(dir.path());
+    assert_eq!((report.loaded, report.stale), (0, 1));
+    let exact = grown_service.nearest_runs("metric", "zz-extra", 4).unwrap();
+    let (pruned, _) = grown_service.nearest_runs_pruned("metric", "zz-extra", 4, 0.0).unwrap();
+    assert_eq!(exact, pruned);
+
+    // A full save folds the pending delta into `metric_index.json` and
+    // truncates the log; the folded file alone restores the state.
+    loaded.save_to_dir(dir.path()).unwrap();
+    let artifact = dir.path().join(pdiffview::pdiffview::METRIC_INDEX_FILE);
+    assert!(artifact.exists(), "the fold materialised the checkpoint file");
+    assert_eq!(pdiffview::pdiffview::wal::inspect(dir.path()).unwrap().records, 0);
+    let folded = DiffService::new(Arc::new(WorkflowStore::load_from_dir(dir.path()).unwrap()));
+    let report = folded.load_metric_state(dir.path());
+    assert_eq!((report.loaded, report.stale), (1, 0));
+
+    // A corrupt checkpoint is reported stale and ignored, never an error.
+    std::fs::write(&artifact, "{not json").unwrap();
+    let fresh = DiffService::new(Arc::new(WorkflowStore::load_from_dir(dir.path()).unwrap()));
+    let report = fresh.load_metric_state(dir.path());
+    assert_eq!((report.loaded, report.stale), (0, 1));
+    // A missing checkpoint is simply an empty report.
+    std::fs::remove_file(&artifact).unwrap();
+    let report = fresh.load_metric_state(dir.path());
+    assert_eq!((report.loaded, report.stale), (0, 0));
+}
+
+#[test]
+fn approx_mode_distances_stay_within_the_reported_bound() {
+    let (spec, named) = random_workload(0xA44C, 20);
+    let service = DiffService::new(store_with(&spec, &named));
+    let epsilon = 0.5;
+    for query in ["run000", "run007", "run013"] {
+        let exact = service.nearest_runs("metric", query, 6).unwrap();
+        let (approx, stats) = service.nearest_runs_pruned("metric", query, 6, epsilon).unwrap();
+        assert_eq!(stats.approx_epsilon, epsilon);
+        let true_kth = exact.last().map(|p| p.distance).unwrap_or(0.0);
+        for p in &approx {
+            assert!(
+                p.distance <= (1.0 + epsilon) * true_kth + 1e-9,
+                "{query}: approx distance {} exceeds (1+ε)·{true_kth}",
+                p.distance
+            );
+        }
+    }
+}

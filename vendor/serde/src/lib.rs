@@ -61,6 +61,22 @@ impl Value {
     }
 }
 
+/// A [`Value`] serializes as itself, so callers can round-trip documents
+/// whose shape is not known at compile time (e.g. comparing two bench JSON
+/// files field by field).
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+/// A [`Value`] deserializes from any input by capturing the raw tree.
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_value()
+    }
+}
+
 /// Serializes any [`Serialize`] value into a [`Value`] tree (infallible).
 pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
     struct ValueSerializer;
