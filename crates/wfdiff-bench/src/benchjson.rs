@@ -1,10 +1,11 @@
 //! Machine-readable `BENCH_*.json` output for the perf-tracking CI job.
 //!
-//! Every perf binary (`batch_diff`, `warm_start`, `load_gen` in both its
-//! mixed and `cluster` modes) writes, next to its human-readable table and
-//! CSV, one JSON document named `BENCH_<experiment>.json` that CI uploads
-//! as a per-commit artifact (`BENCH_batch_diff.json`,
-//! `BENCH_warm_start.json`, `BENCH_serve.json`, `BENCH_cluster.json`).  The
+//! Every perf binary (`batch_diff`, `warm_start`, `load_gen` in its mixed,
+//! `cluster`, `similar` and `stream` modes) writes, next to its
+//! human-readable table and CSV, one JSON document named
+//! `BENCH_<experiment>.json` that CI uploads as a per-commit artifact
+//! (`BENCH_batch_diff.json`, `BENCH_warm_start.json`, `BENCH_serve.json`,
+//! `BENCH_cluster.json`, `BENCH_similar.json`, `BENCH_stream.json`).  The
 //! documents are flat, stable-keyed and self-describing so that the perf
 //! trajectory can be charted across commits without parsing tables.
 //!

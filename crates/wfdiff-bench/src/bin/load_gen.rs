@@ -26,11 +26,20 @@
 //!   approximate-mode recall.  Writes `load_gen_similar.csv` and
 //!   `BENCH_similar.json`.
 //!
+//! * **stream** — event-by-event run ingestion over `POST /runs/stream`:
+//!   each batch's live drift verdict (and the read-only drift endpoint's)
+//!   must be bit-identical to a local recompute, each finalised run must
+//!   answer exact distance queries like a whole insert, and a cold reload
+//!   must find no in-flight stream state left behind.  Measures the
+//!   event-to-drift-verdict latency percentiles and writes
+//!   `load_gen_stream.csv` and `BENCH_stream.json`.
+//!
 //! ```text
 //! load_gen [runs] [spec_edges] [requests_per_client] [clients...]
 //! load_gen sharded [specs] [runs_per_spec] [spec_edges] [requests_per_client] [shards...]
 //! load_gen cluster [initial_runs] [spec_edges] [inserts] [k]
 //! load_gen similar [runs] [queries] [k] [seed]
+//! load_gen stream [initial_runs] [spec_edges] [streams] [batch]
 //! ```
 //!
 //! Defaults: mixed — 50 runs, 60-edge specification, 25 requests per
@@ -38,15 +47,16 @@
 //! 40 requests per client, shard counts 1 2 4 (small specs keep per-op CPU
 //! low so the per-shard durable-append serialisation is the measured
 //! bottleneck); cluster — 20 initial runs, 60 edges, 10 inserts, k=4;
-//! similar — 5000 runs, 20 queries, k=10.
+//! similar — 5000 runs, 20 queries, k=10; stream — 20 initial runs,
+//! 60 edges, 6 streamed runs, 8 events per batch.
 //!
 //! Exits non-zero if any protocol error or verification mismatch occurred.
 
 use wfdiff_bench::benchjson::{merge_serve_bench_json, write_bench_json};
 use wfdiff_bench::csvout::{fmt, write_csv};
 use wfdiff_bench::loadgen::{
-    render, render_cluster, render_sharded, run, run_cluster, run_sharded, ClusterStreamConfig,
-    LoadGenConfig, ShardedLoadConfig,
+    render, render_cluster, render_sharded, render_stream, run, run_cluster, run_sharded,
+    run_stream, ClusterStreamConfig, LoadGenConfig, ShardedLoadConfig, StreamLoadConfig,
 };
 use wfdiff_bench::similar::{render_similar, run_similar, SimilarBenchConfig};
 
@@ -56,8 +66,70 @@ fn main() {
         Some("cluster") => cluster_mode(&args[2..]),
         Some("sharded") => sharded_mode(&args[2..]),
         Some("similar") => similar_mode(&args[2..]),
+        Some("stream") => stream_mode(&args[2..]),
         _ => mixed_mode(&args[1..]),
     }
+}
+
+fn stream_mode(args: &[String]) {
+    let initial: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let edges: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(60);
+    let streams: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let batch: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let config = StreamLoadConfig::new(initial, edges, streams, batch);
+    let report = run_stream(&config);
+    print!("{}", render_stream(&report));
+
+    let rows: Vec<Vec<String>> = report
+        .ops
+        .iter()
+        .map(|op| {
+            vec![
+                report.label.clone(),
+                op.op.clone(),
+                op.count.to_string(),
+                op.p50_us.to_string(),
+                op.p90_us.to_string(),
+                op.p99_us.to_string(),
+                op.max_us.to_string(),
+                report.events.to_string(),
+                report.protocol_errors.to_string(),
+                report.drift_mismatches.to_string(),
+                report.finalize_errors.to_string(),
+            ]
+        })
+        .collect();
+    write_csv(
+        "load_gen_stream.csv",
+        &[
+            "workload",
+            "op",
+            "count",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "max_us",
+            "events",
+            "protocol_errors",
+            "drift_mismatches",
+            "finalize_errors",
+        ],
+        &rows,
+    )
+    .expect("write load_gen_stream.csv");
+    write_bench_json("BENCH_stream.json", &report).expect("write BENCH_stream.json");
+    eprintln!("wrote load_gen_stream.csv and BENCH_stream.json");
+
+    assert_eq!(report.protocol_errors, 0, "the stream run hit protocol errors");
+    assert_eq!(
+        report.drift_mismatches, 0,
+        "served drift verdicts diverged from the local recompute"
+    );
+    assert_eq!(
+        report.finalize_errors, 0,
+        "a finalised stream failed to behave like a whole insert"
+    );
 }
 
 fn similar_mode(args: &[String]) {

@@ -31,6 +31,7 @@
 pub mod batch;
 pub mod benchjson;
 pub mod csvout;
+pub mod events;
 pub mod fig11;
 pub mod fig12;
 pub mod fig14;

@@ -1174,6 +1174,328 @@ pub fn render_cluster(report: &ClusterStreamReport) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Streamed-ingestion mode
+// ---------------------------------------------------------------------------
+
+/// Configuration of the streamed-ingestion experiment (`load_gen stream`):
+/// event-by-event run ingestion over `POST /runs/stream`, every batch's live
+/// drift verdict checked against a local recompute.
+#[derive(Debug, Clone)]
+pub struct StreamLoadConfig {
+    /// Workload label for the report.
+    pub label: String,
+    /// Runs in the store when the server boots.
+    pub initial_runs: usize,
+    /// Specification size in edges.
+    pub spec_edges: usize,
+    /// Runs streamed in event by event, one at a time.
+    pub streams: usize,
+    /// Events per `POST /runs/stream` batch.
+    pub batch: usize,
+    /// Cluster count of the k-medoids state primed before streaming (the
+    /// drift verdict is relative to these clusters).
+    pub k: usize,
+    /// Server worker-pool size.
+    pub server_threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl StreamLoadConfig {
+    /// The default streamed-ingestion workload.
+    pub fn new(initial_runs: usize, spec_edges: usize, streams: usize, batch: usize) -> Self {
+        StreamLoadConfig {
+            label: format!("stream(r={initial_runs}+{streams},e={spec_edges},b={batch})"),
+            initial_runs: initial_runs.max(2),
+            spec_edges,
+            streams: streams.max(1),
+            batch: batch.max(1),
+            k: 2,
+            server_threads: 4,
+            seed: 0x57_AEA7,
+        }
+    }
+}
+
+/// The result of one streamed-ingestion experiment (serialised as
+/// `BENCH_stream.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamBenchReport {
+    /// Workload label.
+    pub label: String,
+    /// Runs in the store at boot.
+    pub initial_runs: usize,
+    /// Specification size in edges.
+    pub spec_edges: usize,
+    /// Runs streamed in.
+    pub streams: usize,
+    /// Events per batch.
+    pub batch: usize,
+    /// k-medoids cluster count behind the drift verdicts.
+    pub k: usize,
+    /// Server worker-pool size.
+    pub server_threads: usize,
+    /// Total lifecycle events streamed.
+    pub events: usize,
+    /// Non-2xx responses and transport failures (must be 0).
+    pub protocol_errors: usize,
+    /// Served drift verdicts — bounds, radii or the drift flag — that
+    /// diverged from the local recompute (must be 0).
+    pub drift_mismatches: usize,
+    /// Finalisations that failed to store the run, diverged on the
+    /// post-insert distance check, or left in-flight stream state behind
+    /// after a cold reload (must be 0).
+    pub finalize_errors: usize,
+    /// Latency percentiles: `stream_batch` is `POST /runs/stream` to drift
+    /// verdict (the event-to-verdict path), `drift` the read-only
+    /// `GET /runs/{spec}/{stream}/drift`.
+    pub ops: Vec<OpStats>,
+}
+
+impl StreamBenchReport {
+    /// Whether the run was fully clean (zero errors and mismatches).
+    pub fn is_clean(&self) -> bool {
+        self.protocol_errors == 0 && self.drift_mismatches == 0 && self.finalize_errors == 0
+    }
+}
+
+/// Field-by-field comparison of a served drift verdict against the local
+/// recompute — floats must round-trip bit-identically through the JSON.
+fn drift_verdict_matches(
+    got: &wfdiff_pdiffview::serve::api::DriftResponse,
+    want: &wfdiff_pdiffview::DriftReport,
+) -> bool {
+    got.spec == want.spec
+        && got.stream == want.stream
+        && got.events == want.events
+        && got.nodes == want.nodes
+        && got.completed_leaves == want.completed_leaves
+        && got.drifted == want.drifted
+        && got.clusters.len() == want.clusters.len()
+        && got.clusters.iter().zip(&want.clusters).all(|(g, w)| {
+            g.medoid == w.medoid
+                && g.size == w.size
+                && g.radius == w.radius
+                && g.lower_bound == w.lower_bound
+                && g.exceeds == w.exceeds
+        })
+}
+
+/// Runs the streamed-ingestion experiment: save → load → warm → serve with
+/// persistence, prime a k-medoids clustering, then ingest runs event by
+/// event over `POST /runs/stream` while checking every drift verdict (both
+/// the batch response's and the read-only endpoint's) against an
+/// independent local mirror; each stream is finalised and the stored run
+/// checked with an exact distance query, and at the end a cold reload must
+/// find no in-flight stream state left behind.
+pub fn run_stream(config: &StreamLoadConfig) -> StreamBenchReport {
+    // One generated pool: the first `initial_runs` boot the store, the rest
+    // are streamed in event by event.
+    let mut batch =
+        batch_config(&LoadGenConfig::new(config.initial_runs + config.streams, config.spec_edges));
+    batch.seed = config.seed;
+    let (spec, all_runs) = generate_workload(&batch);
+    let spec_name = spec.name().to_string();
+    let (boot_runs, streamed) = all_runs.split_at(config.initial_runs);
+
+    // Local mirror: an independent service fed the identical batches.
+    let local_store = Arc::new(WorkflowStore::new());
+    local_store.insert_spec(spec.clone()).expect("fresh store has no conflict");
+    for (i, run) in boot_runs.iter().enumerate() {
+        local_store.insert_run(&run_name(i), run.clone()).expect("spec is stored");
+    }
+    let local = DiffService::new(Arc::clone(&local_store));
+    local
+        .cluster_medoids(&spec_name, config.k, wfdiff_pdiffview::DEFAULT_CLUSTER_SEED)
+        .expect("local clustering");
+
+    // Boot exactly like production so streamed batches WAL-append durably.
+    let dir = scratch_dir(usize::MAX - 1);
+    local_store.save_to_dir(&dir).expect("save succeeds");
+    let served = Arc::new(WorkflowStore::load_from_dir(&dir).expect("load succeeds"));
+    let service = Arc::new(DiffService::builder(served).threads(config.server_threads).build());
+    service.warm_start().expect("warm start succeeds");
+    let server = Server::bind(
+        Arc::clone(&service),
+        ServeConfig {
+            threads: config.server_threads,
+            store_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let handle = server.start().expect("spawn workers");
+    let addr = handle.addr();
+
+    let mut report = StreamBenchReport {
+        label: config.label.clone(),
+        initial_runs: config.initial_runs,
+        spec_edges: config.spec_edges,
+        streams: streamed.len(),
+        batch: config.batch,
+        k: config.k,
+        server_threads: config.server_threads,
+        events: 0,
+        protocol_errors: 0,
+        drift_mismatches: 0,
+        finalize_errors: 0,
+        ops: Vec::new(),
+    };
+    let mut batch_us: Vec<u64> = Vec::new();
+    let mut drift_us: Vec<u64> = Vec::new();
+
+    let mut client = HttpClient::connect(addr).expect("connect to the served store");
+    // Prime the served clustering (same k and default seed as the mirror).
+    let cluster_path = format!("/cluster?spec={}&algo=kmedoids&k={}", encode(&spec_name), config.k);
+    if !matches!(client.request("GET", &cluster_path, None), Ok((200, _))) {
+        report.protocol_errors += 1;
+    }
+
+    for (i, run) in streamed.iter().enumerate() {
+        let name = format!("st-{i:03}");
+        let events = crate::events::lifecycle_events(run);
+        report.events += events.len();
+        let chunks: Vec<&[wfdiff_pdiffview::StreamEvent]> = events.chunks(config.batch).collect();
+        for (c, chunk) in chunks.iter().enumerate() {
+            let finalize = c + 1 == chunks.len();
+            let body = serde_json::to_string(&wfdiff_pdiffview::serve::api::StreamEventsRequest {
+                spec: spec_name.clone(),
+                stream: name.clone(),
+                events: chunk.to_vec(),
+                finalize,
+            })
+            .expect("request serialises");
+            let started = Instant::now();
+            let response = client.request("POST", "/runs/stream", Some(&body));
+            let us = started.elapsed().as_micros() as u64;
+            let expected_status = if finalize { 201 } else { 200 };
+            let parsed = match response {
+                Ok((status, text)) if status == expected_status => serde_json::from_str::<
+                    wfdiff_pdiffview::serve::api::StreamEventsResponse,
+                >(&text)
+                .ok(),
+                _ => None,
+            };
+            let Some(out) = parsed else {
+                report.protocol_errors += 1;
+                continue;
+            };
+            batch_us.push(us);
+
+            // Mirror the batch locally; the served verdict must match the
+            // mirror's bit for bit.
+            local.stream_events(&spec_name, &name, chunk).expect("mirror batch applies");
+            if finalize {
+                if !(out.finalized && out.complete && out.persisted) {
+                    report.finalize_errors += 1;
+                }
+                let (run, _) = local.finalize_stream(&spec_name, &name).expect("mirror finalises");
+                local_store.insert_run_new(&name, run).expect("mirror insert");
+                local.remove_stream(&spec_name, &name);
+                local.notify_run_inserted(&spec_name, &name);
+            } else {
+                let want = local.drift_report(&spec_name, &name).expect("mirror drift");
+                match &out.drift {
+                    Some(got) if drift_verdict_matches(got, &want) => {}
+                    _ => report.drift_mismatches += 1,
+                }
+                // The read-only endpoint must agree with the batch verdict.
+                let drift_path = format!("/runs/{}/{}/drift", encode(&spec_name), encode(&name));
+                let started = Instant::now();
+                match client.request("GET", &drift_path, None) {
+                    Ok((200, text)) => {
+                        drift_us.push(started.elapsed().as_micros() as u64);
+                        match serde_json::from_str::<wfdiff_pdiffview::serve::api::DriftResponse>(
+                            &text,
+                        ) {
+                            Ok(got) if drift_verdict_matches(&got, &want) => {}
+                            _ => report.drift_mismatches += 1,
+                        }
+                    }
+                    _ => report.protocol_errors += 1,
+                }
+            }
+        }
+
+        // The finalised run is a first-class citizen: an exact distance
+        // query against it must match the mirror bit for bit.
+        let diff_path = format!(
+            "/diff?spec={}&a={}&b={}",
+            encode(&spec_name),
+            encode(&name),
+            encode(&run_name(0))
+        );
+        match client.request("GET", &diff_path, None) {
+            Ok((200, text)) => {
+                let want = local
+                    .diff(&spec_name, &name, &run_name(0))
+                    .expect("mirror diff succeeds")
+                    .distance;
+                if parse_distance(&text) != Some(want) {
+                    report.finalize_errors += 1;
+                }
+            }
+            _ => report.protocol_errors += 1,
+        }
+    }
+
+    drop(client);
+    handle.shutdown();
+
+    // Every stream was finalised, so a cold reload must resume none: the
+    // closure markers (and stored runs) retire the WAL's stream records.
+    let reloaded = Arc::new(WorkflowStore::load_from_dir(&dir).expect("cold reload succeeds"));
+    let resumed = DiffService::new(reloaded);
+    let leftovers = resumed.load_streams(&dir).expect("stream scan succeeds");
+    if leftovers.loaded != 0 {
+        report.finalize_errors += leftovers.loaded;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for (name, mut lat) in [("stream_batch", batch_us), ("drift", drift_us)] {
+        if lat.is_empty() {
+            continue;
+        }
+        lat.sort_unstable();
+        report.ops.push(OpStats {
+            op: name.to_string(),
+            count: lat.len(),
+            p50_us: percentile(&lat, 50.0),
+            p90_us: percentile(&lat, 90.0),
+            p99_us: percentile(&lat, 99.0),
+            max_us: *lat.last().expect("non-empty"),
+        });
+    }
+    report
+}
+
+/// Renders a streamed-ingestion report as an aligned text table.
+pub fn render_stream(report: &StreamBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "load_gen stream — {} ({}+{} runs, {} events, batch {}, k={}, {} server worker(s))\n",
+        report.label,
+        report.initial_runs,
+        report.streams,
+        report.events,
+        report.batch,
+        report.k,
+        report.server_threads,
+    ));
+    out.push_str(&format!(
+        "errors {}   drift mismatches {}   finalize errors {}\n",
+        report.protocol_errors, report.drift_mismatches, report.finalize_errors,
+    ));
+    for op in &report.ops {
+        out.push_str(&format!(
+            "{:>7} x {:<14} p50 {:>7}us   p90 {:>7}us   p99 {:>7}us   max {:>7}us\n",
+            op.count, op.op, op.p50_us, op.p90_us, op.p99_us, op.max_us
+        ));
+    }
+    out
+}
+
 /// Renders a report as an aligned text table.
 pub fn render(report: &ServeBenchReport) -> String {
     let mut out = String::new();
@@ -1248,6 +1570,23 @@ mod tests {
         assert!(text.contains("insert_recluster"), "{text}");
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("\"similar_mismatches\""));
+    }
+
+    #[test]
+    fn stream_run_is_clean_and_verified() {
+        let mut config = StreamLoadConfig::new(5, 25, 2, 4);
+        config.server_threads = 2;
+        let report = run_stream(&config);
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.streams, 2);
+        assert!(report.events > 0);
+        let batch = report.ops.iter().find(|o| o.op == "stream_batch").unwrap();
+        assert!(batch.count >= 2, "every stream needs at least one batch: {report:?}");
+        assert!(report.ops.iter().any(|o| o.op == "drift"), "{report:?}");
+        let text = render_stream(&report);
+        assert!(text.contains("stream_batch"), "{text}");
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("\"drift_mismatches\""));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //!
 //! A **child** process (re-executed from the current binary with the
 //! `__child` argument) runs a scripted workload — initial save, run
-//! inserts/removals through the write-ahead log, reclusters, full
-//! checkpoints — against a store whose I/O is wrapped in a
+//! inserts/removals through the write-ahead log, event-streamed ingests,
+//! reclusters, full checkpoints — against a store whose I/O is wrapped in a
 //! [`FaultIo`] that kills the process at the N-th durability operation
 //! (`kill` mode) or writes half of the N-th write and then dies (`torn`
 //! mode).  After every completed logical operation the child appends an
@@ -21,7 +21,10 @@
 //! acknowledged count — byte-for-byte on the run name set, exactly on the
 //! full pairwise distance matrix, and exactly on the k-medoids partition.
 //! One operation of slack is inherent: a crash inside operation `j+1` may
-//! land before or after its single durable append.
+//! land before or after the single durable append that changes the compared
+//! state (for the streamed-ingest op that is the finalised run's insert
+//! append — its stream-batch and closure appends leave the run set, the
+//! distance matrix and the partition untouched).
 //!
 //! The sweep covers 100% of the enumerated fault points; `quick` mode
 //! shrinks the scripted workload (for CI), not the coverage.
@@ -31,8 +34,8 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::Arc;
 use wfdiff_pdiffview::{
-    DiffService, FaultIo, RealIo, StoreIo, WorkflowStore, FAULT_EXIT_CODE, FAULT_MODE_ENV,
-    FAULT_POINT_ENV,
+    DiffService, FaultIo, PartialRun, RealIo, StoreIo, StreamEvent, WorkflowStore, FAULT_EXIT_CODE,
+    FAULT_MODE_ENV, FAULT_POINT_ENV,
 };
 use wfdiff_sptree::Specification;
 use wfdiff_workloads::generator::{random_specification, SpecGenConfig};
@@ -70,6 +73,13 @@ pub enum TortureOp {
     /// index.
     Remove {
         /// Index of a previously inserted run.
+        index: usize,
+    },
+    /// Stream run `index` event by event (two WAL-appended batches plus the
+    /// finalised run's insert append and closure marker), ending with the
+    /// run stored exactly as if inserted whole.
+    Stream {
+        /// Deterministic run index; also seeds the run's content.
         index: usize,
     },
     /// Cluster the spec's runs with `k` medoids and checkpoint the cluster
@@ -121,6 +131,7 @@ pub fn script(scale: TortureScale) -> Vec<TortureOp> {
             Insert { index: 3 },
             Remove { index: 2 },
             Checkpoint,
+            Stream { index: 5 },
             Insert { index: 4 },
         ],
         TortureScale::Full => vec![
@@ -135,6 +146,7 @@ pub fn script(scale: TortureScale) -> Vec<TortureOp> {
             Recluster { k: 3 },
             Insert { index: 6 },
             Remove { index: 4 },
+            Stream { index: 8 },
             Recluster { k: 3 },
             Checkpoint,
             Insert { index: 7 },
@@ -164,6 +176,23 @@ fn torture_run(spec: &Specification, index: usize) -> wfdiff_sptree::Run {
         <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0xC0DE ^ index as u64);
     let config = RunGenConfig { prob_p: 0.7, max_f: 2, prob_f: 0.5, max_l: 2, prob_l: 0.5 };
     generate_run(spec, &config, &mut rng)
+}
+
+/// The node-lifecycle event sequence of run `index` — the deterministic
+/// order of [`crate::events::lifecycle_events`], so the child and the replay
+/// ingest byte-identical streamed runs.
+fn stream_events_for(spec: &Specification, index: usize) -> Vec<StreamEvent> {
+    crate::events::lifecycle_events(&torture_run(spec, index))
+}
+
+/// Materialises the streamed run of `index` purely in memory — the same
+/// builder and event order the child feeds through the registry.
+fn streamed_run(spec: &Arc<Specification>, index: usize) -> Result<wfdiff_sptree::Run, String> {
+    let mut partial = PartialRun::new(Arc::clone(spec));
+    for event in &stream_events_for(spec, index) {
+        partial.apply(event).map_err(|e| e.to_string())?;
+    }
+    partial.finalize().map_err(|e| e.to_string())
 }
 
 /// Applies one scripted operation durably (child side).
@@ -196,6 +225,36 @@ fn apply_durable(
             store.remove_run(TORTURE_SPEC, &name);
             store.append_run_removal_to_dir(dir, TORTURE_SPEC, &name).map_err(|e| e.to_string())?;
             service.notify_run_removed(TORTURE_SPEC, &name);
+        }
+        TortureOp::Stream { index } => {
+            let spec = store.spec(TORTURE_SPEC).ok_or("spec missing")?;
+            let name = run_name(*index);
+            let events = stream_events_for(&spec, *index);
+            // Two batches through the live registry, each WAL-appended, so
+            // fault points land between the stream's durability operations.
+            let mid = events.len() / 2;
+            for chunk in [&events[..mid], &events[mid..]] {
+                let outcome =
+                    service.stream_events(TORTURE_SPEC, &name, chunk).map_err(|e| e.to_string())?;
+                store
+                    .append_stream_events_to_dir(
+                        dir,
+                        TORTURE_SPEC,
+                        &name,
+                        outcome.ack.base_seq,
+                        chunk,
+                    )
+                    .map_err(|e| e.to_string())?;
+            }
+            let (run, seq) =
+                service.finalize_stream(TORTURE_SPEC, &name).map_err(|e| e.to_string())?;
+            let run = store.insert_run_new(&name, run).map_err(|e| e.to_string())?;
+            store.append_run_to_dir(dir, &name, &run).map_err(|e| e.to_string())?;
+            store
+                .append_stream_close_to_dir(dir, TORTURE_SPEC, &name, seq)
+                .map_err(|e| e.to_string())?;
+            service.remove_stream(TORTURE_SPEC, &name);
+            service.notify_run_inserted(TORTURE_SPEC, &name);
         }
         TortureOp::Recluster { k } => {
             service
@@ -232,6 +291,11 @@ pub fn replay_prefix(ops: &[TortureOp], prefix: usize) -> Arc<WorkflowStore> {
             }
             TortureOp::Remove { index } => {
                 store.remove_run(TORTURE_SPEC, &run_name(*index));
+            }
+            TortureOp::Stream { index } => {
+                let spec = store.spec(TORTURE_SPEC).expect("init precedes streams");
+                let run = streamed_run(&spec, *index).expect("scripted stream finalises");
+                store.insert_run(&run_name(*index), run).expect("replayed streamed insert");
             }
             TortureOp::Recluster { .. } | TortureOp::Checkpoint => {}
         }
@@ -562,5 +626,25 @@ mod tests {
             ops.iter().any(|op| matches!(op, TortureOp::Remove { .. })),
             "removals are part of the torture"
         );
+        for scale in [TortureScale::Quick, TortureScale::Full] {
+            assert!(
+                script(scale).iter().any(|op| matches!(op, TortureOp::Stream { .. })),
+                "streamed ingestion is part of the {} torture",
+                scale.name()
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_runs_replay_deterministically() {
+        let spec = Arc::new(torture_spec());
+        let a = streamed_run(&spec, 5).expect("stream finalises");
+        let b = streamed_run(&spec, 5).expect("stream finalises");
+        assert_eq!(
+            format!("{:?}", a.graph()),
+            format!("{:?}", b.graph()),
+            "the streamed run's content is a pure function of its index"
+        );
+        assert!(!stream_events_for(&spec, 5).is_empty());
     }
 }

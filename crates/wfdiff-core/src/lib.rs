@@ -17,6 +17,9 @@
 //!   matching at `L` nodes),
 //! * [`script`] — materialising minimum-cost edit scripts (sequences of
 //!   elementary-path insertions and deletions, Lemma 5.1),
+//! * [`prefix`] — certified lower bounds on the distance of a *streaming*
+//!   run (known only as an event prefix) to any reference run, monotone as
+//!   events arrive,
 //! * [`naive`] — the naive node/edge set-difference baseline that works for
 //!   plain dataflows but breaks down once modules repeat,
 //! * [`exhaustive`] — an exponential-time reference implementation
@@ -63,6 +66,7 @@ pub mod hardness;
 pub mod mapping;
 pub mod naive;
 pub mod ops;
+pub mod prefix;
 pub mod script;
 pub mod surcharge;
 
@@ -74,6 +78,7 @@ pub use distance::{Decision, DiffResult, PreparedRun, WorkflowDiff};
 pub use error::DiffError;
 pub use mapping::{Mapping, MappingSummary};
 pub use ops::{OpDirection, OpProvenance, PathOperation};
+pub use prefix::{PrefixEdgeClass, PrefixProfile};
 pub use script::{EditScript, ScriptBuilder};
 pub use surcharge::SpecContext;
 

@@ -202,6 +202,28 @@ fn wfl004_covers_the_similar_query_counters() {
     assert!(vs[1].message.contains("registered more than once"), "{}", vs[1].message);
 }
 
+#[test]
+fn wfl004_covers_the_streaming_counters() {
+    // The streaming-ingestion counters ship under these exact names; keep
+    // the rule accepting them and still firing on the obvious near-misses
+    // (a dropped `_total`, a second registration).
+    let good = "pub fn render(out: &mut String) {\n\
+                \x20   counter_head_sample(out, \"wfdiff_stream_events_total\", \"h\", 1);\n\
+                \x20   counter_head_sample(out, \"wfdiff_drift_flags_total\", \"h\", 1);\n\
+                }\n";
+    assert!(check(&[("crates/x/src/serve/metrics.rs", good)]).is_empty());
+
+    let bad = "pub fn render(out: &mut String) {\n\
+               \x20   counter_head_sample(out, \"wfdiff_drift_flags\", \"h\", 1);\n\
+               \x20   counter_head_sample(out, \"wfdiff_stream_events_total\", \"h\", 1);\n\
+               \x20   counter_head_sample(out, \"wfdiff_stream_events_total\", \"h\", 1);\n\
+               }\n";
+    let vs = check(&[("crates/x/src/serve/metrics.rs", bad)]);
+    assert_eq!(rules_of(&vs), vec!["WFL004"; 2], "{vs:?}");
+    assert!(vs[0].message.contains("must end with `_total`"), "{}", vs[0].message);
+    assert!(vs[1].message.contains("registered more than once"), "{}", vs[1].message);
+}
+
 // ---------------------------------------------------------------------------
 // WFL005 — error-status exhaustiveness
 // ---------------------------------------------------------------------------
@@ -231,4 +253,41 @@ fn wfl005_accepts_an_exhaustive_map_and_skips_fixture_sets_without_api() {
     let with_api = check(&[("crates/x/src/store.rs", decl), ("crates/x/src/serve/api.rs", api)]);
     assert!(with_api.is_empty(), "{with_api:?}");
     assert!(check(&[("crates/x/src/store.rs", decl)]).is_empty(), "no api.rs, nothing to check");
+}
+
+#[test]
+fn wfl005_covers_the_streaming_error_variants() {
+    // The streaming additions to ServiceError (batch rejection, unknown
+    // stream, optimistic-concurrency race) must stay in the status map: a
+    // map written before they existed misses them and the rule fires once
+    // per dropped variant.
+    let decl = "pub enum ServiceError {\n\
+                \x20   UnknownSpec(String),\n\
+                \x20   Stream(StreamError),\n\
+                \x20   UnknownStream { spec: String, stream: String },\n\
+                \x20   StreamRace { spec: String, stream: String },\n\
+                }\n";
+    let stale = "fn status(e: ServiceError) -> u16 {\n\
+                 \x20   match e {\n\
+                 \x20       ServiceError::UnknownSpec(_) => 404,\n\
+                 \x20       ServiceError::Stream(_) => 400,\n\
+                 \x20       _ => 500,\n\
+                 \x20   }\n\
+                 }\n";
+    let vs = check(&[("crates/x/src/service.rs", decl), ("crates/x/src/serve/api.rs", stale)]);
+    assert_eq!(rules_of(&vs), vec!["WFL005"; 2], "{vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("ServiceError::UnknownStream")), "{vs:?}");
+    assert!(vs.iter().any(|v| v.message.contains("ServiceError::StreamRace")), "{vs:?}");
+
+    let exhaustive = "fn status(e: ServiceError) -> u16 {\n\
+                      \x20   match e {\n\
+                      \x20       ServiceError::UnknownSpec(_) => 404,\n\
+                      \x20       ServiceError::Stream(e) => if e.is_conflict() { 409 } else { 400 },\n\
+                      \x20       ServiceError::UnknownStream { .. } => 404,\n\
+                      \x20       ServiceError::StreamRace { .. } => 409,\n\
+                      \x20   }\n\
+                      }\n";
+    let clean =
+        check(&[("crates/x/src/service.rs", decl), ("crates/x/src/serve/api.rs", exhaustive)]);
+    assert!(clean.is_empty(), "{clean:?}");
 }

@@ -85,6 +85,17 @@ fn load_shard(dir: &Path, threads: usize) -> Result<(ShardEntry, usize, usize), 
             metric.stale
         );
     }
+    // Rebuild the in-flight stream registry from the write-ahead log so
+    // streams survive a restart (stale or finalised groups are skipped).
+    let streams = service.load_streams(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    if streams.loaded > 0 || streams.skipped > 0 {
+        println!(
+            "wfdiff_serve streams [{}]: {} in-flight stream(s) resumed, {} skipped",
+            dir.display(),
+            streams.loaded,
+            streams.skipped
+        );
+    }
     Ok((ShardEntry::new(service, Some(dir.to_path_buf())), report.specs, report.runs))
 }
 

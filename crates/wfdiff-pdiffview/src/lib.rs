@@ -20,6 +20,12 @@
 //!   crash-injecting [`FaultIo`] used by the crash-torture harness,
 //! * [`io`] — JSON import/export and a simple XML export of specifications,
 //!   runs and edit scripts (the paper's prototype stored runs as XML),
+//! * [`stream`] — streaming run ingestion: the [`PartialRun`] builder
+//!   consumes ordered node-lifecycle events (`started` / `completed` /
+//!   `error` / `cancelled`), validates each against the specification with
+//!   typed errors, maintains the certified prefix profile live drift
+//!   detection diffs against cluster medoids, and finalizes into a fully
+//!   validated run,
 //! * [`session`] — differencing sessions that compute the distance, the
 //!   mapping and the edit script and let a caller step through the operations,
 //! * [`service`] — the batch diff engine: a store-backed [`DiffService`] with
@@ -79,6 +85,7 @@ pub mod service;
 pub mod session;
 pub mod store;
 pub mod storeio;
+pub mod stream;
 pub mod wal;
 
 pub use cluster::{
@@ -94,11 +101,13 @@ pub use persist::{PersistError, SaveSummary, STORE_FORMAT};
 pub use render::{render_diff_dot, render_diff_text};
 pub use serve::{ServeConfig, ServeMetrics, Server, ServerHandle, ShardEntry, ShardRouter};
 pub use service::{
-    AllPairsResult, DiffService, DiffServiceBuilder, PairDistance, ServiceError, WarmStartReport,
+    AllPairsResult, DiffService, DiffServiceBuilder, DriftClusterStatus, DriftMonitor, DriftReport,
+    PairDistance, ServiceError, StreamAck, StreamBatchOutcome, StreamLoadReport, WarmStartReport,
 };
 pub use session::DiffSession;
 pub use store::{SpecSnapshot, StoreError, WorkflowStore, DEFAULT_WAL_FOLD_THRESHOLD};
 pub use storeio::{
     FaultIo, FaultMode, RealIo, StoreIo, FAULT_EXIT_CODE, FAULT_MODE_ENV, FAULT_POINT_ENV,
 };
+pub use stream::{EventKind, NodeState, PartialRun, StreamError, StreamEvent};
 pub use wal::{WalStatsSnapshot, WalSummary, WAL_FILE};

@@ -6,7 +6,7 @@
 //! greater than every rank it already holds:
 //!
 //! ```text
-//! save_lock (0)  →  specs (1)  →  runs (2)  →  persist_fp_cache (3)
+//! save_lock (0)  →  specs (1)  →  runs (2)  →  persist_fp_cache (3)  →  streams (4)
 //! ```
 //!
 //! Under `debug_assertions` (every `cargo test` run, including the store's
@@ -36,8 +36,15 @@ pub(crate) enum LockRank {
     Specs = 1,
     /// `runs` — the run map; always after `specs` when both are held.
     Runs = 2,
-    /// `persist_fp_cache` — the fingerprint memo; innermost.
+    /// `persist_fp_cache` — the fingerprint memo; innermost of the store's
+    /// own locks.
     FpCache = 3,
+    /// `streams` — the in-flight stream registry owned by
+    /// [`DiffService`](crate::service::DiffService); innermost overall.
+    /// Being last enforces the stream discipline: state is cloned *out*
+    /// under this lock, mutated and persisted with no lock held, and
+    /// committed back in — holding it across a store or WAL call panics.
+    Streams = 4,
 }
 
 impl LockRank {
@@ -48,6 +55,7 @@ impl LockRank {
             LockRank::Specs => "specs",
             LockRank::Runs => "runs",
             LockRank::FpCache => "persist_fp_cache",
+            LockRank::Streams => "streams",
         }
     }
 }

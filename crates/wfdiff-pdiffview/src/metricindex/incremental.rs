@@ -1,4 +1,4 @@
-//! [`IncrementalMetricIndex`] — a per-specification [`VpTree`] that follows
+//! [`IncrementalMetricIndex`] — a per-specification `VpTree` that follows
 //! the store, the nearest-run analogue of
 //! [`IncrementalClusterIndex`](crate::cluster::incremental::IncrementalClusterIndex).
 //!

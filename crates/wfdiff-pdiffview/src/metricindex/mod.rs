@@ -4,7 +4,7 @@
 //! The edit distance of Algorithm 4 is a true metric over the runs of one
 //! specification, which this module exploits end to end:
 //!
-//! * [`vptree`] — a deterministic vantage-point tree with
+//! * `vptree` — a deterministic vantage-point tree with
 //!   triangle-inequality subtree bounds and medoid-pivot candidate bounds
 //!   (the latter reusing distances the cluster index already memoized),
 //! * [`incremental`] — [`IncrementalMetricIndex`], the per-specification

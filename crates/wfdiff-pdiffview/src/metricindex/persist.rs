@@ -3,7 +3,7 @@
 //! like `cluster_cache.json`.
 //!
 //! The vantage-point tree is *derived* data, so the artifact is strictly a
-//! cache: checkpoints append one [`MetricDeltaRecord`] per dirty
+//! cache: checkpoints append one `MetricDeltaRecord` per dirty
 //! specification to the write-ahead log (kind 4), a full save folds the
 //! deltas into the file, and a load **validates every entry field by
 //! field** — format version, cost-model key, spec version fingerprint,

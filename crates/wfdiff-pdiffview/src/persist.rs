@@ -78,6 +78,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use wfdiff_sptree::Specification;
 use wfdiff_sptree::{Fingerprint, SpTreeError};
 
 /// Version tag of the store directory format written by this module.
@@ -584,10 +585,25 @@ impl WorkflowStore {
         // load, and the still-untruncated WAL replays to the same state.
         let mut cluster_deltas: Vec<wal::ClusterDeltaRecord> = Vec::new();
         let mut metric_deltas: Vec<wal::MetricDeltaRecord> = Vec::new();
+        // Stream events grouped per (spec, stream) in arrival order.  A
+        // closure marker kills its group (those events are folded into the
+        // finalised run); later records under the same key — a legal reuse
+        // of the name after the run was deleted — start a fresh group.
+        let mut streams: Vec<((String, String), Vec<wal::StreamEventRecord>)> = Vec::new();
         for record in wal_scan.records {
             match record {
                 wal::WalRecord::ClusterDelta(delta) => cluster_deltas.push(delta),
                 wal::WalRecord::MetricDelta(delta) => metric_deltas.push(delta),
+                wal::WalRecord::StreamEvent(event) => {
+                    let key = (event.spec.clone(), event.stream.clone());
+                    if event.event.is_none() {
+                        streams.retain(|(k, _)| *k != key);
+                    } else if let Some((_, group)) = streams.iter_mut().find(|(k, _)| *k == key) {
+                        group.push(event);
+                    } else {
+                        streams.push((key, vec![event]));
+                    }
+                }
                 _ => {}
             }
         }
@@ -602,7 +618,29 @@ impl WorkflowStore {
         // (Replay past the *new* manifest is idempotent, so a crash anywhere
         // between the rename above and this truncation loses nothing.)
         wal::truncate_to(&*self.io, dir, 0)?;
-        self.wal_stats.bytes.store(0, Ordering::Release);
+
+        // Streams are WAL-only state — they have no manifest document — so
+        // the live records of every still-open stream are re-appended to the
+        // fresh log.  A stream is dropped when the manifest moved to another
+        // version of its specification, or when its name already denotes a
+        // stored run (a finalisation whose closure marker was lost to a
+        // crash between the run-insert append and the marker append).
+        let survivors: Vec<wal::WalRecord> = streams
+            .into_iter()
+            .filter(|((spec, stream), group)| {
+                let live_version = group.first().is_some_and(|first| {
+                    manifest
+                        .specs
+                        .iter()
+                        .any(|s| s.name == *spec && s.fingerprint == first.spec_fingerprint)
+                });
+                live_version && self.run(spec, stream).is_none()
+            })
+            .flat_map(|(_, group)| group.into_iter().map(wal::WalRecord::StreamEvent))
+            .collect();
+        let stream_bytes =
+            if survivors.is_empty() { 0 } else { wal::append(&*self.io, dir, &survivors)? };
+        self.wal_stats.bytes.store(stream_bytes, Ordering::Release);
         self.wal_stats.folds_total.fetch_add(1, Ordering::AcqRel);
 
         // Garbage-collect spec directories the new manifest does not
@@ -674,9 +712,27 @@ impl WorkflowStore {
             });
         }
 
-        // The manifest entry records the *persistent* fingerprint (of the
-        // spec as rebuilt from its descriptor); map the in-memory version
-        // to it, memoised exactly like `save_to_dir`.
+        let fp_hex = self.persistent_fp_for_append(dir, &spec)?;
+        let record = wal::WalRecord::RunInsert(wal::RunInsertRecord {
+            spec: spec.name().to_string(),
+            spec_fingerprint: fp_hex,
+            name: run_name.to_string(),
+            run: RunDescriptor::from_run(run),
+        });
+        self.append_wal_locked(dir, &[record])
+    }
+
+    /// Checks that `dir` is a current-format store whose manifest lists the
+    /// exact version of `spec` this store holds, and returns the canonical
+    /// *persistent* fingerprint (hex) the manifest records — the shared
+    /// precondition of every hot-path WAL append.  The in-memory → persistent
+    /// fingerprint mapping is memoised exactly like `save_to_dir`.  The
+    /// caller holds `save_lock`.
+    pub(crate) fn persistent_fp_for_append(
+        &self,
+        dir: &Path,
+        spec: &Specification,
+    ) -> Result<String, PersistError> {
         let manifest_path = dir.join("manifest.json");
         let manifest: StoreManifest = read_json(&manifest_path)?;
         if manifest.format != STORE_FORMAT {
@@ -688,7 +744,7 @@ impl WorkflowStore {
                 ),
             ));
         }
-        let descriptor = SpecDescriptor::from_specification(&spec);
+        let descriptor = SpecDescriptor::from_specification(spec);
         let cached = self.persist_fp_cache.lock().get(&spec.fingerprint()).copied();
         let fp = match cached {
             Some(fp) => fp,
@@ -720,12 +776,82 @@ impl WorkflowStore {
             ));
         }
         check_dir_component(&manifest_path, &entry.dir)?;
+        Ok(fp_hex)
+    }
 
-        let record = wal::WalRecord::RunInsert(wal::RunInsertRecord {
-            spec: spec.name().to_string(),
+    /// Makes a batch of stream events durable by appending one kind-5 record
+    /// per event to the write-ahead log — the persistence path of the diff
+    /// server's `POST /runs/stream` endpoint.  One append plus one fsync for
+    /// the whole batch; `base_seq` is the stream's event count before the
+    /// batch, so record `i` carries sequence `base_seq + i`.
+    ///
+    /// In-flight streams are WAL-only state: [`WorkflowStore::load_from_dir`]
+    /// counts the records as replayed, and
+    /// [`DiffService::load_streams`](crate::service::DiffService::load_streams)
+    /// rebuilds the `PartialRun`s from them.  A full save re-appends the
+    /// records of still-open streams after truncating the log, so they
+    /// survive folds; [`WorkflowStore::append_stream_close_to_dir`] marks a
+    /// stream finalised, after which its records are dropped.
+    ///
+    /// Like [`WorkflowStore::append_run_to_dir`], the directory must hold
+    /// the same specification version as this store.
+    pub fn append_stream_events_to_dir(
+        &self,
+        dir: impl AsRef<Path>,
+        spec: &str,
+        stream: &str,
+        base_seq: u64,
+        events: &[crate::stream::StreamEvent],
+    ) -> Result<(), PersistError> {
+        let _guard = self.save_lock.lock();
+        let dir = dir.as_ref();
+        let spec_arc = self.spec(spec).ok_or_else(|| PersistError::Store {
+            source: StoreError::MissingSpec { name: spec.to_string() },
+        })?;
+        let fp_hex = self.persistent_fp_for_append(dir, &spec_arc)?;
+        let records: Vec<wal::WalRecord> = events
+            .iter()
+            .enumerate()
+            .map(|(i, event)| {
+                wal::WalRecord::StreamEvent(wal::StreamEventRecord {
+                    spec: spec.to_string(),
+                    spec_fingerprint: fp_hex.clone(),
+                    stream: stream.to_string(),
+                    seq: base_seq + i as u64,
+                    event: Some(event.clone()),
+                })
+            })
+            .collect();
+        self.append_wal_locked(dir, &records)
+    }
+
+    /// Appends the closure marker of a finalised stream: a kind-5 record
+    /// with no event.  From this marker on, the stream's earlier records are
+    /// dead — the finalised run was made durable (as a regular run-insert
+    /// record) *before* the marker, so a crash between the two merely leaves
+    /// an unclosed stream whose name already denotes a stored run, which
+    /// both the fold and [`DiffService::load_streams`] treat as closed.
+    ///
+    /// [`DiffService::load_streams`]: crate::service::DiffService::load_streams
+    pub fn append_stream_close_to_dir(
+        &self,
+        dir: impl AsRef<Path>,
+        spec: &str,
+        stream: &str,
+        seq: u64,
+    ) -> Result<(), PersistError> {
+        let _guard = self.save_lock.lock();
+        let dir = dir.as_ref();
+        let spec_arc = self.spec(spec).ok_or_else(|| PersistError::Store {
+            source: StoreError::MissingSpec { name: spec.to_string() },
+        })?;
+        let fp_hex = self.persistent_fp_for_append(dir, &spec_arc)?;
+        let record = wal::WalRecord::StreamEvent(wal::StreamEventRecord {
+            spec: spec.to_string(),
             spec_fingerprint: fp_hex,
-            name: run_name.to_string(),
-            run: RunDescriptor::from_run(run),
+            stream: stream.to_string(),
+            seq,
+            event: None,
         });
         self.append_wal_locked(dir, &[record])
     }
@@ -1001,6 +1127,9 @@ impl WorkflowStore {
                 wal::WalRecord::ClusterDelta(_) => replayed += 1,
                 // Likewise consumed by `DiffService::load_metric_state`.
                 wal::WalRecord::MetricDelta(_) => replayed += 1,
+                // Consumed by `DiffService::load_streams`, which rebuilds
+                // the in-flight `PartialRun`s from these records.
+                wal::WalRecord::StreamEvent(_) => replayed += 1,
             }
         }
         store.wal_stats.replayed_records.store(replayed, Ordering::Release);

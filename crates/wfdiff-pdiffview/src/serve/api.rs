@@ -24,6 +24,7 @@ use crate::io::RunDescriptor;
 use crate::persist::PersistError;
 use crate::service::ServiceError;
 use crate::store::StoreError;
+use crate::stream::StreamEvent;
 use serde::{Deserialize, Serialize};
 use wfdiff_core::DiffError;
 use wfdiff_sptree::SpTreeError;
@@ -253,6 +254,109 @@ pub struct KMedoidsResponse {
     pub persisted: bool,
 }
 
+/// `POST /runs/stream` request body: append (and optionally finalize) one
+/// ordered batch of node-lifecycle events on an in-flight stream.  The
+/// first batch for an unknown stream name opens it.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct StreamEventsRequest {
+    /// The specification the stream runs against.
+    pub spec: String,
+    /// Stream name — becomes the run name at finalisation, so it must not
+    /// collide with a stored run.
+    pub stream: String,
+    /// The events, in engine order.  May be empty (opens the stream, or
+    /// finalizes without appending).
+    #[serde(default)]
+    pub events: Vec<StreamEvent>,
+    /// When `true`, the stream is finalized after the batch: the completed
+    /// event sequence is validated end-to-end, stored as run `stream`, and
+    /// the stream is closed.
+    #[serde(default)]
+    pub finalize: bool,
+}
+
+/// `POST /runs/stream` response.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct StreamEventsResponse {
+    /// The specification name.
+    pub spec: String,
+    /// The stream name.
+    pub stream: String,
+    /// The stream's event count before this batch.
+    pub base_seq: u64,
+    /// The stream's event count after this batch.
+    pub seq: u64,
+    /// Node instances declared so far.
+    pub nodes: usize,
+    /// Completed leaves in the live prefix profile.
+    pub completed_leaves: u64,
+    /// `true` once every declared instance has completed.
+    pub complete: bool,
+    /// `true` when the stream was finalized into a stored run.
+    #[serde(default)]
+    pub finalized: bool,
+    /// The drift verdict after the batch (omitted clusters mean no
+    /// clustering exists yet); absent after finalisation.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub drift: Option<DriftResponse>,
+    /// Whether the batch (and finalised run, if any) was appended to the
+    /// server's store directory.
+    pub persisted: bool,
+}
+
+/// `DELETE /runs/{spec}/{stream}/stream` response: the operator remedy for
+/// a stuck in-flight stream — the stream is dropped from the registry and
+/// (when the shard persists) a closure marker is appended so it stays gone
+/// after a restart.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct StreamCloseResponse {
+    /// The specification name.
+    pub spec: String,
+    /// The closed stream's name.
+    pub stream: String,
+    /// Events the stream had applied when it was closed.
+    pub seq: u64,
+    /// Whether the closure marker reached the store directory.
+    pub persisted: bool,
+}
+
+/// One cluster's drift verdict inside a [`DriftResponse`].
+#[derive(Debug, Serialize, Deserialize)]
+pub struct DriftClusterEntry {
+    /// The cluster's medoid run.
+    pub medoid: String,
+    /// Member count (including the medoid).
+    pub size: usize,
+    /// Largest exact medoid-to-member distance.
+    pub radius: f64,
+    /// Certified lower bound on the distance between any completion of the
+    /// stream and the medoid.
+    pub lower_bound: f64,
+    /// `lower_bound > radius`.
+    pub exceeds: bool,
+}
+
+/// `GET /runs/{spec}/{stream}/drift` response: the stream has drifted when
+/// the certified lower bound exceeds the radius for **every** cluster.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct DriftResponse {
+    /// The specification name.
+    pub spec: String,
+    /// The stream name.
+    pub stream: String,
+    /// Events applied so far.
+    pub events: u64,
+    /// Node instances declared so far.
+    pub nodes: usize,
+    /// Completed leaves in the prefix profile.
+    pub completed_leaves: u64,
+    /// Per-cluster verdicts (empty until a clustering is built).
+    pub clusters: Vec<DriftClusterEntry>,
+    /// `true` iff `clusters` is non-empty and every entry `exceeds`.
+    pub drifted: bool,
+}
+
 // ---------------------------------------------------------------------------
 // Errors
 // ---------------------------------------------------------------------------
@@ -323,6 +427,20 @@ impl From<ServiceError> for ApiError {
                 ApiError::new(409, "spec_version_mismatch", e.to_string())
             }
             ServiceError::Diff(_) => ApiError::new(500, "diff_failed", e.to_string()),
+            // State conflicts (double start, terminal-state events, racing
+            // predecessors, premature finalize) are retryable 409s; events
+            // that could never be valid are 400s.
+            ServiceError::Stream(stream_error) => {
+                if stream_error.is_conflict() {
+                    ApiError::new(409, "stream_conflict", e.to_string())
+                } else {
+                    ApiError::new(400, "invalid_stream_event", e.to_string())
+                }
+            }
+            ServiceError::UnknownStream { .. } => {
+                ApiError::new(404, "unknown_stream", e.to_string())
+            }
+            ServiceError::StreamRace { .. } => ApiError::new(409, "stream_race", e.to_string()),
         }
     }
 }
@@ -387,5 +505,27 @@ mod tests {
         assert_eq!(e.status, 409);
         let e: ApiError = StoreError::MissingSpec { name: "x".into() }.into();
         assert_eq!(e.status, 404);
+    }
+
+    #[test]
+    fn stream_errors_split_into_conflicts_and_bad_requests() {
+        use crate::stream::{NodeState, StreamError};
+        // Conflict with the stream's current state: retryable 409.
+        let e: ApiError = ServiceError::Stream(StreamError::DuplicateStart { node: 1 }).into();
+        assert_eq!((e.status, e.kind), (409, "stream_conflict"));
+        let e: ApiError =
+            ServiceError::Stream(StreamError::NotActive { node: 1, state: NodeState::Completed })
+                .into();
+        assert_eq!((e.status, e.kind), (409, "stream_conflict"));
+        // Structurally invalid event: permanent 400.
+        let e: ApiError =
+            ServiceError::Stream(StreamError::UnknownEdge { from: "a".into(), to: "b".into() })
+                .into();
+        assert_eq!((e.status, e.kind), (400, "invalid_stream_event"));
+        let e: ApiError =
+            ServiceError::UnknownStream { spec: "x".into(), stream: "s".into() }.into();
+        assert_eq!((e.status, e.kind), (404, "unknown_stream"));
+        let e: ApiError = ServiceError::StreamRace { spec: "x".into(), stream: "s".into() }.into();
+        assert_eq!((e.status, e.kind), (409, "stream_race"));
     }
 }

@@ -14,7 +14,7 @@ use super::http::Request;
 use super::metrics::ServeMetrics;
 use super::shard::{ShardEntry, ShardRouter};
 use crate::cluster::{ClusterDiff, Clustering, DEFAULT_CLUSTER_SEED};
-use crate::service::DiffService;
+use crate::service::{DiffService, DriftReport};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -117,6 +117,9 @@ pub fn route(state: &AppState, req: &Request) -> (u16, String) {
         ("GET", ["specs"]) => specs(state),
         ("GET", ["specs", name, "runs"]) => spec_runs(state, name),
         ("POST", ["runs"]) => insert_run(state, req),
+        ("POST", ["runs", "stream"]) => stream_events(state, req),
+        ("GET", ["runs", spec, stream, "drift"]) => drift(state, req, spec, stream),
+        ("DELETE", ["runs", spec, stream, "stream"]) => close_stream(state, spec, stream),
         ("GET", ["diff"]) => diff(state, req),
         ("POST", ["diff", "batch"]) => diff_batch(state, req),
         ("GET", ["cluster"]) => cluster(state, req),
@@ -125,6 +128,8 @@ pub fn route(state: &AppState, req: &Request) -> (u16, String) {
         (_, ["healthz" | "specs" | "diff" | "cluster" | "similar"])
         | (_, ["specs", _, "runs"])
         | (_, ["runs"])
+        | (_, ["runs", "stream"])
+        | (_, ["runs", _, _, "drift" | "stream"])
         | (_, ["diff", "batch"]) => Err(ApiError::method_not_allowed(&req.method, &req.raw_path)),
         _ => Err(ApiError::not_found(format!("no endpoint at {:?}", req.raw_path))),
     };
@@ -244,6 +249,151 @@ fn insert_run(state: &AppState, req: &Request) -> Result<(u16, String), ApiError
     service.notify_run_inserted(&spec_name, &body.name);
     state.metrics.observe_cluster_update(started.elapsed());
     json(201, &InsertRunResponse { spec: spec_name, name: body.name, persisted })
+}
+
+fn drift_body(report: DriftReport) -> DriftResponse {
+    DriftResponse {
+        spec: report.spec,
+        stream: report.stream,
+        events: report.events,
+        nodes: report.nodes,
+        completed_leaves: report.completed_leaves,
+        clusters: report
+            .clusters
+            .into_iter()
+            .map(|c| DriftClusterEntry {
+                medoid: c.medoid,
+                size: c.size,
+                radius: c.radius,
+                lower_bound: c.lower_bound,
+                exceeds: c.exceeds,
+            })
+            .collect(),
+        drifted: report.drifted,
+    }
+}
+
+/// `POST /runs/stream`: append one ordered batch of node-lifecycle events
+/// to an in-flight stream (opening it on first use), durably when the shard
+/// persists, and report the live drift verdict.
+///
+/// The batch commits in memory first; if the write-ahead-log append then
+/// fails, [`DiffService::undo_stream_batch`] rolls the registry back so
+/// memory never runs ahead of disk, and the client sees a clean `500` with
+/// nothing half-applied.  With `finalize: true` the completed stream is
+/// validated end-to-end and stored as run `stream` through the same
+/// create-only insert (and rollback) path as `POST /runs`, then a closure
+/// marker retires the stream's WAL records.
+fn stream_events(state: &AppState, req: &Request) -> Result<(u16, String), ApiError> {
+    let body: StreamEventsRequest = parse_body(&req.body)?;
+    let shard = state.shard(&body.spec);
+    let service = shard.service();
+    let store = Arc::clone(service.store());
+    let outcome = service.stream_events(&body.spec, &body.stream, &body.events)?;
+    let ack = outcome.ack;
+    let mut persisted = false;
+    if let Some(dir) = shard.dir() {
+        if let Err(e) = store.append_stream_events_to_dir(
+            dir,
+            &body.spec,
+            &body.stream,
+            ack.base_seq,
+            &body.events,
+        ) {
+            service.undo_stream_batch(&body.spec, &body.stream, outcome);
+            return Err(e.into());
+        }
+        persisted = true;
+    }
+    state.metrics.stream_events().add(body.events.len() as u64);
+    let mut response = StreamEventsResponse {
+        spec: body.spec.clone(),
+        stream: body.stream.clone(),
+        base_seq: ack.base_seq,
+        seq: ack.seq,
+        nodes: ack.nodes,
+        completed_leaves: ack.completed_leaves,
+        complete: ack.complete,
+        finalized: false,
+        drift: None,
+        persisted,
+    };
+    if body.finalize {
+        let (run, seq) = service.finalize_stream(&body.spec, &body.stream)?;
+        let run_arc = store.insert_run_new(&body.stream, run)?;
+        if let Some(dir) = shard.dir() {
+            if let Err(e) = store.append_run_to_dir(dir, &body.stream, &run_arc) {
+                store.remove_run(&body.spec, &body.stream);
+                return Err(e.into());
+            }
+            // Best effort: if the closure marker is lost, the boot replay
+            // sees the stored run of the same name and drops the group.
+            let _ = store.append_stream_close_to_dir(dir, &body.spec, &body.stream, seq);
+        }
+        service.remove_stream(&body.spec, &body.stream);
+        let started = Instant::now();
+        service.notify_run_inserted(&body.spec, &body.stream);
+        state.metrics.observe_cluster_update(started.elapsed());
+        response.finalized = true;
+        return json(201, &response);
+    }
+    let report = service.drift_report(&body.spec, &body.stream)?;
+    if report.drifted {
+        state.metrics.drift_flags().inc();
+    }
+    response.drift = Some(drift_body(report));
+    json(200, &response)
+}
+
+/// `GET /runs/{spec}/{stream}/drift[?k=…[&seed=…]]`: the drift verdict of
+/// an in-flight stream against the spec's current clustering.  Passing `k`
+/// (and optionally `seed`) refreshes the k-medoids clustering first, so a
+/// cold server can be queried in one round trip; without it the verdict
+/// uses whatever clustering the incremental index already holds (no
+/// clusters → `drifted: false` with an empty verdict list).
+fn drift(
+    state: &AppState,
+    req: &Request,
+    spec: &str,
+    stream: &str,
+) -> Result<(u16, String), ApiError> {
+    let k = parse_int_param::<usize>(req, "k")?;
+    let seed = parse_int_param::<u64>(req, "seed")?.unwrap_or(DEFAULT_CLUSTER_SEED);
+    let service = state.shard(spec).service();
+    if let Some(k) = k {
+        service.cluster_medoids(spec, k, seed)?;
+    }
+    let report = service.drift_report(spec, stream)?;
+    if report.drifted {
+        state.metrics.drift_flags().inc();
+    }
+    json(200, &drift_body(report))
+}
+
+/// `DELETE /runs/{spec}/{stream}/stream`: drop a stuck in-flight stream.
+/// The registry entry is removed and, when the shard persists, a closure
+/// marker is appended (best effort) so the stream stays gone across
+/// restarts.  The operator runbook's remedy for streams whose producer
+/// died mid-run.
+fn close_stream(state: &AppState, spec: &str, stream: &str) -> Result<(u16, String), ApiError> {
+    let shard = state.shard(spec);
+    let service = shard.service();
+    let seq = service.stream_seq(spec, stream).ok_or_else(|| {
+        ApiError::new(
+            404,
+            "unknown_stream",
+            format!("no in-flight stream {stream:?} for specification {spec:?}"),
+        )
+    })?;
+    service.remove_stream(spec, stream);
+    let persisted = match shard.dir() {
+        Some(dir) => service.store().append_stream_close_to_dir(dir, spec, stream, seq).is_ok(),
+        None => false,
+    };
+    json(
+        200,
+        &StreamCloseResponse { spec: spec.to_string(), stream: stream.to_string(), seq, persisted },
+    )
 }
 
 /// `GET /similar?spec=…&run=…&k=…[&pruned=1][&approx=ε]`: the `k` stored
@@ -488,6 +638,7 @@ mod tests {
     use super::*;
     use crate::io::RunDescriptor;
     use crate::store::WorkflowStore;
+    use crate::stream::StreamEvent;
     use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_specification};
 
     fn request(method: &str, target: &str, body: &str) -> Request {
@@ -829,6 +980,186 @@ mod tests {
         // Unknown specs 404 regardless of which shard the hash picks.
         let (status, _) = route(&state, &request("GET", "/specs/nope/runs", ""));
         assert_eq!(status, 404);
+    }
+
+    fn stream_body(spec: &str, stream: &str, events: Vec<StreamEvent>, finalize: bool) -> String {
+        serde_json::to_string(&StreamEventsRequest {
+            spec: spec.to_string(),
+            stream: stream.to_string(),
+            events,
+            finalize,
+        })
+        .unwrap()
+    }
+
+    /// Events for fig2's single-branch run `1 -> 2 -> branch -> 6 -> 7`.
+    fn branch_events(branch: &str) -> Vec<StreamEvent> {
+        let labels = ["1", "2", branch, "6", "7"];
+        let mut events = Vec::new();
+        for (i, label) in labels.iter().enumerate() {
+            let preds = if i == 0 { vec![] } else { vec![i - 1] };
+            events.push(StreamEvent::started(i, *label, preds));
+            events.push(StreamEvent::completed(i));
+        }
+        events
+    }
+
+    #[test]
+    fn stream_endpoint_streams_drifts_and_finalizes() {
+        let state = state();
+        // Cluster the two stored runs so drift verdicts have medoids.
+        let (status, _) =
+            route(&state, &request("GET", "/cluster?spec=fig2&algo=kmedoids&k=2", ""));
+        assert_eq!(status, 200);
+
+        // First batch: open the stream with a partial prefix.
+        let events = branch_events("3");
+        let (head, tail) = events.split_at(5);
+        let (status, body) = route(
+            &state,
+            &request("POST", "/runs/stream", &stream_body("fig2", "s1", head.to_vec(), false)),
+        );
+        assert_eq!(status, 200, "{body}");
+        let out: StreamEventsResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!((out.base_seq, out.seq), (0, 5));
+        assert!(!out.complete && !out.finalized);
+        let drift = out.drift.expect("open streams report drift");
+        assert_eq!(drift.clusters.len(), 2, "one verdict per cluster");
+        assert!(!out.persisted, "no store directory configured");
+
+        // The drift endpoint answers for the in-flight stream too.
+        let (status, body) = route(&state, &request("GET", "/runs/fig2/s1/drift", ""));
+        assert_eq!(status, 200, "{body}");
+        let live: DriftResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(live.events, 5);
+        assert_eq!(live.clusters.len(), 2);
+
+        // Second batch finalizes: the stream becomes stored run "s1".
+        let (status, body) = route(
+            &state,
+            &request("POST", "/runs/stream", &stream_body("fig2", "s1", tail.to_vec(), true)),
+        );
+        assert_eq!(status, 201, "{body}");
+        let out: StreamEventsResponse = serde_json::from_str(&body).unwrap();
+        assert!(out.complete && out.finalized);
+        assert!(out.drift.is_none(), "finalised responses carry no drift");
+        let store = state.router().shard_for("fig2").service().store().clone();
+        assert!(store.run("fig2", "s1").is_some());
+        // The stream is gone: its drift endpoint 404s now.
+        let (status, _) = route(&state, &request("GET", "/runs/fig2/s1/drift", ""));
+        assert_eq!(status, 404);
+        // And the streamed run joined the incremental clustering.
+        let service = state.router().shard_for("fig2").service();
+        let snapshot = service.cluster_index().snapshot("fig2").unwrap();
+        assert!(snapshot.cluster_of("s1").is_some());
+    }
+
+    #[test]
+    fn drift_endpoint_builds_clustering_on_demand() {
+        let state = state();
+        let (status, body) = route(
+            &state,
+            &request(
+                "POST",
+                "/runs/stream",
+                &stream_body("fig2", "s1", branch_events("3")[..2].to_vec(), false),
+            ),
+        );
+        assert_eq!(status, 200, "{body}");
+        let out: StreamEventsResponse = serde_json::from_str(&body).unwrap();
+        let drift = out.drift.unwrap();
+        assert!(drift.clusters.is_empty() && !drift.drifted, "no clustering built yet");
+
+        // ?k= refreshes the clustering in the same request.
+        let (status, body) = route(&state, &request("GET", "/runs/fig2/s1/drift?k=1", ""));
+        assert_eq!(status, 200, "{body}");
+        let out: DriftResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(out.clusters.len(), 1);
+        assert_eq!(out.clusters[0].size, 2, "both stored runs in one cluster");
+        assert!(out.clusters[0].radius > 0.0);
+    }
+
+    #[test]
+    fn malformed_stream_batches_are_typed_rejections() {
+        let state = state();
+        // Unknown spec → 404.
+        let (status, body) = route(
+            &state,
+            &request("POST", "/runs/stream", &stream_body("zz", "s1", vec![], false)),
+        );
+        assert_eq!(status, 404, "{body}");
+        // Stream name colliding with a stored run → 400.
+        let (status, body) = route(
+            &state,
+            &request("POST", "/runs/stream", &stream_body("fig2", "r1", vec![], false)),
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("invalid_query"));
+        // Duplicate start → 409 conflict, and the batch is atomic: nothing
+        // from the bad batch sticks.
+        let mut events = branch_events("3")[..2].to_vec();
+        events.push(StreamEvent::started(0, "1", vec![]));
+        let (status, body) = route(
+            &state,
+            &request("POST", "/runs/stream", &stream_body("fig2", "s1", events, false)),
+        );
+        assert_eq!(status, 409, "{body}");
+        assert!(body.contains("stream_conflict"));
+        let service = state.router().shard_for("fig2").service();
+        assert!(service.stream_seq("fig2", "s1").is_none(), "rejected batch opened no stream");
+        // Completion of a never-started node → 400.
+        let (status, body) = route(
+            &state,
+            &request(
+                "POST",
+                "/runs/stream",
+                &stream_body("fig2", "s1", vec![StreamEvent::completed(9)], false),
+            ),
+        );
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("invalid_stream_event"));
+        // Finalizing an incomplete stream → 409, stream stays open.
+        let open = stream_body("fig2", "s2", branch_events("3")[..3].to_vec(), false);
+        let (status, _) = route(&state, &request("POST", "/runs/stream", &open));
+        assert_eq!(status, 200);
+        let (status, body) = route(
+            &state,
+            &request("POST", "/runs/stream", &stream_body("fig2", "s2", vec![], true)),
+        );
+        assert_eq!(status, 409, "{body}");
+        assert!(body.contains("stream_conflict"));
+        assert_eq!(service.stream_seq("fig2", "s2"), Some(3));
+        // Malformed JSON → 400; wrong methods → 405.
+        let (status, _) = route(&state, &request("POST", "/runs/stream", "{not json"));
+        assert_eq!(status, 400);
+        let (status, _) = route(&state, &request("GET", "/runs/stream", ""));
+        assert_eq!(status, 405);
+        let (status, _) = route(&state, &request("POST", "/runs/fig2/s2/drift", ""));
+        assert_eq!(status, 405);
+        // Drift of an unknown stream → 404.
+        let (status, body) = route(&state, &request("GET", "/runs/fig2/nope/drift", ""));
+        assert_eq!(status, 404, "{body}");
+        assert!(body.contains("unknown_stream"));
+    }
+
+    #[test]
+    fn delete_closes_a_stuck_stream() {
+        let state = state();
+        let open = stream_body("fig2", "stuck", branch_events("3")[..3].to_vec(), false);
+        let (status, _) = route(&state, &request("POST", "/runs/stream", &open));
+        assert_eq!(status, 200);
+        let (status, body) = route(&state, &request("DELETE", "/runs/fig2/stuck/stream", ""));
+        assert_eq!(status, 200, "{body}");
+        let out: StreamCloseResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(out.seq, 3);
+        assert!(!out.persisted, "no store directory configured");
+        let service = state.router().shard_for("fig2").service();
+        assert!(service.stream_seq("fig2", "stuck").is_none());
+        // Closing twice → 404; wrong method → 405.
+        let (status, _) = route(&state, &request("DELETE", "/runs/fig2/stuck/stream", ""));
+        assert_eq!(status, 404);
+        let (status, _) = route(&state, &request("GET", "/runs/fig2/stuck/stream", ""));
+        assert_eq!(status, 405);
     }
 
     #[test]

@@ -161,14 +161,19 @@ pub enum Endpoint {
     Cluster,
     /// `GET /similar`.
     Similar,
+    /// `POST /runs/stream`.
+    RunsStream,
+    /// `GET /runs/{spec}/{stream}/drift`.
+    Drift,
     /// `GET /metrics`.
     Metrics,
     /// Anything else (404s, unknown paths).
     Other,
 }
 
-/// Every endpoint, in rendering order.
-pub const ENDPOINTS: [Endpoint; 10] = [
+/// Every endpoint, in rendering order (must match the enum's declaration
+/// order — [`ServeMetrics::observe_request`] indexes by discriminant).
+pub const ENDPOINTS: [Endpoint; 12] = [
     Endpoint::Healthz,
     Endpoint::Specs,
     Endpoint::SpecRuns,
@@ -177,6 +182,8 @@ pub const ENDPOINTS: [Endpoint; 10] = [
     Endpoint::DiffBatch,
     Endpoint::Cluster,
     Endpoint::Similar,
+    Endpoint::RunsStream,
+    Endpoint::Drift,
     Endpoint::Metrics,
     Endpoint::Other,
 ];
@@ -193,6 +200,8 @@ impl Endpoint {
             Endpoint::DiffBatch => "diff_batch",
             Endpoint::Cluster => "cluster",
             Endpoint::Similar => "similar",
+            Endpoint::RunsStream => "runs_stream",
+            Endpoint::Drift => "drift",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
         }
@@ -207,6 +216,8 @@ impl Endpoint {
             ["specs"] => Endpoint::Specs,
             ["specs", _, "runs"] => Endpoint::SpecRuns,
             ["runs"] => Endpoint::InsertRun,
+            ["runs", "stream"] => Endpoint::RunsStream,
+            ["runs", _, _, "drift"] => Endpoint::Drift,
             ["diff"] => Endpoint::Diff,
             ["diff", "batch"] => Endpoint::DiffBatch,
             ["cluster"] => Endpoint::Cluster,
@@ -257,6 +268,8 @@ pub struct ServeMetrics {
     cluster_update: Histogram,
     similar_pruned: Counter,
     similar_distance_evals: Counter,
+    stream_events: Counter,
+    drift_flags: Counter,
 }
 
 impl ServeMetrics {
@@ -277,6 +290,8 @@ impl ServeMetrics {
             cluster_update: Histogram::new(),
             similar_pruned: Counter::new(),
             similar_distance_evals: Counter::new(),
+            stream_events: Counter::new(),
+            drift_flags: Counter::new(),
         }
     }
 
@@ -359,6 +374,18 @@ impl ServeMetrics {
     /// `wfdiff_http_requests_total{endpoint="similar"}` for evals per query.
     pub fn similar_distance_evals(&self) -> &Counter {
         &self.similar_distance_evals
+    }
+
+    /// Node-lifecycle events accepted by `POST /runs/stream` (rejected
+    /// batches count zero).
+    pub fn stream_events(&self) -> &Counter {
+        &self.stream_events
+    }
+
+    /// Drift verdicts (`drifted: true`) returned by `POST /runs/stream` and
+    /// `GET /runs/{spec}/{stream}/drift` responses.
+    pub fn drift_flags(&self) -> &Counter {
+        &self.drift_flags
     }
 
     /// Renders every metric in the Prometheus text exposition format,
@@ -478,6 +505,18 @@ impl ServeMetrics {
             "wfdiff_similar_distance_evals_total",
             "Edit-distance evaluations performed by GET /similar queries.",
             &self.similar_distance_evals,
+        );
+        counter_head_sample(
+            m,
+            "wfdiff_stream_events_total",
+            "Node-lifecycle events accepted by POST /runs/stream.",
+            &self.stream_events,
+        );
+        counter_head_sample(
+            m,
+            "wfdiff_drift_flags_total",
+            "Drift verdicts returned by streaming and drift endpoints.",
+            &self.drift_flags,
         );
 
         gauge_head_sample(
@@ -746,6 +785,8 @@ mod tests {
         assert_eq!(Endpoint::classify(&["specs"]), Endpoint::Specs);
         assert_eq!(Endpoint::classify(&["specs", "x", "runs"]), Endpoint::SpecRuns);
         assert_eq!(Endpoint::classify(&["runs"]), Endpoint::InsertRun);
+        assert_eq!(Endpoint::classify(&["runs", "stream"]), Endpoint::RunsStream);
+        assert_eq!(Endpoint::classify(&["runs", "fig2", "s1", "drift"]), Endpoint::Drift);
         assert_eq!(Endpoint::classify(&["diff"]), Endpoint::Diff);
         assert_eq!(Endpoint::classify(&["diff", "batch"]), Endpoint::DiffBatch);
         assert_eq!(Endpoint::classify(&["cluster"]), Endpoint::Cluster);
@@ -753,6 +794,13 @@ mod tests {
         assert_eq!(Endpoint::classify(&["metrics"]), Endpoint::Metrics);
         assert_eq!(Endpoint::classify(&["nope"]), Endpoint::Other);
         assert_eq!(Endpoint::classify(&[]), Endpoint::Other);
+    }
+
+    #[test]
+    fn endpoints_array_matches_declaration_order() {
+        for (i, ep) in ENDPOINTS.iter().enumerate() {
+            assert_eq!(*ep as usize, i, "ENDPOINTS[{i}] is {}", ep.label());
+        }
     }
 
     #[test]

@@ -41,6 +41,9 @@
 //! | `GET /specs`             | —    | specification listing (all shards, sorted by name) |
 //! | `GET /specs/{name}/runs` | —    | run names of one specification |
 //! | `POST /runs`             | [`api::InsertRunRequest`] | insert (and durably append) a run |
+//! | `POST /runs/stream`      | [`api::StreamEventsRequest`] | append node-lifecycle events to an in-flight stream; live drift verdict, optional finalize |
+//! | `GET /runs/{spec}/{stream}/drift[?k[&seed]]` | — | drift verdict of an in-flight stream vs the cluster medoids |
+//! | `DELETE /runs/{spec}/{stream}/stream` | — | drop a stuck in-flight stream (durable closure marker) |
 //! | `GET /diff?spec&a&b`     | —    | one cache-backed edit distance |
 //! | `POST /diff/batch`       | [`api::BatchDiffRequest`] | a pair list fanned onto the diff pool |
 //! | `GET /cluster?spec&a&b[&separator]` | — | per-composite-module change summary |

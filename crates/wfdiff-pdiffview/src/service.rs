@@ -22,6 +22,7 @@ use crate::cluster::incremental::{ClusterSnapshot, DistanceOracle, IncrementalCl
 use crate::cluster::persist::{
     load as load_cluster_cache, save_wal as save_cluster_cache, ClusterCacheReport,
 };
+use crate::lockrank::{LockRank, RankedRwLock};
 use crate::metricindex::persist::{load as load_metric_cache, save_wal as save_metric_cache};
 use crate::metricindex::{
     IncrementalMetricIndex, MedoidPivots, MetricIndexReport, PruneStats, DEFAULT_METRIC_SEED,
@@ -29,6 +30,9 @@ use crate::metricindex::{
 use crate::persist::PersistError;
 use crate::session::DiffSession;
 use crate::store::WorkflowStore;
+use crate::stream::{PartialRun, StreamError, StreamEvent};
+use crate::wal;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -55,6 +59,26 @@ pub enum ServiceError {
     InvalidQuery(String),
     /// The underlying differencing failed.
     Diff(DiffError),
+    /// A stream event (or a stream finalisation) was rejected by the
+    /// [`PartialRun`] builder; [`StreamError::is_conflict`] separates state
+    /// conflicts (409) from structurally invalid events (400).
+    Stream(StreamError),
+    /// The named in-flight stream does not exist.
+    UnknownStream {
+        /// The specification name.
+        spec: String,
+        /// The missing stream name.
+        stream: String,
+    },
+    /// Two event batches raced on the same stream: the stream advanced
+    /// between this batch's validation and its commit.  The batch was not
+    /// applied; the client should refetch the stream position and retry.
+    StreamRace {
+        /// The specification name.
+        spec: String,
+        /// The contended stream name.
+        stream: String,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -66,6 +90,13 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::InvalidQuery(message) => write!(f, "invalid query: {message}"),
             ServiceError::Diff(e) => write!(f, "diff failed: {e}"),
+            ServiceError::Stream(e) => write!(f, "stream event rejected: {e}"),
+            ServiceError::UnknownStream { spec, stream } => {
+                write!(f, "unknown stream {stream:?} for specification {spec:?}")
+            }
+            ServiceError::StreamRace { spec, stream } => {
+                write!(f, "concurrent writers raced on stream {stream:?} of {spec:?}; retry")
+            }
         }
     }
 }
@@ -74,6 +105,7 @@ impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServiceError::Diff(e) => Some(e),
+            ServiceError::Stream(e) => Some(e),
             _ => None,
         }
     }
@@ -82,6 +114,12 @@ impl std::error::Error for ServiceError {
 impl From<DiffError> for ServiceError {
     fn from(value: DiffError) -> Self {
         ServiceError::Diff(value)
+    }
+}
+
+impl From<StreamError> for ServiceError {
+    fn from(value: StreamError) -> Self {
+        ServiceError::Stream(value)
     }
 }
 
@@ -134,6 +172,95 @@ impl AllPairsResult {
     }
 }
 
+/// Acknowledgement of one accepted event batch on a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamAck {
+    /// The stream's event count before the batch (the sequence number the
+    /// batch was validated against, and the `base_seq` its WAL records
+    /// carry).
+    pub base_seq: u64,
+    /// The stream's event count after the batch.
+    pub seq: u64,
+    /// Node instances declared so far.
+    pub nodes: usize,
+    /// Completed leaves in the live prefix profile.
+    pub completed_leaves: u64,
+    /// `true` once every declared instance has completed — the stream may
+    /// finalize.
+    pub complete: bool,
+}
+
+/// The result of [`DiffService::stream_events`]: the acknowledgement plus
+/// the undo state [`DiffService::undo_stream_batch`] needs if making the
+/// batch durable fails.
+#[derive(Debug, Clone)]
+pub struct StreamBatchOutcome {
+    /// The acknowledgement of the committed batch.
+    pub ack: StreamAck,
+    /// The stream's builder before the batch (`None` when the batch opened
+    /// the stream).
+    prior: Option<PartialRun>,
+}
+
+/// One cluster's verdict inside a [`DriftReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftClusterStatus {
+    /// The cluster's medoid run.
+    pub medoid: String,
+    /// Member count (including the medoid).
+    pub size: usize,
+    /// The cluster radius: the largest exact distance from the medoid to a
+    /// member.
+    pub radius: f64,
+    /// The certified lower bound on the distance between any completion of
+    /// the stream and the medoid
+    /// ([`WorkflowDiff::prefix_distance`]).
+    pub lower_bound: f64,
+    /// `lower_bound > radius`: no completion of this stream can land inside
+    /// the cluster.
+    pub exceeds: bool,
+}
+
+/// The drift verdict for one in-flight stream — the payload of
+/// `GET /runs/{spec}/{stream}/drift`.
+///
+/// The stream **drifts** when the certified lower bound to *every* cluster
+/// medoid exceeds that cluster's radius: whatever the run goes on to do, it
+/// cannot end up inside any known cluster.  Because the bound is monotone in
+/// the event stream, a drift verdict is permanent for the stream (it can
+/// only be reset by re-clustering with the finished run folded in).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// The specification name.
+    pub spec: String,
+    /// The stream name.
+    pub stream: String,
+    /// Events applied to the stream so far.
+    pub events: u64,
+    /// Node instances declared so far.
+    pub nodes: usize,
+    /// Completed leaves in the prefix profile.
+    pub completed_leaves: u64,
+    /// Per-cluster radii and bounds (empty when no clustering has been built
+    /// for the specification yet).
+    pub clusters: Vec<DriftClusterStatus>,
+    /// `true` iff `clusters` is non-empty and every entry `exceeds`.
+    pub drifted: bool,
+}
+
+/// What [`DiffService::load_streams`] rebuilt from the write-ahead log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamLoadReport {
+    /// Streams rebuilt into the in-flight registry.
+    pub loaded: usize,
+    /// Streams dropped as already finalised (a closure marker, or a stored
+    /// run of the same name).
+    pub closed: usize,
+    /// Streams dropped as stale or invalid (replaced specification version,
+    /// missing specification, or an event sequence that no longer applies).
+    pub skipped: usize,
+}
+
 /// Builder-style configuration for [`DiffService`].
 pub struct DiffServiceBuilder {
     store: Arc<WorkflowStore>,
@@ -171,6 +298,7 @@ impl DiffServiceBuilder {
             threads: self.threads,
             clusters: IncrementalClusterIndex::new(),
             metric: IncrementalMetricIndex::new(),
+            streams: RankedRwLock::new(LockRank::Streams, BTreeMap::new()),
         }
     }
 }
@@ -183,6 +311,12 @@ pub struct DiffService {
     threads: usize,
     clusters: IncrementalClusterIndex,
     metric: IncrementalMetricIndex,
+    /// In-flight streamed runs keyed by `(spec, stream)`.  The innermost
+    /// lock of the whole system ([`LockRank::Streams`]): builders are cloned
+    /// *out* under it, mutated and persisted with no lock held, and
+    /// committed back with an optimistic sequence check — so no store or
+    /// WAL call ever happens under it.
+    streams: RankedRwLock<BTreeMap<(String, String), PartialRun>>,
 }
 
 impl DiffService {
@@ -577,6 +711,208 @@ impl DiffService {
         load_metric_cache(&self.metric, &self.store, self.cost.cache_key(), dir.as_ref())
     }
 
+    /// Validates and commits one batch of node-lifecycle events on an
+    /// in-flight stream, creating the stream if it does not exist yet — the
+    /// in-memory half of `POST /runs/stream`.
+    ///
+    /// The batch is atomic: every event is applied to a *clone* of the
+    /// stream's builder, and the clone replaces the original only if all of
+    /// them are accepted **and** the stream has not advanced in the meantime
+    /// (otherwise [`ServiceError::StreamRace`], and nothing changed).  The
+    /// returned [`StreamBatchOutcome`] carries the prior state so a caller
+    /// whose durability step fails can [`DiffService::undo_stream_batch`].
+    pub fn stream_events(
+        &self,
+        spec: &str,
+        stream: &str,
+        events: &[StreamEvent],
+    ) -> Result<StreamBatchOutcome, ServiceError> {
+        let spec_arc =
+            self.store.spec(spec).ok_or_else(|| ServiceError::UnknownSpec(spec.to_string()))?;
+        let run_exists = self.store.run(spec, stream).is_some();
+        let key = (spec.to_string(), stream.to_string());
+        let prior = self.streams.read().get(&key).cloned();
+        let mut next = match &prior {
+            Some(p) => {
+                if p.spec().fingerprint() != spec_arc.fingerprint() {
+                    return Err(ServiceError::InvalidQuery(format!(
+                        "stream {stream:?} was opened against a replaced version of \
+                         specification {spec:?}; remove it and start over"
+                    )));
+                }
+                p.clone()
+            }
+            None => {
+                if run_exists {
+                    return Err(ServiceError::InvalidQuery(format!(
+                        "stream name {stream:?} already names a stored run of \
+                         specification {spec:?}"
+                    )));
+                }
+                PartialRun::new(Arc::clone(&spec_arc))
+            }
+        };
+        let base_seq = next.applied();
+        for event in events {
+            next.apply(event).map_err(ServiceError::Stream)?;
+        }
+        let ack = StreamAck {
+            base_seq,
+            seq: next.applied(),
+            nodes: next.node_count(),
+            completed_leaves: next.profile().completed_leaves(),
+            complete: next.is_complete(),
+        };
+        {
+            let mut streams = self.streams.write();
+            let current = streams.get(&key).map(|p| p.applied()).unwrap_or(0);
+            if current != base_seq {
+                return Err(ServiceError::StreamRace {
+                    spec: spec.to_string(),
+                    stream: stream.to_string(),
+                });
+            }
+            streams.insert(key, next);
+        }
+        Ok(StreamBatchOutcome { ack, prior })
+    }
+
+    /// Rolls the registry back to the state before a
+    /// [`DiffService::stream_events`] batch — used when appending the batch
+    /// to the write-ahead log failed, so memory never runs ahead of disk.
+    /// A no-op if the stream has advanced past the batch in the meantime.
+    pub fn undo_stream_batch(&self, spec: &str, stream: &str, outcome: StreamBatchOutcome) {
+        let key = (spec.to_string(), stream.to_string());
+        let mut streams = self.streams.write();
+        if streams.get(&key).map(|p| p.applied()) != Some(outcome.ack.seq) {
+            return;
+        }
+        match outcome.prior {
+            Some(p) => {
+                streams.insert(key, p);
+            }
+            None => {
+                streams.remove(&key);
+            }
+        }
+    }
+
+    /// Materialises a completed in-flight stream as a fully validated run
+    /// (without touching the store or the registry), returning the run and
+    /// the stream's event count.  [`ServiceError::Stream`] with
+    /// [`StreamError::Incomplete`] while instances are active or failed.
+    pub fn finalize_stream(&self, spec: &str, stream: &str) -> Result<(Run, u64), ServiceError> {
+        let key = (spec.to_string(), stream.to_string());
+        let partial = self.streams.read().get(&key).cloned().ok_or_else(|| {
+            ServiceError::UnknownStream { spec: spec.to_string(), stream: stream.to_string() }
+        })?;
+        let run = partial.finalize().map_err(ServiceError::Stream)?;
+        Ok((run, partial.applied()))
+    }
+
+    /// Drops an in-flight stream from the registry (the final step of
+    /// finalisation, and the operator remedy for stuck streams).  Returns
+    /// `true` if the stream existed.
+    pub fn remove_stream(&self, spec: &str, stream: &str) -> bool {
+        self.streams.write().remove(&(spec.to_string(), stream.to_string())).is_some()
+    }
+
+    /// Names of the in-flight streams of one specification, sorted.
+    pub fn stream_names(&self, spec: &str) -> Vec<String> {
+        self.streams
+            .read()
+            .keys()
+            .filter(|(s, _)| s == spec)
+            .map(|(_, stream)| stream.clone())
+            .collect()
+    }
+
+    /// The event count of an in-flight stream, if it exists.
+    pub fn stream_seq(&self, spec: &str, stream: &str) -> Option<u64> {
+        self.streams.read().get(&(spec.to_string(), stream.to_string())).map(|p| p.applied())
+    }
+
+    /// The service's drift monitor over its in-flight streams.
+    pub fn drift_monitor(&self) -> DriftMonitor<'_> {
+        DriftMonitor { service: self }
+    }
+
+    /// Shorthand for [`DriftMonitor::report`].
+    pub fn drift_report(&self, spec: &str, stream: &str) -> Result<DriftReport, ServiceError> {
+        self.drift_monitor().report(spec, stream)
+    }
+
+    /// Rebuilds the in-flight stream registry from `dir`'s write-ahead log —
+    /// the streaming companion of
+    /// [`WorkflowStore::load_from_dir`](crate::store::WorkflowStore::load_from_dir),
+    /// called once at boot after the store itself is loaded.
+    ///
+    /// Kind-5 records are grouped per `(spec, stream)` in append order.  A
+    /// closure marker drops its group; so does a stored run of the stream's
+    /// name (the crash window between a finalised run's insert record and
+    /// its closure marker).  A group whose specification is gone, whose
+    /// recorded version is not the directory's current version, or whose
+    /// events no longer apply cleanly is skipped — never an error.
+    pub fn load_streams(&self, dir: impl AsRef<Path>) -> Result<StreamLoadReport, PersistError> {
+        let dir = dir.as_ref();
+        let mut report = StreamLoadReport::default();
+        let mut rebuilt: Vec<((String, String), PartialRun)> = Vec::new();
+        {
+            let _guard = self.store.save_lock.lock();
+            let scan = wal::scan(dir)?;
+            let mut groups: Vec<((String, String), Vec<wal::StreamEventRecord>)> = Vec::new();
+            for record in scan.records {
+                let wal::WalRecord::StreamEvent(r) = record else { continue };
+                let key = (r.spec.clone(), r.stream.clone());
+                if r.event.is_none() {
+                    let before = groups.len();
+                    groups.retain(|(k, _)| *k != key);
+                    report.closed += before - groups.len();
+                } else if let Some((_, group)) = groups.iter_mut().find(|(k, _)| *k == key) {
+                    group.push(r);
+                } else {
+                    groups.push((key, vec![r]));
+                }
+            }
+            for ((spec_name, stream_name), records) in groups {
+                let Some(spec_arc) = self.store.spec(&spec_name) else {
+                    report.skipped += 1;
+                    continue;
+                };
+                let Ok(fp_hex) = self.store.persistent_fp_for_append(dir, &spec_arc) else {
+                    report.skipped += 1;
+                    continue;
+                };
+                if records.iter().any(|r| r.spec_fingerprint != fp_hex) {
+                    report.skipped += 1;
+                    continue;
+                }
+                if self.store.run(&spec_name, &stream_name).is_some() {
+                    report.closed += 1;
+                    continue;
+                }
+                let mut partial = PartialRun::new(Arc::clone(&spec_arc));
+                let replays_cleanly = records.iter().all(|r| {
+                    r.seq == partial.applied()
+                        && r.event.as_ref().is_some_and(|event| partial.apply(event).is_ok())
+                });
+                if replays_cleanly {
+                    rebuilt.push(((spec_name, stream_name), partial));
+                    report.loaded += 1;
+                } else {
+                    report.skipped += 1;
+                }
+            }
+        }
+        if !rebuilt.is_empty() {
+            let mut streams = self.streams.write();
+            for (key, partial) in rebuilt {
+                streams.insert(key, partial);
+            }
+        }
+        Ok(report)
+    }
+
     /// Runs `work` over `jobs` on the scoped worker pool, preserving job
     /// order in the result.  The first differencing error wins.
     fn run_jobs<J: Sync, T: Send>(
@@ -627,6 +963,76 @@ struct ServiceOracle<'a> {
     spec: &'a str,
 }
 
+/// Live drift detection over the service's in-flight streams.
+///
+/// For each cluster of the specification's maintained k-medoids clustering,
+/// the monitor compares the cluster's **radius** (largest exact distance
+/// from the medoid to a member, computed through the same cache-backed
+/// oracle the cluster index uses) against the **certified lower bound**
+/// [`WorkflowDiff::prefix_distance`] gives on the distance between any
+/// completion of the stream and the medoid.  When the bound exceeds the
+/// radius for *every* cluster, no completion of the run can land inside any
+/// known cluster — the run has drifted, provably, while still executing.
+///
+/// The monitor never triggers a re-clustering itself: with no snapshot for
+/// the specification the report carries zero clusters and `drifted: false`
+/// (call [`DiffService::cluster_medoids`] first to build one).
+pub struct DriftMonitor<'a> {
+    service: &'a DiffService,
+}
+
+impl DriftMonitor<'_> {
+    /// The drift verdict for one in-flight stream.
+    pub fn report(&self, spec: &str, stream: &str) -> Result<DriftReport, ServiceError> {
+        let service = self.service;
+        let key = (spec.to_string(), stream.to_string());
+        let partial = service.streams.read().get(&key).cloned().ok_or_else(|| {
+            ServiceError::UnknownStream { spec: spec.to_string(), stream: stream.to_string() }
+        })?;
+        let spec_arc =
+            service.store.spec(spec).ok_or_else(|| ServiceError::UnknownSpec(spec.to_string()))?;
+        let mut report = DriftReport {
+            spec: spec.to_string(),
+            stream: stream.to_string(),
+            events: partial.applied(),
+            nodes: partial.node_count(),
+            completed_leaves: partial.profile().completed_leaves(),
+            clusters: Vec::new(),
+            drifted: false,
+        };
+        let Some(snapshot) = service.clusters.snapshot(spec) else {
+            return Ok(report);
+        };
+        let engine = WorkflowDiff::new(&spec_arc, service.cost.as_ref());
+        let cache = service.cache.as_ref();
+        let oracle = ServiceOracle { service, spec };
+        for cluster in &snapshot.clusters {
+            let members: Vec<&str> =
+                cluster.runs.iter().filter(|r| **r != cluster.medoid).map(|r| r.as_str()).collect();
+            let radius = if members.is_empty() {
+                0.0
+            } else {
+                oracle.distances(&cluster.medoid, &members)?.into_iter().fold(0.0, f64::max)
+            };
+            let medoid_run = service.store.run(spec, &cluster.medoid).ok_or_else(|| {
+                ServiceError::UnknownRun { spec: spec.to_string(), run: cluster.medoid.clone() }
+            })?;
+            let prepared = engine.prepare(&medoid_run, Some(cache))?;
+            let lower_bound =
+                engine.prefix_distance(partial.profile(), None, &prepared, Some(cache))?;
+            report.clusters.push(DriftClusterStatus {
+                medoid: cluster.medoid.clone(),
+                size: cluster.runs.len(),
+                radius,
+                lower_bound,
+                exceeds: lower_bound > radius,
+            });
+        }
+        report.drifted = !report.clusters.is_empty() && report.clusters.iter().all(|c| c.exceeds);
+        Ok(report)
+    }
+}
+
 impl DistanceOracle for ServiceOracle<'_> {
     type Error = ServiceError;
 
@@ -649,6 +1055,7 @@ impl DistanceOracle for ServiceOracle<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster::DEFAULT_CLUSTER_SEED;
     use wfdiff_core::LengthCost;
     use wfdiff_sptree::SpecificationBuilder;
     use wfdiff_workloads::figures::{fig2_run1, fig2_run2, fig2_run3, fig2_specification};
@@ -881,6 +1288,13 @@ mod tests {
                             Err(ServiceError::Diff(e)) => {
                                 panic!("stale spec/run pairing reached the engine: {e}")
                             }
+                            Err(
+                                e @ (ServiceError::Stream(_)
+                                | ServiceError::UnknownStream { .. }
+                                | ServiceError::StreamRace { .. }),
+                            ) => {
+                                panic!("streaming error from a non-streaming query: {e}")
+                            }
                         }
                     }
                 })
@@ -890,5 +1304,157 @@ mod tests {
         for d in differs {
             d.join().unwrap();
         }
+    }
+
+    /// Events for fig2's single-branch run `1 -> 2 -> branch -> 6 -> 7`.
+    fn branch_events(branch: &str) -> Vec<StreamEvent> {
+        let labels = ["1", "2", branch, "6", "7"];
+        let mut events = Vec::new();
+        for (i, label) in labels.iter().enumerate() {
+            let preds = if i == 0 { vec![] } else { vec![i - 1] };
+            events.push(StreamEvent::started(i, *label, preds));
+            events.push(StreamEvent::completed(i));
+        }
+        events
+    }
+
+    #[test]
+    fn streamed_finalize_equals_a_whole_insert() {
+        let store = seeded_store();
+        let service = DiffService::new(Arc::clone(&store));
+        let events = branch_events("3");
+        // Two batches, acknowledged with contiguous sequence numbers.
+        let first = service.stream_events("fig2", "s1", &events[..5]).unwrap();
+        assert_eq!((first.ack.base_seq, first.ack.seq), (0, 5));
+        assert!(!first.ack.complete);
+        let second = service.stream_events("fig2", "s1", &events[5..]).unwrap();
+        assert_eq!((second.ack.base_seq, second.ack.seq), (5, 10));
+        assert!(second.ack.complete);
+        let (run, seq) = service.finalize_stream("fig2", "s1").unwrap();
+        assert_eq!(seq, 10);
+        store.insert_run_new("s1", run).unwrap();
+        assert!(service.remove_stream("fig2", "s1"));
+        // The materialised run is indistinguishable from the same run built
+        // whole: distance zero to an identical direct construction.
+        let mut p = PartialRun::new(store.spec("fig2").unwrap());
+        for e in &events {
+            p.apply(e).unwrap();
+        }
+        let direct = p.finalize().unwrap();
+        let stored = store.run("fig2", "s1").unwrap();
+        let spec = store.spec("fig2").unwrap();
+        let engine = WorkflowDiff::new(&spec, &UnitCost);
+        assert_eq!(engine.distance(&stored, &direct).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn drift_report_flags_streams_outside_every_cluster_radius() {
+        // A store holding only r1, clustered with k=1: the single cluster's
+        // radius is 0, so any stream with a certain surplus leaf drifts.
+        let store = Arc::new(WorkflowStore::new());
+        let spec = store.insert_spec(fig2_specification()).unwrap();
+        store.insert_run("r1", fig2_run1(&spec)).unwrap();
+        let service = DiffService::new(Arc::clone(&store));
+        service.cluster_medoids("fig2", 1, DEFAULT_CLUSTER_SEED).unwrap();
+
+        // Before any clustering-relevant events: a branch-3 stream stays
+        // within r1 (its leaf exists in the medoid), so the bound is 0.
+        service.stream_events("fig2", "near", &branch_events("3")).unwrap();
+        let near = service.drift_report("fig2", "near").unwrap();
+        assert_eq!(near.clusters.len(), 1);
+        assert_eq!(near.clusters[0].radius, 0.0, "singleton cluster");
+        assert_eq!(near.clusters[0].lower_bound, 0.0);
+        assert!(!near.drifted);
+
+        // A branch-5 stream holds a leaf r1 does not: the certified bound
+        // is positive, exceeds the zero radius, and the stream drifts.
+        service.stream_events("fig2", "far", &branch_events("5")).unwrap();
+        let far = service.drift_report("fig2", "far").unwrap();
+        assert!(far.clusters[0].lower_bound > 0.0);
+        assert!(far.clusters[0].exceeds);
+        assert!(far.drifted);
+        // The bound never overshoots the exact distance of the completion.
+        let (run, _) = service.finalize_stream("fig2", "far").unwrap();
+        let exact = {
+            let engine = WorkflowDiff::new(&spec, &UnitCost);
+            let r1 = store.run("fig2", "r1").unwrap();
+            engine.distance(&run, &r1).unwrap()
+        };
+        assert!(far.clusters[0].lower_bound <= exact);
+    }
+
+    #[test]
+    fn drift_report_is_empty_without_clustering_state() {
+        let store = seeded_store();
+        let service = DiffService::new(Arc::clone(&store));
+        service.stream_events("fig2", "s1", &branch_events("3")[..2]).unwrap();
+        let report = service.drift_report("fig2", "s1").unwrap();
+        assert!(report.clusters.is_empty());
+        assert!(!report.drifted, "no clusters means no drift verdict");
+        assert_eq!(report.events, 2);
+    }
+
+    #[test]
+    fn stream_batches_are_atomic_and_undo_restores_the_prior_state() {
+        let store = seeded_store();
+        let service = DiffService::new(Arc::clone(&store));
+        let events = branch_events("3");
+        // A batch with a bad tail leaves no trace — not even the stream.
+        let mut bad = events[..2].to_vec();
+        bad.push(StreamEvent::completed(9));
+        let err = service.stream_events("fig2", "s1", &bad).unwrap_err();
+        assert!(matches!(err, ServiceError::Stream(StreamError::UnknownNode { .. })));
+        assert!(service.stream_seq("fig2", "s1").is_none());
+
+        // Undoing a committed batch restores exactly the prior state.
+        let first = service.stream_events("fig2", "s1", &events[..2]).unwrap();
+        service.undo_stream_batch("fig2", "s1", first);
+        assert!(service.stream_seq("fig2", "s1").is_none(), "prior state was absent");
+        let first = service.stream_events("fig2", "s1", &events[..2]).unwrap();
+        let second = service.stream_events("fig2", "s1", &events[2..4]).unwrap();
+        service.undo_stream_batch("fig2", "s1", second);
+        assert_eq!(service.stream_seq("fig2", "s1"), Some(2));
+        // A stale undo (the stream advanced past the batch) is a no-op.
+        let stale = first;
+        service.stream_events("fig2", "s1", &events[2..4]).unwrap();
+        service.undo_stream_batch("fig2", "s1", stale);
+        assert_eq!(service.stream_seq("fig2", "s1"), Some(4));
+    }
+
+    #[test]
+    fn stream_registry_guards_names_versions_and_unknown_streams() {
+        let store = seeded_store();
+        let service = DiffService::new(Arc::clone(&store));
+        // A stream may not shadow a stored run.
+        let err = service.stream_events("fig2", "r1", &[]).unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidQuery(_)));
+        // Unknown streams are typed errors, not panics.
+        assert!(matches!(
+            service.finalize_stream("fig2", "nope").unwrap_err(),
+            ServiceError::UnknownStream { .. }
+        ));
+        assert!(matches!(
+            service.drift_report("fig2", "nope").unwrap_err(),
+            ServiceError::UnknownStream { .. }
+        ));
+        assert!(!service.remove_stream("fig2", "nope"));
+        // Unknown specs fail before the registry is touched.
+        assert!(matches!(
+            service.stream_events("zz", "s1", &[]).unwrap_err(),
+            ServiceError::UnknownSpec(_)
+        ));
+        // stream_names lists only the spec's own streams, sorted.
+        service.stream_events("fig2", "b", &[]).unwrap();
+        service.stream_events("fig2", "a", &[]).unwrap();
+        assert_eq!(service.stream_names("fig2"), vec!["a", "b"]);
+        assert!(service.stream_names("other").is_empty());
+        // A replaced spec invalidates its streams.
+        let (new_spec, _) = store.replace_spec(fig2_specification());
+        assert_eq!(new_spec.fingerprint(), store.spec("fig2").unwrap().fingerprint());
+        let mut b = SpecificationBuilder::new("fig2");
+        b.path(&["1", "2", "3"]);
+        store.replace_spec(b.build().unwrap());
+        let err = service.stream_events("fig2", "a", &[]).unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidQuery(_)), "version mismatch is typed");
     }
 }

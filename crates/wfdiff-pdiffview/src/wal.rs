@@ -14,7 +14,9 @@
 //!
 //! `len` counts the kind byte plus the payload; `crc32` (IEEE) covers the
 //! kind byte plus the payload.  Kinds: 1 = run insert, 2 = run remove,
-//! 3 = cluster delta, 4 = metric-index delta.  A record is valid only if its
+//! 3 = cluster delta, 4 = metric-index delta, 5 = stream event (one
+//! node-lifecycle event of an in-flight streamed run).  A record is valid
+//! only if its
 //! header fits, its length
 //! is sane, its checksum matches and its payload deserialises; the **first**
 //! invalid record ends the log — everything from its offset on is a torn
@@ -67,6 +69,7 @@ const KIND_RUN_INSERT: u8 = 1;
 const KIND_RUN_REMOVE: u8 = 2;
 const KIND_CLUSTER_DELTA: u8 = 3;
 const KIND_METRIC_DELTA: u8 = 4;
+const KIND_STREAM_EVENT: u8 = 5;
 
 /// A run insert: enough to rebuild and re-validate the run at replay time.
 #[derive(Debug, Serialize, Deserialize)]
@@ -111,6 +114,27 @@ pub(crate) struct MetricDeltaRecord {
     pub(crate) doc: SpecMetricDoc,
 }
 
+/// One node-lifecycle event of an in-flight streamed run.  Streams are
+/// WAL-only state: they have no manifest document, so a fold re-appends the
+/// live records of every still-open stream after truncating the log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct StreamEventRecord {
+    /// Specification name.
+    pub(crate) spec: String,
+    /// Canonical persistent fingerprint (hex) of the specification version
+    /// the stream was opened against; replay drops the whole stream if the
+    /// manifest has moved to a different version.
+    pub(crate) spec_fingerprint: String,
+    /// Stream name (becomes the run name at finalisation).
+    pub(crate) stream: String,
+    /// Zero-based position of this event in the stream's event sequence.
+    pub(crate) seq: u64,
+    /// The event itself, or `None` for the closure marker appended once the
+    /// finalised run is durable — replay treats a closed stream's records as
+    /// already folded into the run and drops them.
+    pub(crate) event: Option<crate::stream::StreamEvent>,
+}
+
 /// A decoded WAL record.
 #[derive(Debug)]
 pub(crate) enum WalRecord {
@@ -122,6 +146,8 @@ pub(crate) enum WalRecord {
     ClusterDelta(ClusterDeltaRecord),
     /// Kind 4.
     MetricDelta(MetricDeltaRecord),
+    /// Kind 5.
+    StreamEvent(StreamEventRecord),
 }
 
 /// CRC32 (IEEE 802.3, reflected) — dependency-free, table-driven.
@@ -160,6 +186,7 @@ fn encode_one(path: &Path, record: &WalRecord, out: &mut Vec<u8>) -> Result<(), 
         WalRecord::RunRemove(r) => (KIND_RUN_REMOVE, serde_json::to_string(r)),
         WalRecord::ClusterDelta(r) => (KIND_CLUSTER_DELTA, serde_json::to_string(r)),
         WalRecord::MetricDelta(r) => (KIND_METRIC_DELTA, serde_json::to_string(r)),
+        WalRecord::StreamEvent(r) => (KIND_STREAM_EVENT, serde_json::to_string(r)),
     };
     let payload = payload
         .map_err(|source| PersistError::Json { path: path.to_path_buf(), source })?
@@ -249,6 +276,7 @@ pub(crate) fn scan(dir: &Path) -> Result<WalScan, PersistError> {
             KIND_RUN_REMOVE => serde_json::from_str(payload).map(WalRecord::RunRemove),
             KIND_CLUSTER_DELTA => serde_json::from_str(payload).map(WalRecord::ClusterDelta),
             KIND_METRIC_DELTA => serde_json::from_str(payload).map(WalRecord::MetricDelta),
+            KIND_STREAM_EVENT => serde_json::from_str(payload).map(WalRecord::StreamEvent),
             _ => break,
         };
         let Ok(record) = record else { break };
@@ -330,6 +358,8 @@ pub struct WalSummary {
     pub cluster_deltas: usize,
     /// Metric-index-delta records (kind 4).
     pub metric_deltas: usize,
+    /// Stream-event records (kind 5), closure markers included.
+    pub stream_events: usize,
     /// Bytes of valid records.
     pub bytes: u64,
     /// Trailing bytes that do not decode (a torn append; repaired by the
@@ -353,6 +383,7 @@ pub fn inspect(dir: impl AsRef<Path>) -> Result<WalSummary, PersistError> {
             WalRecord::RunRemove(_) => summary.run_removes += 1,
             WalRecord::ClusterDelta(_) => summary.cluster_deltas += 1,
             WalRecord::MetricDelta(_) => summary.metric_deltas += 1,
+            WalRecord::StreamEvent(_) => summary.stream_events += 1,
         }
     }
     Ok(summary)
